@@ -1,0 +1,72 @@
+#include "cli.hpp"
+
+#include <stdexcept>
+
+namespace wlsms::cli {
+
+Options Options::parse(int argc, char** argv) {
+  Options options;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') options.command_ = argv[i++];
+  while (i < argc) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0)
+      throw std::runtime_error("expected --option, got '" + token + "'");
+    if (i + 1 >= argc)
+      throw std::runtime_error("missing value for '" + token + "'");
+    options.values_[token.substr(2)] = argv[i + 1];
+    i += 2;
+  }
+  return options;
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(key);
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("--" + key + ": expected a number, got '" +
+                             it->second + "'");
+  }
+}
+
+long Options::get_long(const std::string& key, long fallback) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const long value = std::stol(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(key);
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("--" + key + ": expected an integer, got '" +
+                             it->second + "'");
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  queried_[key] = true;
+  return values_.count(key) > 0;
+}
+
+std::vector<std::string> Options::unused_keys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_)
+    if (!queried_.count(key)) unused.push_back(key);
+  return unused;
+}
+
+}  // namespace wlsms::cli

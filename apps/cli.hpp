@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line option parsing for the wlsms driver binary:
+/// --key value pairs with typed lookups and unknown-flag detection.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wlsms::cli {
+
+/// Parsed command line: one subcommand plus --key value options.
+class Options {
+ public:
+  /// Parses argv[1] as the subcommand and the rest as --key value pairs.
+  /// Throws std::runtime_error on malformed input (missing value, token
+  /// without a leading --).
+  static Options parse(int argc, char** argv);
+
+  const std::string& command() const { return command_; }
+  bool empty_command() const { return command_.empty(); }
+
+  /// Typed lookups with defaults; throw std::runtime_error on a present
+  /// but unparseable value.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  long get_long(const std::string& key, long fallback) const;
+  bool has(const std::string& key) const;
+
+  /// Keys that were provided but never queried; used to reject typos.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace wlsms::cli

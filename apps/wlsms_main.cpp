@@ -1,0 +1,227 @@
+// wlsms — command-line driver for the WL-LSMS reproduction.
+//
+// Subcommands:
+//   curie    converge the Wang-Landau DOS of an n^3-cell bcc Fe system and
+//            report thermodynamics + the Curie temperature; optionally save
+//            the DOS table as CSV
+//   thermo   recompute F/U/c/S from a saved DOS table (no resampling)
+//   extract  run the multiple-scattering substrate and print the extracted
+//            exchange constants
+//   scaling  simulate the paper's Cray XT5 runs (Fig. 7 / Table II)
+//
+// Examples:
+//   wlsms curie --cells 5 --gamma-final 1e-6 --dos fe250.csv
+//   wlsms thermo --dos fe250.csv --tmin 300 --tmax 1500 --points 13
+//   wlsms extract --liz 5.6 --contour 8 --shells 2
+//   wlsms scaling --walkers 144 --steps 20
+#include <cstdio>
+#include <exception>
+#include <memory>
+
+#include "cli.hpp"
+#include "cluster/des.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "heisenberg/heisenberg.hpp"
+#include "io/dos_io.hpp"
+#include "io/table.hpp"
+#include "lsms/exchange.hpp"
+#include "lsms/fe_parameters.hpp"
+#include "lsms/solver.hpp"
+#include "thermo/observables.hpp"
+#include "wl/wanglandau.hpp"
+
+namespace {
+
+using namespace wlsms;
+
+int usage() {
+  std::printf(
+      "usage: wlsms <command> [--option value ...]\n"
+      "\n"
+      "commands:\n"
+      "  curie    --cells N [--gamma-final G] [--walkers W] [--flatness A]\n"
+      "           [--seed S] [--tmin K] [--dos out.csv]\n"
+      "  thermo   --dos in.csv [--tmin K] [--tmax K] [--points N]\n"
+      "  extract  [--liz R_a0] [--contour N] [--shells S] [--samples M]\n"
+      "           [--cells N]\n"
+      "  scaling  [--walkers N] [--steps N] [--atoms N]\n");
+  return 2;
+}
+
+wl::HeisenbergEnergy surrogate(std::size_t cells) {
+  std::vector<double> j = lsms::fe_reference_exchange();
+  for (double& v : j) v *= lsms::fe_exchange_energy_scale;
+  return wl::HeisenbergEnergy(
+      heisenberg::HeisenbergModel(lattice::make_fe_supercell(cells), j));
+}
+
+int cmd_curie(const cli::Options& options) {
+  const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
+  const double gamma_final = options.get_double("gamma-final", 1e-6);
+  const auto walkers = static_cast<std::size_t>(options.get_long("walkers", 8));
+  const double flatness = options.get_double("flatness", 0.8);
+  const auto seed = static_cast<std::uint64_t>(options.get_long("seed", 123));
+  const double t_min = options.get_double("tmin", 150.0);
+  const std::string dos_path = options.get_string("dos", "");
+
+  wl::HeisenbergEnergy energy = surrogate(cells);
+  std::printf("system: %zu bcc Fe atoms (%zu^3 cells)\n", energy.n_sites(),
+              cells);
+
+  Rng window_rng(5);
+  wl::WangLandauConfig config;
+  config.grid = wl::thermal_window(
+      energy, energy.model().ferromagnetic_energy(), t_min, window_rng);
+  config.n_walkers = walkers;
+  config.flatness = flatness;
+  config.check_interval = 5000;
+  config.max_iteration_steps = 2000000;
+
+  wl::WangLandau sampler(
+      energy, config,
+      std::make_unique<wl::HalvingSchedule>(1.0, gamma_final), Rng(seed));
+  sampler.run();
+  std::printf("converged: %llu WL steps, %zu gamma levels (%zu forced)\n",
+              static_cast<unsigned long long>(sampler.stats().total_steps),
+              sampler.stats().iterations, sampler.stats().forced_iterations);
+
+  const thermo::DosTable dos = thermo::dos_table(sampler.dos());
+  if (!dos_path.empty()) {
+    io::save_dos(dos_path, dos);
+    std::printf("DOS written to %s (%zu bins)\n", dos_path.c_str(),
+                dos.energy.size());
+  }
+
+  io::TextTable table({"T [K]", "U [Ry]", "c [Ry/K]"});
+  for (double t = 300.0; t <= 1800.0; t += 300.0) {
+    const thermo::Observables obs = thermo::observables_at(dos, t);
+    table.row({io::format_double(t, 0), io::format_double(obs.internal_energy, 5),
+               io::format_double(obs.specific_heat * 1e4, 3) + "e-4"});
+  }
+  table.print();
+  const thermo::CurieEstimate tc =
+      thermo::estimate_curie_temperature(dos, 250.0, 3000.0);
+  std::printf("Curie temperature (c-peak): %.0f K\n", tc.tc);
+  return 0;
+}
+
+int cmd_thermo(const cli::Options& options) {
+  const std::string dos_path = options.get_string("dos", "");
+  if (dos_path.empty()) {
+    std::fprintf(stderr, "thermo: --dos <file.csv> is required\n");
+    return 2;
+  }
+  const double t_min = options.get_double("tmin", 200.0);
+  const double t_max = options.get_double("tmax", 3000.0);
+  const auto points = static_cast<std::size_t>(options.get_long("points", 15));
+
+  const thermo::DosTable dos = io::load_dos(dos_path);
+  std::printf("loaded %zu DOS bins from %s (E in [%.4f, %.4f] Ry)\n",
+              dos.energy.size(), dos_path.c_str(), dos.energy.front(),
+              dos.energy.back());
+
+  io::TextTable table({"T [K]", "F' [Ry]", "U [Ry]", "c [Ry/K]", "S' [Ry/K]"});
+  for (const thermo::Observables& obs :
+       thermo::temperature_sweep(dos, t_min, t_max, points)) {
+    table.row({io::format_double(obs.temperature, 0),
+               io::format_double(obs.free_energy, 4),
+               io::format_double(obs.internal_energy, 5),
+               io::format_double(obs.specific_heat * 1e4, 3) + "e-4",
+               io::format_double(obs.entropy * 1e6, 2) + "e-6"});
+  }
+  table.print();
+  const thermo::CurieEstimate tc =
+      thermo::estimate_curie_temperature(dos, t_min, t_max);
+  std::printf("c-peak: %.0f K\n", tc.tc);
+  return 0;
+}
+
+int cmd_extract(const cli::Options& options) {
+  const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
+  const double liz = options.get_double("liz", 5.6);
+  const auto contour = static_cast<std::size_t>(options.get_long("contour", 8));
+  const auto shells = static_cast<std::size_t>(options.get_long("shells", 2));
+  const auto samples =
+      static_cast<std::size_t>(options.get_long("samples", 24));
+
+  lsms::LsmsParameters params = lsms::fe_lsms_parameters_fast();
+  params.liz_radius = liz;
+  params.contour_points = contour;
+  const lsms::LsmsSolver solver(lattice::make_fe_supercell(cells), params);
+  std::printf("substrate: %zu atoms, %zu-atom LIZ, %zu contour points "
+              "(%.2f GFlop per energy evaluation)\n",
+              solver.n_atoms(), solver.liz_size(0), contour,
+              static_cast<double>(solver.flops_per_energy()) / 1e9);
+
+  Rng rng(42);
+  const lsms::ExtractedExchange exchange =
+      lsms::extract_exchange(solver, shells, samples, rng);
+  io::TextTable table({"shell", "radius [a0]", "bonds", "J [mRy]"});
+  for (std::size_t s = 0; s < exchange.shells.size(); ++s)
+    table.row({std::to_string(s + 1),
+               io::format_double(exchange.shells[s].radius, 3),
+               std::to_string(exchange.shells[s].bonds),
+               io::format_double(1e3 * exchange.shells[s].j, 4)});
+  table.print();
+  std::printf("fit rms: %.3e Ry over %zu samples\n", exchange.fit_rms,
+              samples);
+  return 0;
+}
+
+int cmd_scaling(const cli::Options& options) {
+  const auto walkers = static_cast<std::size_t>(options.get_long("walkers", 144));
+  const auto steps = static_cast<std::size_t>(options.get_long("steps", 20));
+  const auto atoms = static_cast<std::size_t>(options.get_long("atoms", 1024));
+
+  const cluster::MachineDescription machine = cluster::jaguar_xt5();
+  cluster::JobDescription job;
+  job.n_atoms = atoms;
+  job.n_walkers = walkers;
+  job.steps_per_walker = steps;
+  job.fidelity.contour_points = 20;
+  const cluster::SimulationResult r = cluster::simulate_wl_lsms(machine, job);
+
+  io::TextTable table({"quantity", "value"});
+  table.row({"walkers", std::to_string(r.n_walkers)});
+  table.row({"cores", std::to_string(r.cores)});
+  table.row({"runtime", io::format_double(r.makespan_s, 1) + " s"});
+  table.row({"sustained", io::format_flops(r.sustained_flops)});
+  table.row({"fraction of peak",
+             io::format_double(100.0 * r.fraction_of_peak, 1) + " %"});
+  table.row({"core-hours", io::format_double(r.core_hours, 0)});
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const cli::Options options = cli::Options::parse(argc, argv);
+    if (options.empty_command()) return usage();
+
+    int status = 2;
+    if (options.command() == "curie")
+      status = cmd_curie(options);
+    else if (options.command() == "thermo")
+      status = cmd_thermo(options);
+    else if (options.command() == "extract")
+      status = cmd_extract(options);
+    else if (options.command() == "scaling")
+      status = cmd_scaling(options);
+    else {
+      std::fprintf(stderr, "unknown command '%s'\n\n",
+                   options.command().c_str());
+      return usage();
+    }
+
+    for (const std::string& key : options.unused_keys())
+      std::fprintf(stderr, "warning: unrecognized option --%s ignored\n",
+                   key.c_str());
+    return status;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,106 @@
+// Ablation: Wang-Landau vs spin dynamics — the paper's opening argument.
+//
+// §I: "for systems with corrugated energy surfaces, molecular or spin
+// dynamics simulations tend to be stuck in local energy minima and
+// unrealistically long simulations would be required to sample large
+// enough parts of phase space"; Wang-Landau "provide[s] an intelligent way
+// to overcome the time-scale dilemma".
+//
+// Demonstration on an anisotropic nanomagnet with a barrier of ~22 k_B T:
+// stochastic LLG trajectories of growing length never cross the barrier,
+// while one Wang-Landau joint-DOS run measures the *whole* free-energy
+// profile including the barrier top.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "dynamics/llg.hpp"
+#include "io/table.hpp"
+#include "lattice/cluster.hpp"
+#include "thermo/joint_observables.hpp"
+#include "wl/joint_wl.hpp"
+
+namespace {
+
+using namespace wlsms;
+
+heisenberg::HeisenbergModel particle_model() {
+  // An 8-spin cube with exchange and a strong shared easy axis.
+  const auto structure = lattice::make_cubic_cluster(
+      lattice::CubicLattice::kSimpleCubic, 1.0, 2, 2, 2);
+  heisenberg::HeisenbergModel model(structure, {6.0e-3});
+  model.set_uniform_anisotropy(2.0e-3, {0.0, 0.0, 1.0});
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlsms;
+  bench::banner("ablation: spin dynamics vs Wang-Landau (§I)",
+                "dynamics is trapped by the switching barrier; one WL run "
+                "maps the whole landscape");
+
+  const heisenberg::HeisenbergModel model = particle_model();
+  const double t = 150.0;
+  const double kt = units::k_boltzmann_ry * t;
+
+  // --- stochastic LLG trajectories of growing length ----------------------
+  io::TextTable llg_table(
+      {"LLG steps", "reduced time", "min M_z reached", "switched?"});
+  for (std::uint64_t steps : {20000u, 80000u, 320000u}) {
+    dynamics::LlgParameters params;
+    params.damping = 0.3;
+    params.timestep = 1.0;
+    params.temperature_k = t;
+    params.seed = 17;
+    dynamics::SpinDynamics trajectory(
+        model, spin::MomentConfiguration::ferromagnetic(model.n_sites()),
+        params);
+    double min_mz = 1.0;
+    for (std::uint64_t k = 0; k < steps / 100; ++k) {
+      trajectory.run(100);
+      min_mz = std::min(min_mz, trajectory.magnetization_z());
+    }
+    llg_table.row({std::to_string(steps),
+                   io::format_double(trajectory.time(), 0),
+                   io::format_double(min_mz, 3),
+                   min_mz < -0.5 ? "yes" : "no"});
+  }
+  llg_table.print();
+
+  // --- one Wang-Landau joint-DOS run ---------------------------------------
+  const wl::HeisenbergEnergy energy(particle_model());
+  const double e0 = energy.model().ferromagnetic_energy();
+  wl::JointWangLandauConfig config;
+  config.grid.e_min = e0 + 0.5 * 8.0 * units::k_boltzmann_ry * 100.0;
+  config.grid.e_max = 0.4 * std::abs(e0);
+  config.grid.e_bins = 40;
+  config.grid.m_min = -1.02;
+  config.grid.m_max = 1.02;
+  config.grid.m_bins = 21;
+  config.grid.e_kernel_fraction = 0.012;
+  config.grid.m_kernel_fraction = 0.024;
+  config.flatness = 0.6;
+  config.check_interval = 10000;
+  config.max_iteration_steps = 3000000;
+  config.max_steps = 200000000;
+  wl::JointWangLandau sampler(energy, config,
+                              std::make_unique<wl::HalvingSchedule>(1.0, 1e-5),
+                              Rng(31));
+  sampler.run();
+
+  const double barrier = thermo::switching_barrier(sampler.dos(), t);
+  std::printf(
+      "\nWang-Landau: %llu steps -> full F(M_z; %.0f K) profile;\n"
+      "switching barrier dF = %.3f mRy = %.1f k_B T (the trajectories above\n"
+      "would need ~exp(dF/k_B T) ~ %.0e attempt times to cross it once).\n",
+      static_cast<unsigned long long>(sampler.stats().total_steps), t,
+      1e3 * barrier, barrier / kt, std::exp(barrier / kt));
+  std::printf(
+      "\nReading: the dynamics never leaves the +z well on any feasible\n"
+      "trajectory, yet the flat-histogram walk visits the barrier top as\n"
+      "often as the wells and measures dF directly — the paper's case for\n"
+      "WL over dynamics, reproduced end to end.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: the flatness parameter A of eq. 7 ("the flatness parameter
+// 0 < A < 1 controls the accuracy of the estimated g(E), with increasing
+// accuracy as A approaches unity"). Measures cost (WL steps) and accuracy
+// (Curie temperature and U(900 K) against a fixed Metropolis reference) on
+// the 16-atom iron surrogate.
+#include "bench_common.hpp"
+
+#include "io/table.hpp"
+#include "mc/metropolis.hpp"
+
+int main() {
+  using namespace wlsms;
+  bench::banner("ablation: flatness parameter A (eq. 7)",
+                "accuracy of g(E) increases as A -> 1, at higher cost");
+
+  wl::HeisenbergEnergy energy = bench::fe_surrogate(2);
+
+  // Metropolis reference at 900 K.
+  Rng mc_rng(99);
+  mc::MetropolisConfig mc_config;
+  mc_config.temperature_k = 900.0;
+  mc_config.thermalization_steps = 200000;
+  mc_config.measurement_steps = 800000;
+  mc_config.measure_interval = 16;
+  const mc::MetropolisResult reference = mc::metropolis_run(
+      energy, spin::MomentConfiguration::random(16, mc_rng), mc_config,
+      mc_rng);
+  std::printf("Metropolis reference: U(900 K) = %.5f Ry\n\n",
+              reference.mean_energy);
+
+  io::TextTable table({"A", "WL steps [M]", "forced iters", "U(900K) [Ry]",
+                       "|dU| vs Metropolis", "Tc [K]"});
+  for (double flatness : {0.5, 0.7, 0.8, 0.9, 0.95}) {
+    Rng window_rng(5);
+    wl::WangLandauConfig config;
+    config.grid = wl::thermal_window(
+        energy, energy.model().ferromagnetic_energy(), 150.0, window_rng);
+    config.n_walkers = 8;
+    config.check_interval = 5000;
+    config.flatness = flatness;
+    config.max_iteration_steps = 2000000;
+    config.max_steps = 300000000;
+
+    wl::WangLandau sampler(energy, config,
+                           std::make_unique<wl::HalvingSchedule>(1.0, 1e-6),
+                           Rng(123));
+    sampler.run();
+    const thermo::DosTable dos = thermo::dos_table(sampler.dos());
+    const double u900 = thermo::observables_at(dos, 900.0).internal_energy;
+    const auto tc = thermo::estimate_curie_temperature(dos, 250, 3000);
+
+    table.row({io::format_double(flatness, 2),
+               io::format_double(sampler.stats().total_steps / 1e6, 1),
+               std::to_string(sampler.stats().forced_iterations),
+               io::format_double(u900, 5),
+               io::format_double(std::abs(u900 - reference.mean_energy), 5),
+               io::format_double(tc.tc, 0)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: larger A demands more visits per iteration, so the cost\n"
+      "grows steeply with A (the paper's accuracy/cost dial, §II-A). On\n"
+      "this 16-atom system the estimator is already canonical-accurate at\n"
+      "A = 0.5; the stricter settings buy insurance for rougher landscapes.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: the local-interaction-zone radius (paper §II-B: the LIZ is the
+// range of the Green function; production runs use 11.5 a0 = 65 atoms).
+// Sweeps the LIZ radius on the real multiple-scattering substrate and
+// reports the zone size, the FM/AFM energy splitting, the extracted
+// nearest-neighbour exchange, and the per-energy-evaluation flop cost —
+// the locality/cost trade-off behind LSMS's linear scaling.
+#include "bench_common.hpp"
+
+#include "io/table.hpp"
+#include "lsms/cost_model.hpp"
+#include "lsms/exchange.hpp"
+#include "lsms/solver.hpp"
+
+int main() {
+  using namespace wlsms;
+  bench::banner("ablation: LIZ radius (paper: 11.5 a0 -> 65 atoms)",
+                "the Green function is nearsighted; each atom needs only its "
+                "zone");
+
+  const lattice::Structure cell = lattice::make_fe_supercell(2);
+  std::vector<bool> sublattice(cell.size());
+  for (std::size_t i = 0; i < cell.size(); ++i) sublattice[i] = (i % 2 == 1);
+
+  io::TextTable table({"LIZ radius [a0]", "zone atoms", "E_AFM - E_FM [mRy]",
+                       "J1 [mRy]", "GFlop / energy eval"});
+  double previous_split = 0.0;
+  for (double radius : {5.0, 5.6, 7.7, 9.0, 9.5}) {
+    lsms::LsmsParameters params = lsms::fe_lsms_parameters_fast();
+    params.liz_radius = radius;
+    const lsms::LsmsSolver solver(cell, params);
+
+    const double e_fm =
+        solver.energy(spin::MomentConfiguration::ferromagnetic(cell.size()));
+    const double e_afm =
+        solver.energy(spin::MomentConfiguration::staggered(sublattice));
+    Rng rng(42);
+    const lsms::ExtractedExchange exchange =
+        lsms::extract_exchange(solver, 1, 16, rng);
+
+    table.row({io::format_double(radius, 1),
+               std::to_string(solver.liz_size(0)),
+               io::format_double(1e3 * (e_afm - e_fm), 2),
+               io::format_double(1e3 * exchange.shells[0].j, 3),
+               io::format_double(
+                   static_cast<double>(solver.flops_per_energy()) / 1e9, 2)});
+    previous_split = e_afm - e_fm;
+  }
+  (void)previous_split;
+  table.print();
+  std::printf(
+      "\nReading: the exchange physics converges with the zone radius while\n"
+      "the dense-solve cost grows ~cubically with zone size — the paper's\n"
+      "one-atom-per-core decomposition pays exactly this cost per core.\n"
+      "(The production 11.5 a0 / 65-atom zone at lmax = 3 costs %.0f GFlop\n"
+      "per atom per energy evaluation.)\n",
+      static_cast<double>(lsms::flops_per_atom_point(lsms::LsmsFidelity{})) *
+          31.0 / 1e9);
+  return 0;
+}

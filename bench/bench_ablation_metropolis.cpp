@@ -1,0 +1,75 @@
+// Ablation: Wang-Landau vs conventional Metropolis (paper §I/§II-A).
+//
+// The paper's core efficiency claim: with a temperature-independent energy
+// functional, one Wang-Landau run yields *all* temperatures, while
+// Metropolis needs a separate importance-sampling run per temperature.
+// This bench measures energy evaluations (the unit of ab initio cost) for
+// both routes to a full U(T)/c(T) curve of matched accuracy on the 16-atom
+// iron surrogate.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "io/table.hpp"
+#include "mc/metropolis.hpp"
+
+int main() {
+  using namespace wlsms;
+  bench::banner("ablation: WL vs Metropolis cost",
+                "one WL run gives all temperatures; Metropolis needs one "
+                "run per temperature");
+
+  wl::HeisenbergEnergy energy = bench::fe_surrogate(2);
+
+  // One converged Wang-Landau run.
+  const bench::ConvergedRun wl_run = bench::converge_fe_dos(2);
+
+  // Metropolis sweep over the same temperature set.
+  std::vector<double> temperatures;
+  for (double t = 300.0; t <= 2400.0; t += 100.0) temperatures.push_back(t);
+  mc::MetropolisConfig config;
+  config.thermalization_steps = 200000;
+  config.measurement_steps = 800000;
+  config.measure_interval = 16;
+  Rng rng(99);
+  const auto mc_results =
+      mc::metropolis_sweep(energy, temperatures, config, rng);
+  std::uint64_t mc_evals = 0;
+  for (const auto& r : mc_results) mc_evals += r.energy_evaluations;
+
+  // Accuracy comparison at a few probe temperatures.
+  io::TextTable table({"T [K]", "U (WL) [Ry]", "U (Metropolis) [Ry]", "|dU|"});
+  double worst = 0.0;
+  for (const auto& r : mc_results) {
+    if (static_cast<int>(r.temperature) % 300 != 0) continue;
+    const double u_wl =
+        thermo::observables_at(wl_run.table, r.temperature).internal_energy;
+    worst = std::max(worst, std::abs(u_wl - r.mean_energy));
+    table.row({io::format_double(r.temperature, 0), io::format_double(u_wl, 5),
+               io::format_double(r.mean_energy, 5),
+               io::format_double(std::abs(u_wl - r.mean_energy), 5)});
+  }
+  table.print();
+
+  io::TextTable cost({"method", "energy evaluations", "temperatures covered"});
+  cost.row({"Wang-Landau (one run)",
+            std::to_string(wl_run.stats.total_steps), "all (continuous)"});
+  cost.row({"Metropolis sweep", std::to_string(mc_evals),
+            std::to_string(temperatures.size()) + " points"});
+  std::printf("\n");
+  cost.print();
+
+  std::printf(
+      "\nmax |dU| across probes: %.5f Ry\n"
+      "cost ratio (Metropolis/WL) at matched accuracy and %zu temperatures: "
+      "%.1fx\n"
+      "Reading: the WL cost is paid once; every additional temperature (and\n"
+      "every re-weighted observable, eq. 12-16) is free, while Metropolis\n"
+      "scales linearly in the number of temperatures — and would have to be\n"
+      "repeated entirely for a finer grid. For ab initio energies (tens of\n"
+      "seconds each) this gap is the paper's core economics.\n",
+      worst, temperatures.size(),
+      static_cast<double>(mc_evals) /
+          static_cast<double>(wl_run.stats.total_steps));
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation: the classic halving schedule (paper §II-A: "the modification
+// factor is reduced such that ln f -> ln f / 2") vs the 1/t refinement of
+// Belardinelli & Pereyra. On the exactly solvable single Heisenberg bond the
+// true ln g is constant, so the interior spread of the estimate is a direct
+// error measurement at matched step budgets.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "io/table.hpp"
+#include "lattice/cluster.hpp"
+
+namespace {
+
+struct Outcome {
+  double error = 0.0;
+  double u_error = 0.0;
+  std::uint64_t steps = 0;
+};
+
+Outcome run_schedule(bool one_over_t, double gamma_final, std::uint64_t seed) {
+  using namespace wlsms;
+  const auto structure = lattice::make_cubic_cluster(
+      lattice::CubicLattice::kSimpleCubic, 1.0, 2, 1, 1);
+  const wl::HeisenbergEnergy energy(
+      heisenberg::HeisenbergModel(structure, {1.0}));
+
+  wl::WangLandauConfig config;
+  config.grid = {-1.02, 1.02, 102, 0.005};
+  config.n_walkers = 2;
+  config.check_interval = 2000;
+  config.flatness = 0.8;
+  config.max_iteration_steps = 400000;
+  config.max_steps = 60000000;
+
+  std::unique_ptr<wl::ModificationSchedule> schedule;
+  if (one_over_t)
+    schedule = std::make_unique<wl::OneOverTSchedule>(config.grid.bins, 1.0,
+                                                      gamma_final);
+  else
+    schedule = std::make_unique<wl::HalvingSchedule>(1.0, gamma_final);
+
+  wl::WangLandau sampler(energy, config, std::move(schedule), Rng(seed));
+  sampler.run();
+
+  const auto series = sampler.dos().visited_series();
+  double lo = 1e300;
+  double hi = -1e300;
+  for (std::size_t i = 3; i + 3 < series.size(); ++i) {
+    lo = std::min(lo, series[i].second);
+    hi = std::max(hi, series[i].second);
+  }
+  const thermo::DosTable dos = thermo::dos_table(sampler.dos());
+  const double t = 1.0 / wlsms::units::k_boltzmann_ry;  // beta J = 1
+  const double exact_u = -(1.0 / std::tanh(1.0) - 1.0);
+  return {hi - lo,
+          std::abs(thermo::observables_at(dos, t).internal_energy - exact_u),
+          sampler.stats().total_steps};
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlsms;
+  bench::banner("ablation: modification-factor schedule",
+                "classic ln f -> ln f/2 halving vs the 1/t refinement");
+
+  io::TextTable table({"schedule", "gamma floor", "steps [M]",
+                       "ln g spread (true 0)", "|dU| at beta J=1"});
+  for (double gamma_final : {1e-4, 1e-6}) {
+    for (bool one_over_t : {false, true}) {
+      // Average over three seeds to damp run-to-run noise.
+      double spread = 0.0;
+      double du = 0.0;
+      std::uint64_t steps = 0;
+      for (std::uint64_t seed : {11u, 12u, 13u}) {
+        const Outcome outcome = run_schedule(one_over_t, gamma_final, seed);
+        spread += outcome.error / 3.0;
+        du += outcome.u_error / 3.0;
+        steps += outcome.steps / 3;
+      }
+      table.row({one_over_t ? "1/t (Belardinelli-Pereyra)" : "halving (paper)",
+                 io::format_double(gamma_final, 6),
+                 io::format_double(static_cast<double>(steps) / 1e6, 1),
+                 io::format_double(spread, 3), io::format_double(du, 4)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading: the halving schedule (the paper's) saturates: tightening\n"
+      "the gamma floor stops improving the estimate. The 1/t refinement\n"
+      "keeps converging (error ~ t^-1/2) by spending more steps, which is\n"
+      "exactly Belardinelli-Pereyra's observation.\n");
+  return 0;
+}

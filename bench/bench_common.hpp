@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared setup for the reproduction harness: the calibrated iron surrogate
+/// and the standard Wang-Landau convergence runs behind Tables I and
+/// Figures 4-6 of the paper.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "heisenberg/heisenberg.hpp"
+#include "lattice/structure.hpp"
+#include "lsms/fe_parameters.hpp"
+#include "perf/timer.hpp"
+#include "thermo/observables.hpp"
+#include "wl/wanglandau.hpp"
+
+namespace wlsms::bench {
+
+/// The production surrogate for an n x n x n bcc Fe supercell: reference
+/// exchange constants (extracted from the multiple-scattering substrate at
+/// production fidelity) times the Curie-temperature calibration scale.
+inline wl::HeisenbergEnergy fe_surrogate(std::size_t n_cells) {
+  std::vector<double> j = lsms::fe_reference_exchange();
+  for (double& v : j) v *= lsms::fe_exchange_energy_scale;
+  return wl::HeisenbergEnergy(
+      heisenberg::HeisenbergModel(lattice::make_fe_supercell(n_cells), j));
+}
+
+/// Result of one production Wang-Landau convergence run.
+struct ConvergedRun {
+  std::size_t n_atoms = 0;
+  wl::WangLandauStats stats;
+  thermo::DosTable table;
+  double wall_seconds = 0.0;
+  std::size_t n_walkers = 0;
+};
+
+/// Converges ln g(E) for the n x n x n iron cell down to gamma_final, with
+/// the paper's walker counts scaled to this machine. Deterministic for a
+/// given seed.
+inline ConvergedRun converge_fe_dos(std::size_t n_cells,
+                                    double gamma_final = 1e-6,
+                                    std::uint64_t seed = 123) {
+  wl::HeisenbergEnergy energy = fe_surrogate(n_cells);
+
+  Rng window_rng(5);
+  wl::WangLandauConfig config;
+  config.grid = wl::thermal_window(
+      energy, energy.model().ferromagnetic_energy(), 150.0, window_rng);
+  config.n_walkers = 8;
+  config.check_interval = 5000;
+  config.flatness = 0.8;
+  config.max_iteration_steps = 2000000;
+  config.max_steps = 400000000;
+
+  perf::Timer timer;
+  wl::WangLandau sampler(energy, config,
+                         std::make_unique<wl::HalvingSchedule>(1.0, gamma_final),
+                         Rng(seed));
+  sampler.run();
+
+  ConvergedRun run;
+  run.n_atoms = energy.n_sites();
+  run.stats = sampler.stats();
+  run.table = thermo::dos_table(sampler.dos());
+  run.wall_seconds = timer.seconds();
+  run.n_walkers = config.n_walkers;
+  return run;
+}
+
+/// Prints the standard reproduction banner.
+inline void banner(const char* experiment, const char* paper_statement) {
+  std::printf("==============================================================\n");
+  std::printf("WL-LSMS reproduction: %s\n", experiment);
+  std::printf("Paper: %s\n", paper_statement);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace wlsms::bench

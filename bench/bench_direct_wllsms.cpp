@@ -1,0 +1,89 @@
+// The paper's §IV performance experiment, executed for real on this host:
+// Wang-Landau walkers driving *actual multiple-scattering energies* through
+// the asynchronous master-slave stack, 20 WL steps per walker (exactly the
+// paper's benchmark schedule: "each walker executes 20 WL steps, which is
+// far fewer than a real simulation").
+//
+// This is the direct WL-LSMS mode of DESIGN.md §2 — no Heisenberg
+// surrogate anywhere: every energy is a fresh per-atom LIZ factorization.
+// Flops are measured by the kernel instrumentation (the PAPI analogue) and
+// reported as this host's sustained rate, the per-core number that anchors
+// the Table II projection.
+#include "bench_common.hpp"
+
+#include "io/table.hpp"
+#include "lsms/solver.hpp"
+#include "parallel/async_service.hpp"
+#include "perf/flops.hpp"
+#include "wl/driver.hpp"
+
+int main() {
+  using namespace wlsms;
+  bench::banner("direct WL-LSMS (paper §IV schedule on this host)",
+                "walkers execute 20 WL steps of real multiple-scattering "
+                "energies through the asynchronous driver");
+
+  // 16-atom cell at reduced LIZ fidelity (15-atom zones, 8 contour points):
+  // the same code path as the paper's lmax=3 / 65-atom production runs,
+  // scaled to one core.
+  auto solver = std::make_shared<const lsms::LsmsSolver>(
+      lattice::make_fe_supercell(2), lsms::fe_lsms_parameters_fast());
+  const wl::LsmsEnergy energy(solver);
+  std::printf("system: %zu atoms, %zu-atom LIZ, %.3f GFlop per energy "
+              "evaluation (analytic)\n",
+              solver->n_atoms(), solver->liz_size(0),
+              static_cast<double>(solver->flops_per_energy()) / 1e9);
+
+  constexpr std::size_t kWalkers = 4;
+  constexpr std::uint64_t kStepsPerWalker = 20;
+
+  // Energy window from quick substrate probes (FM reference to above the
+  // random-configuration band).
+  Rng probe_rng(2);
+  const double e_fm =
+      solver->energy(spin::MomentConfiguration::ferromagnetic(16));
+  double e_rand_max = -1e300;
+  for (int k = 0; k < 8; ++k)
+    e_rand_max = std::max(
+        e_rand_max,
+        solver->energy(spin::MomentConfiguration::random(16, probe_rng)));
+
+  wl::WangLandauConfig config;
+  config.grid.e_min = e_fm - 0.002;
+  config.grid.e_max = e_rand_max + 0.01;
+  config.grid.bins = 64;
+  config.grid.kernel_width_fraction = 0.5 / 64.0;
+  config.n_walkers = kWalkers;
+  config.max_steps = kWalkers * kStepsPerWalker;
+
+  parallel::AsyncEnergyService instances(energy, 2);
+
+  perf::FlopWindow flops;
+  perf::Timer timer;
+  wl::WlDriver driver(16, instances, config,
+                      std::make_unique<wl::HalvingSchedule>(1.0, 1e-8),
+                      Rng(7));
+  const wl::DriverStats& stats = driver.run();
+  const double seconds = timer.seconds();
+  const double retired = static_cast<double>(flops.elapsed());
+
+  io::TextTable table({"quantity", "value"});
+  table.row({"WL walkers", std::to_string(kWalkers)});
+  table.row({"WL steps (energy calculations)",
+             std::to_string(stats.total_steps)});
+  table.row({"accepted", std::to_string(stats.accepted_steps)});
+  table.row({"wall time", io::format_double(seconds, 2) + " s"});
+  table.row({"retired flops (measured)",
+             io::format_double(retired / 1e9, 2) + " GFlop"});
+  table.row({"sustained", io::format_flops(retired / seconds)});
+  table.print();
+
+  std::printf(
+      "\nReading: this is the paper's benchmark loop running for real —\n"
+      "asynchronous energy requests, out-of-order returns, kernel-level\n"
+      "flop counting. The sustained per-core rate measured here is the\n"
+      "quantity the paper reports as 75.8%% of the Opteron peak; Table II's\n"
+      "petaflop number is this rate times 147,456 instance cores (see\n"
+      "bench_table2).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Fig. 4 of the paper: the unnormalized logarithmic Wang-Landau
+// density of states ln g(E) for periodic systems of 16 (upper panel) and 250
+// (lower panel) iron atoms. The series are printed (subsampled) and written
+// as CSV next to the binary for replotting.
+#include "bench_common.hpp"
+
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+void report_panel(const wlsms::bench::ConvergedRun& run, const char* csv_name) {
+  using namespace wlsms;
+  std::printf("\nln g(E), %zu sites (%zu visited bins, E in [%.4f, %.4f] Ry)\n",
+              run.n_atoms, run.table.energy.size(), run.table.energy.front(),
+              run.table.energy.back());
+
+  io::CsvWriter csv(csv_name, {"energy_ry", "ln_g"});
+  for (std::size_t i = 0; i < run.table.energy.size(); ++i)
+    csv.row({run.table.energy[i], run.table.ln_g[i]});
+  std::printf("full series written to %s\n", csv.path().c_str());
+
+  io::TextTable table({"E [Ry]", "ln g(E)"});
+  const std::size_t stride = std::max<std::size_t>(1, run.table.energy.size() / 16);
+  for (std::size_t i = 0; i < run.table.energy.size(); i += stride)
+    table.row({io::format_double(run.table.energy[i], 4),
+               io::format_double(run.table.ln_g[i], 2)});
+  table.print();
+
+  // Shape checks the paper's panels show: ln g rises from the (ordered)
+  // low-energy edge toward the high-entropy region.
+  std::size_t argmax = 0;
+  for (std::size_t i = 0; i < run.table.ln_g.size(); ++i)
+    if (run.table.ln_g[i] > run.table.ln_g[argmax]) argmax = i;
+  std::printf("maximum of ln g at E = %.4f Ry (bin %zu of %zu); "
+              "ln g span = %.1f\n",
+              run.table.energy[argmax], argmax, run.table.energy.size(),
+              run.table.ln_g[argmax]);
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlsms;
+  bench::banner("Figure 4",
+                "unnormalized ln g(E) for periodic 16- and 250-atom Fe "
+                "systems (upper/lower panel)");
+
+  const bench::ConvergedRun run16 = bench::converge_fe_dos(2);
+  report_panel(run16, "fig4_16_sites.csv");
+
+  const bench::ConvergedRun run250 = bench::converge_fe_dos(5);
+  report_panel(run250, "fig4_250_sites.csv");
+
+  std::printf(
+      "\nExpected correspondence with the paper: both panels are smooth,\n"
+      "monotonically rising from the ferromagnetic edge over the sampled\n"
+      "window, with the 250-site ln g span roughly N-fold larger than the\n"
+      "16-site one (extensive entropy).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Fig. 5 of the paper: the free energy F' = F + k_B T ln g0 for
+// a system of 250 iron atoms as a function of temperature. The plotted
+// quantity carries the unknown normalization g0 (paper eqs. 9-10), so only
+// its shape — monotone decreasing, increasingly steep — is physical.
+#include "bench_common.hpp"
+
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using namespace wlsms;
+  bench::banner("Figure 5",
+                "free energy F' (with unknown g0 offset) of 250 Fe atoms vs "
+                "temperature");
+
+  const bench::ConvergedRun run = bench::converge_fe_dos(5);
+  const auto sweep = thermo::temperature_sweep(run.table, 100.0, 3000.0, 59);
+
+  io::CsvWriter csv("fig5_free_energy_250.csv",
+                    {"temperature_k", "free_energy_ry", "entropy_ry_per_k"});
+  io::TextTable table({"T [K]", "F' [Ry]", "S' [Ry/K]"});
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    csv.row({sweep[i].temperature, sweep[i].free_energy, sweep[i].entropy});
+    if (i % 4 == 0)
+      table.row({io::format_double(sweep[i].temperature, 0),
+                 io::format_double(sweep[i].free_energy, 4),
+                 io::format_double(sweep[i].entropy * 1e6, 2) + "e-6"});
+  }
+  table.print();
+  std::printf("full series written to %s\n", csv.path().c_str());
+
+  // Shape checks matching the paper's figure.
+  bool monotone = true;
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    monotone = monotone && (sweep[i].free_energy < sweep[i - 1].free_energy);
+  std::printf("\nF'(T) monotone decreasing: %s (paper: yes)\n",
+              monotone ? "yes" : "NO");
+  const double slope_low =
+      (sweep[4].free_energy - sweep[0].free_energy) /
+      (sweep[4].temperature - sweep[0].temperature);
+  const double slope_high =
+      (sweep.back().free_energy - sweep[sweep.size() - 5].free_energy) /
+      (sweep.back().temperature - sweep[sweep.size() - 5].temperature);
+  std::printf("slope steepens from %.2e to %.2e Ry/K (entropy growth): %s\n",
+              slope_low, slope_high,
+              (slope_high < slope_low) ? "yes" : "NO");
+  return 0;
+}

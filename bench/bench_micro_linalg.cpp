@@ -1,0 +1,83 @@
+// Microbenchmarks of the dense complex kernels that dominate LSMS runtime
+// (paper §II-B: "the bulk of the calculation is done by ZGEMM in the
+// evaluation of the local sub-block of the inverse of the real space KKR
+// matrix"). Reports achieved GFlop/s per kernel and size, the per-core
+// efficiency number behind the Table II projection.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+#include "perf/flops.hpp"
+
+namespace {
+
+using namespace wlsms;
+
+linalg::ZMatrix random_matrix(std::size_t n, Rng& rng) {
+  linalg::ZMatrix m(n, n);
+  for (std::size_t c = 0; c < n; ++c)
+    for (std::size_t r = 0; r < n; ++r)
+      m(r, c) = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  for (std::size_t d = 0; d < n; ++d) m(d, d) += linalg::Complex{4.0, 0.0};
+  return m;
+}
+
+void BM_Zgemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const linalg::ZMatrix a = random_matrix(n, rng);
+  const linalg::ZMatrix b = random_matrix(n, rng);
+  linalg::ZMatrix c(n, n);
+  for (auto _ : state) {
+    linalg::zgemm({1.0, 0.0}, a, b, {0.0, 0.0}, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      static_cast<double>(perf::cost::zgemm(n, n, n)) * state.iterations() /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Zgemm)->Arg(30)->Arg(65)->Arg(130)->Arg(192);
+
+void BM_Zgetrf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const linalg::ZMatrix a = random_matrix(n, rng);
+  for (auto _ : state) {
+    linalg::LuFactorization lu(a);
+    benchmark::DoNotOptimize(lu.packed().data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      static_cast<double>(perf::cost::zgetrf(n)) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+// 130 = the 65-atom-LIZ s-channel matrix; 30 = the fast-test zone.
+BENCHMARK(BM_Zgetrf)->Arg(30)->Arg(65)->Arg(130)->Arg(192);
+
+void BM_CentralColumnsSolve(benchmark::State& state) {
+  // Factor once, then the two central-column solves of the tau block.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const linalg::LuFactorization lu(random_matrix(n, rng));
+  std::vector<linalg::Complex> col(n);
+  for (auto _ : state) {
+    std::fill(col.begin(), col.end(), linalg::Complex{0.0, 0.0});
+    col[0] = {1.0, 0.0};
+    lu.solve_in_place(col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_CentralColumnsSolve)->Arg(130);
+
+void BM_LogDet(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const linalg::ZMatrix a = random_matrix(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::log_det(a));
+  }
+}
+BENCHMARK(BM_LogDet)->Arg(65)->Arg(130);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Microbenchmarks of the multiple-scattering energy engine: cost of one
+// frozen-potential energy evaluation vs LIZ radius and contour resolution,
+// plus the incremental-move path that mirrors the paper's communication
+// locality.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "lattice/structure.hpp"
+#include "lsms/exchange.hpp"
+#include "lsms/fe_parameters.hpp"
+#include "lsms/solver.hpp"
+
+namespace {
+
+using namespace wlsms;
+
+void BM_LsmsEnergy_LizRadius(benchmark::State& state) {
+  const double radius = static_cast<double>(state.range(0)) / 10.0;
+  lsms::LsmsParameters params = lsms::fe_lsms_parameters_fast();
+  params.liz_radius = radius;
+  const lsms::LsmsSolver solver(lattice::make_fe_supercell(2), params);
+  Rng rng(1);
+  const auto config = spin::MomentConfiguration::random(16, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(solver.energy(config));
+  state.counters["zone_atoms"] = static_cast<double>(solver.liz_size(0));
+  state.counters["GFlop/eval"] =
+      static_cast<double>(solver.flops_per_energy()) / 1e9;
+}
+BENCHMARK(BM_LsmsEnergy_LizRadius)->Arg(50)->Arg(56)->Arg(77)->MinTime(0.2);
+
+void BM_LsmsEnergy_ContourPoints(benchmark::State& state) {
+  lsms::LsmsParameters params = lsms::fe_lsms_parameters_fast();
+  params.contour_points = static_cast<std::size_t>(state.range(0));
+  const lsms::LsmsSolver solver(lattice::make_fe_supercell(2), params);
+  Rng rng(2);
+  const auto config = spin::MomentConfiguration::random(16, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(solver.energy(config));
+}
+BENCHMARK(BM_LsmsEnergy_ContourPoints)->Arg(4)->Arg(8)->Arg(16)->MinTime(0.2);
+
+void BM_LsmsIncrementalMove(benchmark::State& state) {
+  const lsms::LsmsSolver solver(lattice::make_fe_supercell(2),
+                                lsms::fe_lsms_parameters_fast());
+  Rng rng(3);
+  const auto config = spin::MomentConfiguration::random(16, rng);
+  const lsms::LocalEnergies current = solver.energies(config);
+  spin::TrialMove move;
+  move.site = 3;
+  for (auto _ : state) {
+    move.new_direction = rng.unit_vector();
+    benchmark::DoNotOptimize(solver.energy_after_move(config, move, current));
+  }
+  state.counters["affected_atoms"] =
+      static_cast<double>(solver.affected_sites(3).size());
+}
+BENCHMARK(BM_LsmsIncrementalMove)->MinTime(0.2);
+
+void BM_ExchangeExtraction(benchmark::State& state) {
+  const lsms::LsmsSolver solver(lattice::make_fe_supercell(2),
+                                lsms::fe_lsms_parameters_fast());
+  for (auto _ : state) {
+    Rng rng(42);
+    benchmark::DoNotOptimize(lsms::extract_exchange(solver, 2, 16, rng));
+  }
+}
+BENCHMARK(BM_ExchangeExtraction)->Iterations(2);
+
+}  // namespace

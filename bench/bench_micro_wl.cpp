@@ -1,0 +1,97 @@
+// Microbenchmarks of the Wang-Landau hot path: surrogate energy updates,
+// DOS kernel visits, acceptance lookups, and full WL steps — the "master"
+// cost that bounds walker scalability (paper §II-C: the strategy scales
+// "as long as the time for the Wang-Landau process to process one result
+// ... is less than the time for one LSMS energy calculation").
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "heisenberg/heisenberg.hpp"
+#include "lattice/structure.hpp"
+#include "lsms/fe_parameters.hpp"
+#include "wl/wanglandau.hpp"
+
+namespace {
+
+using namespace wlsms;
+
+wl::HeisenbergEnergy surrogate(std::size_t n_cells) {
+  std::vector<double> j = lsms::fe_reference_exchange();
+  for (double& v : j) v *= lsms::fe_exchange_energy_scale;
+  return wl::HeisenbergEnergy(
+      heisenberg::HeisenbergModel(lattice::make_fe_supercell(n_cells), j));
+}
+
+void BM_SurrogateTotalEnergy(benchmark::State& state) {
+  const wl::HeisenbergEnergy energy =
+      surrogate(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  const auto config =
+      spin::MomentConfiguration::random(energy.n_sites(), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(energy.total_energy(config));
+  state.counters["atoms"] = static_cast<double>(energy.n_sites());
+}
+BENCHMARK(BM_SurrogateTotalEnergy)->Arg(2)->Arg(5)->Arg(8);
+
+void BM_SurrogateMoveDelta(benchmark::State& state) {
+  const wl::HeisenbergEnergy energy =
+      surrogate(static_cast<std::size_t>(state.range(0)));
+  Rng rng(2);
+  auto config = spin::MomentConfiguration::random(energy.n_sites(), rng);
+  const double e = energy.total_energy(config);
+  spin::UniformSphereMove mover;
+  for (auto _ : state) {
+    const spin::TrialMove move = mover.propose(config, rng);
+    benchmark::DoNotOptimize(energy.energy_after_move(config, move, e));
+  }
+}
+BENCHMARK(BM_SurrogateMoveDelta)->Arg(2)->Arg(5)->Arg(8);
+
+void BM_DosVisit(benchmark::State& state) {
+  wl::DosGridConfig grid{-1.0, 1.0, 201, 0.0025};
+  wl::DosGrid dos(grid);
+  Rng rng(3);
+  for (auto _ : state) {
+    dos.visit(rng.uniform(-1.0, 1.0), 0.01);
+  }
+}
+BENCHMARK(BM_DosVisit);
+
+void BM_DosLookup(benchmark::State& state) {
+  wl::DosGridConfig grid{-1.0, 1.0, 201, 0.0025};
+  wl::DosGrid dos(grid);
+  Rng rng(4);
+  for (int k = 0; k < 100000; ++k) dos.visit(rng.uniform(-1.0, 1.0), 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dos.ln_g(rng.uniform(-1.0, 1.0)));
+  }
+}
+BENCHMARK(BM_DosLookup);
+
+void BM_FlatnessCheck(benchmark::State& state) {
+  wl::DosGridConfig grid{-1.0, 1.0, 201, 0.0025};
+  wl::DosGrid dos(grid);
+  Rng rng(5);
+  for (int k = 0; k < 100000; ++k) dos.visit(rng.uniform(-1.0, 1.0), 0.01);
+  for (auto _ : state) benchmark::DoNotOptimize(dos.is_flat(0.8));
+}
+BENCHMARK(BM_FlatnessCheck);
+
+void BM_FullWlStep(benchmark::State& state) {
+  // One complete WL step (propose + delta + acceptance + kernel visit) per
+  // walker on the 250-atom surrogate: the per-result master work.
+  const wl::HeisenbergEnergy energy = surrogate(5);
+  Rng window_rng(5);
+  wl::WangLandauConfig config;
+  config.grid = wl::thermal_window(
+      energy, energy.model().ferromagnetic_energy(), 150.0, window_rng);
+  config.n_walkers = 1;
+  config.check_interval = 1u << 30;  // exclude flatness checks from timing
+  wl::WangLandau sampler(energy, config,
+                         std::make_unique<wl::HalvingSchedule>(1.0, 1e-12),
+                         Rng(6));
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.step());
+}
+BENCHMARK(BM_FullWlStep);
+
+}  // namespace

@@ -1,0 +1,118 @@
+// The paper's full pipeline, end to end and from scratch:
+//
+//   1. build the multiple-scattering (LSMS) substrate for bcc iron and
+//      verify its ferromagnetic ground state,
+//   2. extract the effective exchange interaction from frozen-potential
+//      energies (the substrate -> surrogate bridge of DESIGN.md §2),
+//   3. converge the Wang-Landau density of states for the 16-atom and
+//      250-atom cells on that surrogate,
+//   4. compute F, U, c (paper eqs. 13-16) and estimate the Curie
+//      temperature from the specific-heat peaks (paper Fig. 6).
+//
+// The extraction here runs at reduced LIZ fidelity so the whole program
+// finishes in seconds; pass --production-liz to use the paper's 11.5 a0 /
+// 65-atom zones (about a minute of dense complex linear algebra).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "io/table.hpp"
+#include "lsms/exchange.hpp"
+#include "lsms/fe_parameters.hpp"
+#include "lsms/solver.hpp"
+#include "thermo/observables.hpp"
+#include "wl/wanglandau.hpp"
+
+namespace {
+
+using namespace wlsms;
+
+thermo::CurieEstimate converge_and_report(std::size_t n_cells,
+                                          const std::vector<double>& j_shells) {
+  const lattice::Structure cell = lattice::make_fe_supercell(n_cells);
+  const wl::HeisenbergEnergy energy(
+      heisenberg::HeisenbergModel(cell, j_shells));
+
+  Rng window_rng(5);
+  wl::WangLandauConfig config;
+  config.grid = wl::thermal_window(
+      energy, energy.model().ferromagnetic_energy(), 150.0, window_rng);
+  config.n_walkers = 8;
+  config.check_interval = 5000;
+  config.max_iteration_steps = 2000000;
+
+  wl::WangLandau sampler(energy, config,
+                         std::make_unique<wl::HalvingSchedule>(1.0, 1e-6),
+                         Rng(123));
+  sampler.run();
+
+  const thermo::DosTable dos = thermo::dos_table(sampler.dos());
+  const thermo::CurieEstimate tc =
+      thermo::estimate_curie_temperature(dos, 250.0, 3000.0);
+  std::printf("  %zu atoms: %llu WL steps -> Tc = %.0f K\n", cell.size(),
+              static_cast<unsigned long long>(sampler.stats().total_steps),
+              tc.tc);
+  return tc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool production_liz =
+      argc > 1 && std::strcmp(argv[1], "--production-liz") == 0;
+
+  std::printf("== 1. LSMS substrate for bcc Fe ==\n");
+  const lattice::Structure cell16 = lattice::make_fe_supercell(2);
+  lsms::LsmsParameters params = production_liz
+                                    ? lsms::fe_lsms_parameters()
+                                    : lsms::fe_lsms_parameters_fast();
+  const lsms::LsmsSolver solver(cell16, params);
+  std::printf("  LIZ: %.1f a0 radius, %zu atoms per zone, %zu contour "
+              "points\n",
+              params.liz_radius, solver.liz_size(0), params.contour_points);
+
+  const double e_fm =
+      solver.energy(spin::MomentConfiguration::ferromagnetic(16));
+  Rng rng(1);
+  const double e_rand =
+      solver.energy(spin::MomentConfiguration::random(16, rng));
+  std::printf("  E(ferromagnet) = %.5f Ry < E(random) = %.5f Ry : %s\n", e_fm,
+              e_rand, e_fm < e_rand ? "FM ground state" : "NOT FM?!");
+
+  std::printf("\n== 2. Exchange extraction (frozen-potential energies) ==\n");
+  Rng extraction_rng(42);
+  const lsms::ExtractedExchange exchange = lsms::extract_exchange(
+      solver, lsms::fe_surrogate_shells, 24, extraction_rng);
+  std::vector<double> j_shells;
+  for (const lsms::ShellExchange& shell : exchange.shells) {
+    std::printf("  shell r = %.3f a0 (%zu bonds): J = %+.4f mRy\n",
+                shell.radius, shell.bonds, 1e3 * shell.j);
+    j_shells.push_back(shell.j * lsms::fe_exchange_energy_scale);
+  }
+  std::printf("  fit rms %.2e Ry; Curie calibration scale %.2f applied\n",
+              exchange.fit_rms, lsms::fe_exchange_energy_scale);
+  if (!production_liz) {
+    // The reduced-LIZ extraction underestimates J1; for the thermodynamics
+    // below use the production-fidelity reference constants instead
+    // (regenerate them with --production-liz).
+    j_shells = lsms::fe_reference_exchange();
+    for (double& v : j_shells) v *= lsms::fe_exchange_energy_scale;
+    std::printf("  (fast mode: thermodynamics below use the stored "
+                "production-fidelity reference J)\n");
+  }
+
+  std::printf("\n== 3./4. Wang-Landau DOS and Curie temperatures ==\n");
+  const thermo::CurieEstimate tc16 = converge_and_report(2, j_shells);
+  const thermo::CurieEstimate tc250 = converge_and_report(5, j_shells);
+
+  std::printf("\n== Summary (paper Fig. 6) ==\n");
+  wlsms::io::TextTable table({"system", "Tc (this run)", "Tc (paper)"});
+  table.row({"16 atoms", wlsms::io::format_double(tc16.tc, 0) + " K", "670 K"});
+  table.row(
+      {"250 atoms", wlsms::io::format_double(tc250.tc, 0) + " K", "980 K"});
+  table.row({"bulk Fe (experiment)", "-", "1050 K"});
+  table.print();
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "cluster/des.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace wlsms::cluster {
+
+namespace {
+
+/// A result message arriving at a master.
+struct Arrival {
+  double time = 0.0;
+  std::size_t walker = 0;
+  bool operator>(const Arrival& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+SimulationResult simulate_wl_lsms(const MachineDescription& machine,
+                                  const JobDescription& job) {
+  WLSMS_EXPECTS(job.n_walkers >= 1);
+  WLSMS_EXPECTS(job.steps_per_walker >= 1);
+  WLSMS_EXPECTS(job.n_masters >= 1);
+
+  const double base_eval_time =
+      job.energy_time_override_s > 0.0
+          ? job.energy_time_override_s
+          : lsms::seconds_per_energy(job.fidelity,
+                                     machine.sustained_flops_per_core());
+  const double flops_per_eval =
+      job.energy_time_override_s > 0.0
+          ? job.energy_time_override_s * machine.sustained_flops_per_core() *
+                static_cast<double>(job.n_atoms)
+          : static_cast<double>(
+                lsms::flops_per_energy(job.fidelity, job.n_atoms));
+
+  Rng rng(job.seed);
+  const auto eval_time = [&]() {
+    if (job.compute_jitter <= 0.0) return base_eval_time;
+    const double factor = 1.0 + job.compute_jitter * rng.normal();
+    return base_eval_time * std::max(0.1, factor);
+  };
+
+  // Per-walker remaining evaluations and per-master busy horizon.
+  std::vector<std::size_t> remaining(job.n_walkers, job.steps_per_walker);
+  std::vector<double> master_free(job.n_masters, 0.0);
+  std::vector<double> master_busy(job.n_masters, 0.0);
+
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>>
+      arrivals;
+  for (std::size_t w = 0; w < job.n_walkers; ++w) {
+    // Initial configurations are evaluated first (the seeding round).
+    arrivals.push({machine.setup_time_s + eval_time() +
+                       machine.message_latency_s,
+                   w});
+    --remaining[w];
+  }
+
+  double last_processed = machine.setup_time_s;
+  std::uint64_t processed = 0;
+  while (!arrivals.empty()) {
+    const Arrival arrival = arrivals.top();
+    arrivals.pop();
+    const std::size_t m = arrival.walker % job.n_masters;
+    const double start = std::max(master_free[m], arrival.time);
+    const double done = start + machine.master_service_time_s;
+    master_free[m] = done;
+    master_busy[m] += machine.master_service_time_s;
+    last_processed = std::max(last_processed, done);
+    ++processed;
+
+    if (remaining[arrival.walker] > 0) {
+      --remaining[arrival.walker];
+      // Trial configuration travels to the instance, is evaluated, and the
+      // energy travels back.
+      arrivals.push({done + 2.0 * machine.message_latency_s + eval_time(),
+                     arrival.walker});
+    }
+  }
+
+  SimulationResult result;
+  result.n_walkers = job.n_walkers;
+  result.cores = job.n_walkers * job.n_atoms + machine.cores_per_node;
+  result.makespan_s = last_processed;
+  result.results_processed = processed;
+  result.total_flops =
+      flops_per_eval * static_cast<double>(processed);
+  result.sustained_flops = result.total_flops / result.makespan_s;
+  result.fraction_of_peak =
+      result.sustained_flops /
+      (static_cast<double>(result.cores) * machine.peak_flops_per_core);
+  result.core_hours =
+      result.makespan_s * static_cast<double>(result.cores) / 3600.0;
+  double busiest = 0.0;
+  for (double b : master_busy) busiest = std::max(busiest, b);
+  result.master_busy_fraction = busiest / result.makespan_s;
+  return result;
+}
+
+std::vector<SimulationResult> weak_scaling(
+    const MachineDescription& machine, JobDescription base,
+    const std::vector<std::size_t>& walker_counts) {
+  std::vector<SimulationResult> results;
+  results.reserve(walker_counts.size());
+  for (std::size_t walkers : walker_counts) {
+    base.n_walkers = walkers;
+    results.push_back(simulate_wl_lsms(machine, base));
+  }
+  return results;
+}
+
+std::vector<SimulationResult> strong_scaling(
+    const MachineDescription& machine, JobDescription base,
+    std::size_t total_steps, const std::vector<std::size_t>& walker_counts) {
+  WLSMS_EXPECTS(total_steps >= 1);
+  std::vector<SimulationResult> results;
+  results.reserve(walker_counts.size());
+  for (std::size_t walkers : walker_counts) {
+    base.n_walkers = walkers;
+    base.steps_per_walker = std::max<std::size_t>(1, total_steps / walkers);
+    results.push_back(simulate_wl_lsms(machine, base));
+  }
+  return results;
+}
+
+}  // namespace wlsms::cluster

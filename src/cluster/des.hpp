@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file des.hpp
+/// Discrete-event simulation of the two-level WL-LSMS parallelization
+/// (paper Fig. 3): M walkers, each bound to an LSMS instance of N cores
+/// (one atom per core), feeding one or more Wang-Landau master processes.
+///
+/// The instance compute time per energy evaluation comes from the analytic
+/// KKR cost model (lsms/cost_model.hpp) and the machine's sustained per-core
+/// rate; the master serializes result processing with a fixed service time;
+/// messages pay a one-way latency. The simulator reproduces the paper's
+/// §IV experiments — weak scaling (Fig. 7), sustained performance
+/// (Table II), the production core-hour budgets (Table I) — and the §V
+/// outlook ablation: the single-master Amdahl wall for fast energy
+/// functions and its removal by multiple masters.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cluster/machine.hpp"
+#include "lsms/cost_model.hpp"
+
+namespace wlsms::cluster {
+
+/// One simulated WL-LSMS job.
+struct JobDescription {
+  std::size_t n_atoms = 1024;        ///< atoms per walker = cores per instance
+  std::size_t n_walkers = 10;        ///< concurrent LSMS instances
+  std::size_t steps_per_walker = 20; ///< energy calculations per walker
+  std::size_t n_masters = 1;         ///< Wang-Landau driver processes
+  lsms::LsmsFidelity fidelity;       ///< production KKR fidelity
+  /// Relative standard deviation of per-evaluation compute time (OS and
+  /// network noise); 0 disables jitter.
+  double compute_jitter = 0.005;
+  std::uint64_t seed = 1;            ///< jitter stream seed
+  /// Override for the per-evaluation compute time [s]; <= 0 uses the
+  /// analytic cost model. Used by the multi-master ablation to emulate
+  /// "cases where the energy evaluation [is] very fast" (§V).
+  double energy_time_override_s = 0.0;
+};
+
+/// Aggregate result of one simulated job.
+struct SimulationResult {
+  std::size_t n_walkers = 0;
+  std::size_t cores = 0;            ///< instance cores + one master node
+  double makespan_s = 0.0;          ///< job start to last result processed
+  double total_flops = 0.0;         ///< retired by all instances
+  double sustained_flops = 0.0;     ///< total_flops / makespan
+  double fraction_of_peak = 0.0;    ///< sustained / (cores * peak-per-core)
+  double core_hours = 0.0;          ///< makespan * cores / 3600
+  double master_busy_fraction = 0.0;///< busiest master's utilization
+  std::uint64_t results_processed = 0;
+};
+
+/// Runs the discrete-event simulation of `job` on `machine`.
+SimulationResult simulate_wl_lsms(const MachineDescription& machine,
+                                  const JobDescription& job);
+
+/// Weak scaling (paper Fig. 7): fixed steps per walker, growing walker
+/// count; returns one SimulationResult per entry of `walker_counts`.
+std::vector<SimulationResult> weak_scaling(const MachineDescription& machine,
+                                           JobDescription base,
+                                           const std::vector<std::size_t>&
+                                               walker_counts);
+
+/// Strong scaling (§IV text): fixed *total* number of samples distributed
+/// over a growing walker count.
+std::vector<SimulationResult> strong_scaling(const MachineDescription& machine,
+                                             JobDescription base,
+                                             std::size_t total_steps,
+                                             const std::vector<std::size_t>&
+                                                 walker_counts);
+
+}  // namespace wlsms::cluster

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file error.hpp
+/// Contract-checking helpers (C++ Core Guidelines I.6 "Expects" / I.8
+/// "Ensures"). Violations throw wlsms::ContractError so tests can assert on
+/// misuse; hot loops use plain asserts via WLSMS_ASSUME in release builds.
+
+#include <stdexcept>
+#include <string>
+
+namespace wlsms {
+
+/// Thrown when a WLSMS_EXPECTS/WLSMS_ENSURES contract is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractError(std::string(kind) + " failed: " + expr + " at " + file +
+                      ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace wlsms
+
+/// Precondition check; throws wlsms::ContractError on violation.
+#define WLSMS_EXPECTS(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::wlsms::detail::contract_fail("precondition", #cond, __FILE__,    \
+                                     __LINE__);                          \
+  } while (0)
+
+/// Postcondition check; throws wlsms::ContractError on violation.
+#define WLSMS_ENSURES(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::wlsms::detail::contract_fail("postcondition", #cond, __FILE__,   \
+                                     __LINE__);                          \
+  } while (0)

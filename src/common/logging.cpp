@@ -1,0 +1,44 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace wlsms {
+
+namespace {
+std::atomic<LogLevel>& level_slot() {
+  static std::atomic<LogLevel> level{LogLevel::kWarn};
+  return level;
+}
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    default:
+      return "off";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { level_slot().store(level); }
+
+LogLevel log_level() { return level_slot().load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  const std::scoped_lock lock(emit_mutex());
+  std::fprintf(stderr, "[wlsms:%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace wlsms

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file logging.hpp
+/// Tiny leveled logger for the library. Benchmarks and examples run with
+/// info-level progress lines; tests silence it. No global construction order
+/// issues: state lives in function-local statics.
+
+#include <sstream>
+#include <string>
+
+namespace wlsms {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+
+/// Current global level.
+LogLevel log_level();
+
+/// Emits `message` to stderr if `level` passes the global threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace wlsms

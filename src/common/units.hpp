@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file units.hpp
+/// Physical constants and unit conventions used throughout WL-LSMS.
+///
+/// Conventions (see DESIGN.md §7):
+///  - energies in Rydberg [Ry]
+///  - temperatures in Kelvin [K]
+///  - lengths in Bohr radii [a0]
+/// These match the units the paper reports (Fig. 4-6 use Ry and K; the
+/// lattice parameter 5.42 a0 and LIZ radius 11.5 a0 are in Bohr radii).
+
+namespace wlsms::units {
+
+/// Boltzmann constant in Ry/K.
+inline constexpr double k_boltzmann_ry = 6.333628e-6;
+
+/// One Rydberg in electron volts.
+inline constexpr double ry_in_ev = 13.605693;
+
+/// Experimental bcc-Fe lattice parameter used by the paper [a0].
+inline constexpr double fe_lattice_parameter_a0 = 5.42;
+
+/// LIZ radius used by the paper [a0]; encloses 65 atoms on bcc Fe.
+inline constexpr double fe_liz_radius_a0 = 11.5;
+
+/// Experimental Curie temperature of bulk iron [K] quoted by the paper.
+inline constexpr double fe_curie_experiment_k = 1050.0;
+
+/// Convert a temperature in Kelvin to an inverse temperature beta in 1/Ry.
+constexpr double beta_from_kelvin(double temperature_k) {
+  return 1.0 / (k_boltzmann_ry * temperature_k);
+}
+
+}  // namespace wlsms::units

@@ -1,0 +1,98 @@
+#include "dynamics/llg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace wlsms::dynamics {
+
+SpinDynamics::SpinDynamics(const heisenberg::HeisenbergModel& model,
+                           spin::MomentConfiguration initial,
+                           LlgParameters params)
+    : model_(model), config_(std::move(initial)), params_(params),
+      rng_(params.seed) {
+  WLSMS_EXPECTS(config_.size() == model.n_sites());
+  WLSMS_EXPECTS(params.damping >= 0.0);
+  WLSMS_EXPECTS(params.timestep > 0.0);
+  WLSMS_EXPECTS(params.temperature_k >= 0.0);
+  if (params.temperature_k > 0.0) {
+    WLSMS_EXPECTS(params.damping > 0.0);  // bath couples through damping
+    // Fluctuation-dissipation (Brown 1963 for this Landau-Lifshitz form,
+    // gamma = mu = 1): per-component variance of the thermal field is
+    // 2 a k_B T / dt. Validated against Metropolis sampling across damping
+    // values in tests/test_dynamics.cpp.
+    noise_amplitude_ = std::sqrt(2.0 * params.damping *
+                                 units::k_boltzmann_ry *
+                                 params.temperature_k / params.timestep);
+  }
+  const std::size_t n = config_.size();
+  fields_.resize(n);
+  noise_.resize(n);
+  predictor_.resize(n);
+  slopes_.resize(n);
+}
+
+Vec3 SpinDynamics::effective_field_of(
+    std::size_t i, const spin::MomentConfiguration& config) const {
+  return model_.effective_field(i, config);
+}
+
+Vec3 SpinDynamics::effective_field(std::size_t i) const {
+  WLSMS_EXPECTS(i < config_.size());
+  return effective_field_of(i, config_);
+}
+
+Vec3 SpinDynamics::llg_rhs(std::size_t i,
+                           const spin::MomentConfiguration& config,
+                           const Vec3& field) const {
+  const Vec3& m = config[i];
+  const Vec3 precession = m.cross(field);
+  const Vec3 damping_torque = m.cross(precession);
+  const double a = params_.damping;
+  return (precession + a * damping_torque) * (-1.0 / (1.0 + a * a));
+}
+
+void SpinDynamics::step() {
+  const std::size_t n = config_.size();
+  const double dt = params_.timestep;
+
+  // One thermal-field realization per step, shared by predictor and
+  // corrector (the Heun scheme for Stratonovich SDEs).
+  for (std::size_t i = 0; i < n; ++i) {
+    noise_[i] = noise_amplitude_ > 0.0
+                    ? Vec3{noise_amplitude_ * rng_.normal(),
+                           noise_amplitude_ * rng_.normal(),
+                           noise_amplitude_ * rng_.normal()}
+                    : Vec3{};
+  }
+
+  // Predictor: Euler step with the current fields.
+  for (std::size_t i = 0; i < n; ++i)
+    fields_[i] = effective_field_of(i, config_) + noise_[i];
+  for (std::size_t i = 0; i < n; ++i)
+    slopes_[i] = llg_rhs(i, config_, fields_[i]);
+
+  spin::MomentConfiguration trial = config_;
+  for (std::size_t i = 0; i < n; ++i) {
+    predictor_[i] = config_[i] + dt * slopes_[i];
+    trial.set(i, predictor_[i]);
+  }
+
+  // Corrector: average the slopes at the start and predicted points.
+  for (std::size_t i = 0; i < n; ++i)
+    fields_[i] = effective_field_of(i, trial) + noise_[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 slope_end = llg_rhs(i, trial, fields_[i]);
+    const Vec3 updated =
+        config_[i] + (0.5 * dt) * (slopes_[i] + slope_end);
+    config_.set(i, updated);  // set() renormalizes to unit length
+  }
+  time_ += dt;
+}
+
+void SpinDynamics::run(std::uint64_t n) {
+  for (std::uint64_t k = 0; k < n; ++k) step();
+}
+
+}  // namespace wlsms::dynamics

@@ -1,0 +1,140 @@
+#include "heisenberg/heisenberg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "lattice/shells.hpp"
+
+namespace wlsms::heisenberg {
+
+HeisenbergModel::HeisenbergModel(const lattice::Structure& structure,
+                                 std::vector<double> j_shells)
+    : n_sites_(structure.size()) {
+  WLSMS_EXPECTS(!j_shells.empty());
+
+  // Determine shell radii from site 0 (the paper's crystals are monoatomic,
+  // all sites equivalent); grow the probe cutoff until enough shells exist.
+  double cutoff = 2.0;
+  std::vector<lattice::Shell> shells;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    shells = lattice::neighbor_shells(structure, 0, cutoff);
+    if (shells.size() >= j_shells.size()) break;
+    cutoff *= 1.5;
+  }
+  WLSMS_ENSURES(shells.size() >= j_shells.size());
+  const double max_radius = shells[j_shells.size() - 1].radius + 1e-6;
+
+  for (std::size_t i = 0; i < n_sites_; ++i) {
+    for (const lattice::Neighbor& n :
+         structure.neighbors_within(i, max_radius)) {
+      if (n.site <= i) continue;  // each unordered bond once; drop self-image
+      for (std::size_t s = 0; s < j_shells.size(); ++s) {
+        if (std::abs(n.distance - shells[s].radius) < 1e-6) {
+          if (j_shells[s] != 0.0) bonds_.push_back({i, n.site, j_shells[s]});
+          break;
+        }
+      }
+    }
+  }
+
+  adjacency_.assign(n_sites_, {});
+  for (const Bond& b : bonds_) {
+    adjacency_[b.site_a].push_back({b.site_b, b.j});
+    adjacency_[b.site_b].push_back({b.site_a, b.j});
+  }
+  anisotropy_.assign(n_sites_, {});
+}
+
+void HeisenbergModel::set_uniform_anisotropy(double k, const Vec3& axis) {
+  WLSMS_EXPECTS(axis.norm2() > 0.0);
+  const Vec3 unit = axis.normalized();
+  for (SiteAnisotropy& a : anisotropy_) a = {k, unit};
+}
+
+void HeisenbergModel::set_site_anisotropy(
+    const std::vector<std::size_t>& sites, double k, const Vec3& axis) {
+  WLSMS_EXPECTS(axis.norm2() > 0.0);
+  const Vec3 unit = axis.normalized();
+  for (std::size_t i : sites) {
+    WLSMS_EXPECTS(i < n_sites_);
+    anisotropy_[i] = {k, unit};
+  }
+}
+
+double HeisenbergModel::energy(const spin::MomentConfiguration& moments) const {
+  WLSMS_EXPECTS(moments.size() == n_sites_);
+  double e = 0.0;
+  for (const Bond& b : bonds_)
+    e -= b.j * moments[b.site_a].dot(moments[b.site_b]);
+  for (std::size_t i = 0; i < n_sites_; ++i) {
+    const SiteAnisotropy& a = anisotropy_[i];
+    if (a.k != 0.0) {
+      const double proj = moments[i].dot(a.axis);
+      e -= a.k * proj * proj;
+    }
+  }
+  return e;
+}
+
+double HeisenbergModel::energy_delta(const spin::MomentConfiguration& moments,
+                                     const spin::TrialMove& move) const {
+  WLSMS_EXPECTS(moments.size() == n_sites_);
+  WLSMS_EXPECTS(move.site < n_sites_);
+  const Vec3 old_dir = moments[move.site];
+  const Vec3 new_dir = move.new_direction.normalized();
+  const Vec3 diff = new_dir - old_dir;
+
+  double delta = 0.0;
+  for (const HalfBond& hb : adjacency_[move.site])
+    delta -= hb.j * diff.dot(moments[hb.other]);
+  const SiteAnisotropy& a = anisotropy_[move.site];
+  if (a.k != 0.0) {
+    const double new_proj = new_dir.dot(a.axis);
+    const double old_proj = old_dir.dot(a.axis);
+    delta -= a.k * (new_proj * new_proj - old_proj * old_proj);
+  }
+  return delta;
+}
+
+double HeisenbergModel::anisotropy_constant(std::size_t i) const {
+  WLSMS_EXPECTS(i < n_sites_);
+  return anisotropy_[i].k;
+}
+
+const Vec3& HeisenbergModel::anisotropy_axis(std::size_t i) const {
+  WLSMS_EXPECTS(i < n_sites_);
+  return anisotropy_[i].axis;
+}
+
+Vec3 HeisenbergModel::effective_field(
+    std::size_t i, const spin::MomentConfiguration& moments) const {
+  WLSMS_EXPECTS(i < n_sites_);
+  WLSMS_EXPECTS(moments.size() == n_sites_);
+  Vec3 field;
+  for (const HalfBond& hb : adjacency_[i]) field += hb.j * moments[hb.other];
+  const SiteAnisotropy& a = anisotropy_[i];
+  if (a.k != 0.0) field += (2.0 * a.k * moments[i].dot(a.axis)) * a.axis;
+  return field;
+}
+
+double HeisenbergModel::ferromagnetic_energy() const {
+  double e = 0.0;
+  for (const Bond& b : bonds_) e -= b.j;
+  for (const SiteAnisotropy& a : anisotropy_) e -= a.k;
+  return e;
+}
+
+double HeisenbergModel::staggered_energy(
+    const std::vector<bool>& sublattice) const {
+  WLSMS_EXPECTS(sublattice.size() == n_sites_);
+  double e = 0.0;
+  for (const Bond& b : bonds_) {
+    const double sa = sublattice[b.site_a] ? -1.0 : 1.0;
+    const double sb = sublattice[b.site_b] ? -1.0 : 1.0;
+    e -= b.j * sa * sb;
+  }
+  for (const SiteAnisotropy& a : anisotropy_) e -= a.k;
+  return e;
+}
+
+}  // namespace wlsms::heisenberg

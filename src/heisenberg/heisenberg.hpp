@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file heisenberg.hpp
+/// Classical Heisenberg Hamiltonian on neighbour shells, with optional
+/// uniaxial anisotropy:
+///
+///   H({e}) = -Sum_s J_s Sum_{bonds (i,j) in shell s} e_i . e_j
+///            - Sum_i K_i (e_i . k_hat)^2 .
+///
+/// Two roles in this reproduction (DESIGN.md §2):
+///  1. the *surrogate* Hamiltonian carrying the LSMS-extracted couplings
+///     J_s, on which the production Wang-Landau runs converge g(E);
+///  2. the *empirical models* the paper contrasts with (FePt nanoparticle
+///     switching with anisotropy, ref [14]) in examples and benches.
+///
+/// Total energies are O(bonds); single-moment updates are O(coordination)
+/// via the cached per-site bond lists.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "lattice/structure.hpp"
+#include "spin/moments.hpp"
+#include "spin/moves.hpp"
+
+namespace wlsms::heisenberg {
+
+/// A single exchange bond with its coupling [Ry].
+struct Bond {
+  std::size_t site_a = 0;
+  std::size_t site_b = 0;
+  double j = 0.0;
+};
+
+/// Classical Heisenberg model over an explicit bond list.
+class HeisenbergModel {
+ public:
+  /// Builds the model for `structure` with per-shell couplings `j_shells`
+  /// [Ry] (shell 1 = nearest neighbours, ...). Shells are detected from the
+  /// structure's own geometry. Self-image bonds (periodic image of the same
+  /// site) contribute a constant and are dropped.
+  HeisenbergModel(const lattice::Structure& structure,
+                  std::vector<double> j_shells);
+
+  /// Adds uniaxial anisotropy -K (e_i . axis)^2 on every site [Ry].
+  void set_uniform_anisotropy(double k, const Vec3& axis);
+
+  /// Adds anisotropy on selected sites only (e.g. the surface shell of a
+  /// nanoparticle).
+  void set_site_anisotropy(const std::vector<std::size_t>& sites, double k,
+                           const Vec3& axis);
+
+  std::size_t n_sites() const { return n_sites_; }
+  const std::vector<Bond>& bonds() const { return bonds_; }
+
+  /// Anisotropy constant K_i of site i [Ry] (0 when unset).
+  double anisotropy_constant(std::size_t i) const;
+  /// Easy axis of site i (unit vector; +z when unset).
+  const Vec3& anisotropy_axis(std::size_t i) const;
+
+  /// Effective field -dE/de_i at site i [Ry per unit moment]:
+  /// sum_j J_ij e_j + 2 K_i (e_i . n_i) n_i. This is the torque source of
+  /// spin-dynamics integrators (dynamics/llg.hpp).
+  Vec3 effective_field(std::size_t i,
+                       const spin::MomentConfiguration& moments) const;
+
+  /// Total energy [Ry].
+  double energy(const spin::MomentConfiguration& moments) const;
+
+  /// Energy change if `move` were applied to `moments` (O(coordination)).
+  double energy_delta(const spin::MomentConfiguration& moments,
+                      const spin::TrialMove& move) const;
+
+  /// Ground-state (ferromagnetic) energy when all J_s >= 0 and no
+  /// anisotropy: -Sum_bonds J. With anisotropy along `axis`, moments align
+  /// with the axis and the anisotropy adds -Sum_i K_i.
+  double ferromagnetic_energy() const;
+
+  /// Energy of the +/-z staggered configuration given a sublattice parity
+  /// (used to bracket the energy range, paper §II-A: delta = 2% of the
+  /// FM-AFM difference).
+  double staggered_energy(const std::vector<bool>& sublattice) const;
+
+ private:
+  struct SiteAnisotropy {
+    double k = 0.0;
+    Vec3 axis{0.0, 0.0, 1.0};
+  };
+  struct HalfBond {
+    std::size_t other;
+    double j;
+  };
+
+  std::size_t n_sites_ = 0;
+  std::vector<Bond> bonds_;
+  std::vector<std::vector<HalfBond>> adjacency_;
+  std::vector<SiteAnisotropy> anisotropy_;
+};
+
+}  // namespace wlsms::heisenberg

@@ -1,0 +1,33 @@
+#include "io/csv.hpp"
+
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace wlsms::io {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : path_(path), out_(path), columns_(columns.size()) {
+  WLSMS_EXPECTS(!columns.empty());
+  if (!out_.good())
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  out_.precision(12);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  WLSMS_EXPECTS(values.size() == columns_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  if (!out_.good()) throw std::runtime_error("CsvWriter: write failed " + path_);
+}
+
+}  // namespace wlsms::io

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV emission for benchmark series (the data behind each figure
+/// is written next to the printed table so it can be re-plotted).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace wlsms::io {
+
+/// Streams rows of doubles with a header line to a file.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header. Throws std::runtime_error
+  /// on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Writes one row; must match the header width.
+  void row(const std::vector<double>& values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace wlsms::io

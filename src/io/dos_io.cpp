@@ -1,0 +1,70 @@
+#include "io/dos_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wlsms::io {
+
+namespace {
+constexpr const char* kHeader = "energy_ry,ln_g";
+}
+
+void write_dos(std::ostream& out, const thermo::DosTable& table) {
+  WLSMS_EXPECTS(table.energy.size() == table.ln_g.size());
+  out.precision(17);
+  out << kHeader << '\n';
+  for (std::size_t i = 0; i < table.energy.size(); ++i)
+    out << table.energy[i] << ',' << table.ln_g[i] << '\n';
+}
+
+thermo::DosTable read_dos(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader)
+    throw DosIoError("bad or missing header: expected '" +
+                     std::string(kHeader) + "'");
+
+  thermo::DosTable table;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos)
+      throw DosIoError("line " + std::to_string(line_number) + ": no comma");
+    try {
+      std::size_t used = 0;
+      const double e = std::stod(line.substr(0, comma), &used);
+      const double g = std::stod(line.substr(comma + 1), &used);
+      if (!table.energy.empty() && e <= table.energy.back())
+        throw DosIoError("line " + std::to_string(line_number) +
+                         ": energies must be strictly increasing");
+      table.energy.push_back(e);
+      table.ln_g.push_back(g);
+    } catch (const std::invalid_argument&) {
+      throw DosIoError("line " + std::to_string(line_number) +
+                       ": non-numeric field");
+    } catch (const std::out_of_range&) {
+      throw DosIoError("line " + std::to_string(line_number) +
+                       ": value out of range");
+    }
+  }
+  if (table.energy.empty()) throw DosIoError("no data rows");
+  return table;
+}
+
+void save_dos(const std::string& path, const thermo::DosTable& table) {
+  std::ofstream out(path);
+  if (!out.good()) throw DosIoError("cannot open for write: " + path);
+  write_dos(out, table);
+  if (!out.good()) throw DosIoError("write failed: " + path);
+}
+
+thermo::DosTable load_dos(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw DosIoError("cannot open for read: " + path);
+  return read_dos(in);
+}
+
+}  // namespace wlsms::io

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file dos_io.hpp
+/// Persistence for densities of states: the converged ln g(E) of a
+/// production run is the expensive artifact (paper Table I: millions of
+/// core-hours), while every thermodynamic quantity derived from it is
+/// essentially free (eqs. 12-16). Saving the table lets the analysis be
+/// redone — new temperature grids, new observables — without resampling.
+/// Format: the same two-column CSV the bench harness emits, so saved and
+/// benchmark outputs are interchangeable.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "thermo/observables.hpp"
+
+namespace wlsms::io {
+
+/// Thrown on malformed or unreadable DOS files.
+class DosIoError : public std::runtime_error {
+ public:
+  explicit DosIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Writes `table` as CSV with an `energy_ry,ln_g` header.
+void write_dos(std::ostream& out, const thermo::DosTable& table);
+
+/// Parses a DOS CSV; throws DosIoError on malformed input (bad header,
+/// non-numeric fields, unsorted energies).
+thermo::DosTable read_dos(std::istream& in);
+
+/// File-based convenience wrappers.
+void save_dos(const std::string& path, const thermo::DosTable& table);
+thermo::DosTable load_dos(const std::string& path);
+
+}  // namespace wlsms::io

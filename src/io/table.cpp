@@ -1,0 +1,73 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace wlsms::io {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  WLSMS_EXPECTS(!headers_.empty());
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  WLSMS_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out += "  ";
+      out.append(widths[c] - cells[c].size(), ' ');
+      out += cells[c];
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void TextTable::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string format_flops(double flops_per_second) {
+  char buffer[64];
+  if (flops_per_second >= 1e15) {
+    std::snprintf(buffer, sizeof buffer, "%.3f PFlop/s",
+                  flops_per_second / 1e15);
+  } else if (flops_per_second >= 1e12) {
+    std::snprintf(buffer, sizeof buffer, "%.1f TFlop/s",
+                  flops_per_second / 1e12);
+  } else if (flops_per_second >= 1e9) {
+    std::snprintf(buffer, sizeof buffer, "%.2f GFlop/s",
+                  flops_per_second / 1e9);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.2f MFlop/s",
+                  flops_per_second / 1e6);
+  }
+  return buffer;
+}
+
+}  // namespace wlsms::io

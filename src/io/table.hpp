@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned plain-text tables for the benchmark harness output (the rows of
+/// the paper's Tables I/II and the series behind its figures are printed in
+/// this format).
+
+#include <string>
+#include <vector>
+
+namespace wlsms::io {
+
+/// Builds an aligned text table column by column.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row of preformatted cells; must match the header width.
+  void row(std::vector<std::string> cells);
+
+  /// Renders with right-aligned columns separated by two spaces, including
+  /// a header underline.
+  std::string render() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper for table cells.
+std::string format_double(double value, int precision = 3);
+
+/// Engineering-style formatting: 1.03e+15 -> "1.03 PFlop/s"-like strings
+/// for flop rates.
+std::string format_flops(double flops_per_second);
+
+}  // namespace wlsms::io

@@ -1,0 +1,55 @@
+#include "lattice/cluster.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wlsms::lattice {
+
+Structure make_spherical_cluster(CubicLattice lattice, double a, double radius,
+                                 bool center_on_atom) {
+  WLSMS_EXPECTS(radius > 0.0);
+  // Generate a supercell comfortably larger than the sphere, then cut.
+  const std::size_t n =
+      static_cast<std::size_t>(std::ceil(2.0 * radius / a)) + 2;
+  const Structure super = make_supercell(lattice, a, n, n, n);
+
+  const double half = 0.5 * static_cast<double>(n) * a;
+  Vec3 center{half, half, half};
+  if (center_on_atom) {
+    // Snap to the nearest lattice site so the sphere is atom-centred.
+    double best = 1e300;
+    for (const Vec3& p : super.positions()) {
+      const double d2 = (p - Vec3{half, half, half}).norm2();
+      if (d2 < best) {
+        best = d2;
+        center = p;
+      }
+    }
+  }
+
+  std::vector<Vec3> kept;
+  for (const Vec3& p : super.positions())
+    if ((p - center).norm() <= radius) kept.push_back(p - center);
+  WLSMS_ENSURES(!kept.empty());
+  return Structure::finite(std::move(kept));
+}
+
+Structure make_cubic_cluster(CubicLattice lattice, double a, std::size_t nx,
+                             std::size_t ny, std::size_t nz) {
+  const Structure super = make_supercell(lattice, a, nx, ny, nz);
+  std::vector<Vec3> positions = super.positions();
+  return Structure::finite(std::move(positions));
+}
+
+std::vector<std::size_t> surface_atoms(const Structure& cluster,
+                                       double nn_cutoff,
+                                       std::size_t bulk_coordination) {
+  std::vector<std::size_t> surface;
+  for (std::size_t i = 0; i < cluster.size(); ++i)
+    if (cluster.neighbors_within(i, nn_cutoff).size() < bulk_coordination)
+      surface.push_back(i);
+  return surface;
+}
+
+}  // namespace wlsms::lattice

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file cluster.hpp
+/// Finite nanoparticle geometries. The paper motivates WL-LSMS with magnetic
+/// nanoparticles of "around one hundred to a few thousand atoms" whose
+/// surface region drives the interesting physics (§I, §V: FePt switching
+/// barriers). These builders cut free-standing clusters out of a cubic
+/// lattice so the examples and benches can study exactly that regime.
+
+#include <cstddef>
+#include <vector>
+
+#include "lattice/structure.hpp"
+
+namespace wlsms::lattice {
+
+/// Spherical cluster: all lattice sites within `radius` (a0) of a chosen
+/// centre. `center_on_atom` picks the sphere centre on an atom (true) or on
+/// the cube-cell midpoint between atoms (false), which changes the exact
+/// atom count for the same radius.
+Structure make_spherical_cluster(CubicLattice lattice, double a, double radius,
+                                 bool center_on_atom = true);
+
+/// Cubic cluster of nx x ny x nz cells with open boundaries.
+Structure make_cubic_cluster(CubicLattice lattice, double a, std::size_t nx,
+                             std::size_t ny, std::size_t nz);
+
+/// Indices of surface atoms: atoms whose first-shell coordination is below
+/// the bulk value `bulk_coordination` at nearest-neighbour cutoff
+/// `nn_cutoff`. Used to quantify the surface fraction the paper discusses.
+std::vector<std::size_t> surface_atoms(const Structure& cluster,
+                                       double nn_cutoff,
+                                       std::size_t bulk_coordination);
+
+}  // namespace wlsms::lattice

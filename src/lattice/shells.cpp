@@ -1,0 +1,30 @@
+#include "lattice/shells.hpp"
+
+namespace wlsms::lattice {
+
+std::vector<Shell> neighbor_shells(const Structure& structure,
+                                   std::size_t site, double cutoff,
+                                   double tolerance) {
+  const std::vector<Neighbor> neighbors =
+      structure.neighbors_within(site, cutoff);
+  std::vector<Shell> shells;
+  for (const Neighbor& n : neighbors) {
+    if (shells.empty() ||
+        n.distance - shells.back().radius > tolerance) {
+      shells.push_back(Shell{n.distance, {}});
+    }
+    shells.back().members.push_back(n);
+  }
+  return shells;
+}
+
+std::vector<std::size_t> shell_coordinations(const Structure& structure,
+                                             std::size_t site, double cutoff,
+                                             double tolerance) {
+  std::vector<std::size_t> out;
+  for (const Shell& s : neighbor_shells(structure, site, cutoff, tolerance))
+    out.push_back(s.coordination());
+  return out;
+}
+
+}  // namespace wlsms::lattice

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file shells.hpp
+/// Neighbour-shell analysis: groups the neighbours of a site by distance.
+/// The effective Heisenberg model extracted from the LSMS substrate carries
+/// one exchange constant per shell, and the LIZ ablation sweeps cutoff radii
+/// shell by shell.
+
+#include <cstddef>
+#include <vector>
+
+#include "lattice/structure.hpp"
+
+namespace wlsms::lattice {
+
+/// A group of neighbours at (numerically) the same distance from a site.
+struct Shell {
+  double radius = 0.0;                  ///< shell distance in a0
+  std::vector<Neighbor> members;        ///< neighbours on this shell
+  std::size_t coordination() const { return members.size(); }
+};
+
+/// Groups neighbors_within(site, cutoff) into shells. Two distances belong
+/// to the same shell when they differ by less than `tolerance` (absolute,
+/// in a0). Shells are sorted by radius.
+std::vector<Shell> neighbor_shells(const Structure& structure,
+                                   std::size_t site, double cutoff,
+                                   double tolerance = 1e-6);
+
+/// Coordination numbers per shell (convenience for tests and reports).
+std::vector<std::size_t> shell_coordinations(const Structure& structure,
+                                             std::size_t site, double cutoff,
+                                             double tolerance = 1e-6);
+
+}  // namespace wlsms::lattice

@@ -1,0 +1,156 @@
+#include "lattice/structure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace wlsms::lattice {
+
+namespace {
+
+double wrap_coordinate(double x, double edge) {
+  const double wrapped = x - edge * std::floor(x / edge);
+  // floor can leave exactly `edge` for tiny negatives; fold it back.
+  return (wrapped >= edge) ? wrapped - edge : wrapped;
+}
+
+double min_image_component(double d, double edge) {
+  d -= edge * std::round(d / edge);
+  return d;
+}
+
+}  // namespace
+
+Structure Structure::finite(std::vector<Vec3> positions) {
+  WLSMS_EXPECTS(!positions.empty());
+  Structure s;
+  s.positions_ = std::move(positions);
+  s.periodic_ = false;
+  return s;
+}
+
+Structure Structure::periodic(std::vector<Vec3> positions, Vec3 box) {
+  WLSMS_EXPECTS(!positions.empty());
+  WLSMS_EXPECTS(box.x > 0.0 && box.y > 0.0 && box.z > 0.0);
+  Structure s;
+  s.positions_ = std::move(positions);
+  for (Vec3& p : s.positions_) {
+    p.x = wrap_coordinate(p.x, box.x);
+    p.y = wrap_coordinate(p.y, box.y);
+    p.z = wrap_coordinate(p.z, box.z);
+  }
+  s.periodic_ = true;
+  s.box_ = box;
+  return s;
+}
+
+Vec3 Structure::displacement(std::size_t i, std::size_t j) const {
+  WLSMS_EXPECTS(i < size() && j < size());
+  Vec3 d = positions_[j] - positions_[i];
+  if (periodic_) {
+    d.x = min_image_component(d.x, box_.x);
+    d.y = min_image_component(d.y, box_.y);
+    d.z = min_image_component(d.z, box_.z);
+  }
+  return d;
+}
+
+double Structure::distance(std::size_t i, std::size_t j) const {
+  return displacement(i, j).norm();
+}
+
+std::vector<Neighbor> Structure::neighbors_within(std::size_t i,
+                                                  double cutoff) const {
+  WLSMS_EXPECTS(i < size());
+  WLSMS_EXPECTS(cutoff > 0.0);
+  std::vector<Neighbor> out;
+  const Vec3 center = positions_[i];
+
+  if (!periodic_) {
+    for (std::size_t j = 0; j < size(); ++j) {
+      if (j == i) continue;
+      const Vec3 d = positions_[j] - center;
+      const double r = d.norm();
+      if (r < cutoff) out.push_back({j, d, r});
+    }
+  } else {
+    // Enumerate enough image cells that every image within the cutoff is
+    // found even when the cutoff exceeds the box (the paper's 16-atom cell
+    // with an 11.5 a0 LIZ is exactly this situation).
+    const int mx = static_cast<int>(std::ceil(cutoff / box_.x));
+    const int my = static_cast<int>(std::ceil(cutoff / box_.y));
+    const int mz = static_cast<int>(std::ceil(cutoff / box_.z));
+    for (std::size_t j = 0; j < size(); ++j) {
+      const Vec3 base = positions_[j] - center;
+      for (int cx = -mx; cx <= mx; ++cx)
+        for (int cy = -my; cy <= my; ++cy)
+          for (int cz = -mz; cz <= mz; ++cz) {
+            const Vec3 d = base + Vec3{cx * box_.x, cy * box_.y, cz * box_.z};
+            const double r = d.norm();
+            if (r < cutoff && r > 1e-12) out.push_back({j, d, r});
+          }
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.site < b.site;
+  });
+  return out;
+}
+
+std::size_t basis_size(CubicLattice lattice) {
+  switch (lattice) {
+    case CubicLattice::kSimpleCubic:
+      return 1;
+    case CubicLattice::kBcc:
+      return 2;
+    case CubicLattice::kFcc:
+      return 4;
+  }
+  return 0;
+}
+
+Structure make_supercell(CubicLattice lattice, double a, std::size_t nx,
+                         std::size_t ny, std::size_t nz) {
+  WLSMS_EXPECTS(a > 0.0);
+  WLSMS_EXPECTS(nx > 0 && ny > 0 && nz > 0);
+
+  std::vector<Vec3> basis;
+  switch (lattice) {
+    case CubicLattice::kSimpleCubic:
+      basis = {{0.0, 0.0, 0.0}};
+      break;
+    case CubicLattice::kBcc:
+      basis = {{0.0, 0.0, 0.0}, {0.5, 0.5, 0.5}};
+      break;
+    case CubicLattice::kFcc:
+      basis = {{0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5},
+               {0.0, 0.5, 0.5}};
+      break;
+  }
+
+  std::vector<Vec3> positions;
+  positions.reserve(nx * ny * nz * basis.size());
+  for (std::size_t cx = 0; cx < nx; ++cx)
+    for (std::size_t cy = 0; cy < ny; ++cy)
+      for (std::size_t cz = 0; cz < nz; ++cz)
+        for (const Vec3& b : basis)
+          positions.push_back({(static_cast<double>(cx) + b.x) * a,
+                               (static_cast<double>(cy) + b.y) * a,
+                               (static_cast<double>(cz) + b.z) * a});
+
+  return Structure::periodic(
+      std::move(positions),
+      {static_cast<double>(nx) * a, static_cast<double>(ny) * a,
+       static_cast<double>(nz) * a});
+}
+
+Structure make_fe_supercell(std::size_t n) {
+  return make_supercell(CubicLattice::kBcc, units::fe_lattice_parameter_a0, n,
+                        n, n);
+}
+
+}  // namespace wlsms::lattice

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file structure.hpp
+/// Atomic geometry: periodic supercells and finite clusters.
+///
+/// The paper's simulations use periodically repeated bcc Fe cells of 16, 250
+/// and 1024 atoms (2^3, 5^3 and 8^3 cubic cells with a 2-atom basis) at the
+/// experimental lattice parameter a = 5.42 a0, and each atom's local
+/// interaction zone (LIZ) is the set of atoms within 11.5 a0, which encloses
+/// 65 atoms (§II-B, §III). This module provides the geometry, periodic image
+/// handling, and neighbour enumeration those setups need.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace wlsms::lattice {
+
+/// One neighbour of a central atom: which site it is (index into the
+/// structure), the actual displacement vector from the centre (including the
+/// periodic image offset), and its length.
+struct Neighbor {
+  std::size_t site = 0;
+  Vec3 displacement;  ///< r_j - r_i including image shift, in a0
+  double distance = 0.0;
+};
+
+/// A collection of atomic positions, optionally periodic in all three
+/// directions with an orthorhombic repeat box. Periodicity is all-or-nothing
+/// (bulk supercell vs free-standing nanoparticle), which covers every system
+/// in the paper.
+class Structure {
+ public:
+  /// Finite (non-periodic) structure from explicit positions.
+  static Structure finite(std::vector<Vec3> positions);
+
+  /// Periodic structure with an orthorhombic box of edge lengths `box`
+  /// (atoms outside the box are wrapped in).
+  static Structure periodic(std::vector<Vec3> positions, Vec3 box);
+
+  std::size_t size() const { return positions_.size(); }
+  bool is_periodic() const { return periodic_; }
+
+  /// Repeat box edge lengths; zero vector for finite structures.
+  const Vec3& box() const { return box_; }
+
+  const Vec3& position(std::size_t i) const { return positions_[i]; }
+  const std::vector<Vec3>& positions() const { return positions_; }
+
+  /// Minimum-image displacement r_j - r_i (plain difference when finite).
+  Vec3 displacement(std::size_t i, std::size_t j) const;
+
+  /// Minimum-image distance between sites i and j.
+  double distance(std::size_t i, std::size_t j) const;
+
+  /// All neighbours of site i strictly within `cutoff`, including periodic
+  /// images (an image of i itself, and multiple images of the same site,
+  /// appear as separate entries when the cutoff exceeds half the box).
+  /// Sorted by distance, then by site index. The centre atom itself (zero
+  /// displacement) is excluded.
+  std::vector<Neighbor> neighbors_within(std::size_t i, double cutoff) const;
+
+ private:
+  Structure() = default;
+
+  std::vector<Vec3> positions_;
+  bool periodic_ = false;
+  Vec3 box_{0.0, 0.0, 0.0};
+};
+
+/// Cubic Bravais lattices with a basis, enough for the paper's systems.
+enum class CubicLattice { kSimpleCubic, kBcc, kFcc };
+
+/// Number of basis atoms per cubic cell for `lattice`.
+std::size_t basis_size(CubicLattice lattice);
+
+/// Builds an nx x ny x nz periodic supercell of cubic cells with lattice
+/// parameter `a` (in a0). Site order: cell-major, basis-minor.
+Structure make_supercell(CubicLattice lattice, double a, std::size_t nx,
+                         std::size_t ny, std::size_t nz);
+
+/// The paper's bcc-Fe supercells: n x n x n cubic cells, 2 n^3 atoms, at the
+/// experimental lattice parameter (units.hpp).
+Structure make_fe_supercell(std::size_t n);
+
+}  // namespace wlsms::lattice

@@ -1,0 +1,72 @@
+#include "linalg/blas.hpp"
+
+#include <algorithm>
+
+#include "perf/flops.hpp"
+
+namespace wlsms::linalg {
+
+namespace {
+// Cache-blocking tile sizes chosen for the ~100-300 square matrices the LIZ
+// solver produces; a 64x64 complex tile (64 KiB) fits in L2 comfortably.
+constexpr std::size_t kTileK = 64;
+constexpr std::size_t kTileJ = 64;
+}  // namespace
+
+void zgemm(Complex alpha, const ZMatrix& a, const ZMatrix& b, Complex beta,
+           ZMatrix& c) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  WLSMS_EXPECTS(b.rows() == k);
+  WLSMS_EXPECTS(c.rows() == m && c.cols() == n);
+
+  if (beta != Complex{1.0, 0.0}) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Complex* cj = c.col(j);
+      for (std::size_t i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+
+  // j-k-i loop order: innermost loop streams a column of A (unit stride) and
+  // a column of C (unit stride), the classical column-major GEMM kernel.
+  for (std::size_t j0 = 0; j0 < n; j0 += kTileJ) {
+    const std::size_t j1 = std::min(j0 + kTileJ, n);
+    for (std::size_t k0 = 0; k0 < k; k0 += kTileK) {
+      const std::size_t k1 = std::min(k0 + kTileK, k);
+      for (std::size_t j = j0; j < j1; ++j) {
+        Complex* cj = c.col(j);
+        const Complex* bj = b.col(j);
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const Complex factor = alpha * bj[kk];
+          if (factor == Complex{0.0, 0.0}) continue;
+          const Complex* ak = a.col(kk);
+          for (std::size_t i = 0; i < m; ++i) cj[i] += factor * ak[i];
+        }
+      }
+    }
+  }
+  perf::add_flops(perf::cost::zgemm(m, n, k));
+}
+
+ZMatrix multiply(const ZMatrix& a, const ZMatrix& b) {
+  ZMatrix c(a.rows(), b.cols());
+  zgemm(Complex{1.0, 0.0}, a, b, Complex{0.0, 0.0}, c);
+  return c;
+}
+
+void zgemv(Complex alpha, const ZMatrix& a, const Complex* x, Complex beta,
+           Complex* y) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (beta != Complex{1.0, 0.0})
+    for (std::size_t i = 0; i < m; ++i) y[i] *= beta;
+  for (std::size_t j = 0; j < n; ++j) {
+    const Complex factor = alpha * x[j];
+    const Complex* aj = a.col(j);
+    for (std::size_t i = 0; i < m; ++i) y[i] += factor * aj[i];
+  }
+  perf::add_flops(perf::cost::zgemm(m, 1, n));
+}
+
+}  // namespace wlsms::linalg

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file blas.hpp
+/// Hand-rolled complex BLAS-3/2 kernels with flop accounting.
+///
+/// The paper attributes LSMS's high sustained fraction of peak to ZGEMM
+/// (§II-B); this reproduction implements ZGEMM from scratch (register-blocked
+/// over a column-major layout) and instruments it so the Table II harness
+/// can report sustained Flop/s the same way PAPI did.
+
+#include "linalg/matrix.hpp"
+
+namespace wlsms::linalg {
+
+/// C = beta*C + alpha * A * B (no transposes; shapes must conform).
+void zgemm(Complex alpha, const ZMatrix& a, const ZMatrix& b, Complex beta,
+           ZMatrix& c);
+
+/// Convenience: returns A * B.
+ZMatrix multiply(const ZMatrix& a, const ZMatrix& b);
+
+/// y = beta*y + alpha * A * x with x, y dense vectors (y.size == A.rows).
+void zgemv(Complex alpha, const ZMatrix& a, const Complex* x, Complex beta,
+           Complex* y);
+
+}  // namespace wlsms::linalg

@@ -1,0 +1,103 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "perf/flops.hpp"
+
+namespace wlsms::linalg {
+
+LuFactorization::LuFactorization(ZMatrix a) : lu_(std::move(a)) {
+  WLSMS_EXPECTS(lu_.square());
+  const std::size_t n = lu_.rows();
+  pivots_.resize(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest |.| in column k at or below the diagonal.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::abs(lu_(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    if (pivot_mag == 0.0) throw SingularMatrixError(k);
+    pivots_[k] = pivot_row;
+    if (pivot_row != k) {
+      swap_parity_ = -swap_parity_;
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(lu_(k, j), lu_(pivot_row, j));
+    }
+
+    const Complex inv_pivot = Complex{1.0, 0.0} / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) lu_(i, k) *= inv_pivot;
+
+    // Rank-1 trailing update, column-wise for unit stride.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      const Complex ukj = lu_(k, j);
+      if (ukj == Complex{0.0, 0.0}) continue;
+      Complex* colj = lu_.col(j);
+      const Complex* colk = lu_.col(k);
+      for (std::size_t i = k + 1; i < n; ++i) colj[i] -= colk[i] * ukj;
+    }
+  }
+  perf::add_flops(perf::cost::zgetrf(n));
+}
+
+void LuFactorization::solve_in_place(Complex* b) const {
+  const std::size_t n = order();
+  // Apply row interchanges.
+  for (std::size_t k = 0; k < n; ++k)
+    if (pivots_[k] != k) std::swap(b[k], b[pivots_[k]]);
+  // Forward substitution with unit-lower L.
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex bk = b[k];
+    if (bk == Complex{0.0, 0.0}) continue;
+    const Complex* colk = lu_.col(k);
+    for (std::size_t i = k + 1; i < n; ++i) b[i] -= colk[i] * bk;
+  }
+  // Backward substitution with U.
+  for (std::size_t k = n; k-- > 0;) {
+    b[k] /= lu_(k, k);
+    const Complex bk = b[k];
+    const Complex* colk = lu_.col(k);
+    for (std::size_t i = 0; i < k; ++i) b[i] -= colk[i] * bk;
+  }
+  perf::add_flops(perf::cost::zgetrs(n, 1));
+}
+
+ZMatrix LuFactorization::solve(const ZMatrix& b) const {
+  WLSMS_EXPECTS(b.rows() == order());
+  ZMatrix x = b;
+  for (std::size_t j = 0; j < x.cols(); ++j) solve_in_place(x.col(j));
+  return x;
+}
+
+ZMatrix LuFactorization::inverse() const {
+  return solve(ZMatrix::identity(order()));
+}
+
+Complex LuFactorization::log_det() const {
+  double log_abs = 0.0;
+  double arg_sum = (swap_parity_ < 0) ? std::acos(-1.0) : 0.0;
+  for (std::size_t k = 0; k < order(); ++k) {
+    const Complex u = lu_(k, k);
+    log_abs += std::log(std::abs(u));
+    arg_sum += std::arg(u);
+  }
+  return {log_abs, arg_sum};
+}
+
+Complex LuFactorization::det() const {
+  Complex d{static_cast<double>(swap_parity_), 0.0};
+  for (std::size_t k = 0; k < order(); ++k) d *= lu_(k, k);
+  return d;
+}
+
+ZMatrix inverse(const ZMatrix& a) { return LuFactorization(a).inverse(); }
+
+Complex log_det(const ZMatrix& a) { return LuFactorization(a).log_det(); }
+
+}  // namespace wlsms::linalg

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file lu.hpp
+/// LU factorization (ZGETRF/ZGETRS equivalents) and the derived operations
+/// the multiple-scattering solver needs: matrix inverse and log-determinant.
+///
+/// Lloyd's formula evaluates ln det M(z) of the LIZ scattering matrix on a
+/// complex-energy contour; the determinant's logarithm is accumulated from
+/// the U diagonal of the pivoted LU factorization, tracking the branch
+/// explicitly so d/dz ln det stays continuous along the contour.
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace wlsms::linalg {
+
+/// Pivoted LU factorization of a square matrix, A = P L U.
+/// Holds the packed factors plus the pivot sequence.
+class LuFactorization {
+ public:
+  /// Factorizes `a` (copied). Throws SingularMatrixError if a zero pivot is
+  /// encountered (exactly singular input).
+  explicit LuFactorization(ZMatrix a);
+
+  std::size_t order() const { return lu_.rows(); }
+
+  /// Solves A x = b in place; b has order() entries.
+  void solve_in_place(Complex* b) const;
+
+  /// Solves A X = B for a matrix of right-hand sides.
+  ZMatrix solve(const ZMatrix& b) const;
+
+  /// A^-1 via n solves against the identity.
+  ZMatrix inverse() const;
+
+  /// Principal value of ln det A: sum of ln(U_ii) plus i*pi per row swap...
+  /// More precisely: log|det| is exact; the imaginary part is the sum of
+  /// arg(U_ii) over the diagonal (each in (-pi, pi]) with the pivot sign
+  /// folded in, which is the standard KKR practice for Lloyd's formula.
+  Complex log_det() const;
+
+  /// det A (may overflow/underflow for large matrices; prefer log_det).
+  Complex det() const;
+
+  const ZMatrix& packed() const { return lu_; }
+  const std::vector<std::size_t>& pivots() const { return pivots_; }
+
+ private:
+  ZMatrix lu_;
+  std::vector<std::size_t> pivots_;  // pivots_[k] = row swapped with row k
+  int swap_parity_ = 1;              // +1 even number of swaps, -1 odd
+};
+
+/// Thrown when a factorization meets an exactly singular matrix.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  explicit SingularMatrixError(std::size_t column)
+      : std::runtime_error("singular matrix: zero pivot in column " +
+                           std::to_string(column)) {}
+};
+
+/// Convenience: A^-1.
+ZMatrix inverse(const ZMatrix& a);
+
+/// Convenience: ln det A (see LuFactorization::log_det for branch rules).
+Complex log_det(const ZMatrix& a);
+
+}  // namespace wlsms::linalg

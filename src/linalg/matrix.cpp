@@ -1,0 +1,41 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wlsms::linalg {
+
+void ZMatrix::set_zero() {
+  std::fill(data_.begin(), data_.end(), Complex{0.0, 0.0});
+}
+
+void ZMatrix::axpy(Complex alpha, const ZMatrix& b) {
+  WLSMS_EXPECTS(rows_ == b.rows_ && cols_ == b.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * b.data_[i];
+}
+
+double ZMatrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (const Complex& v : data_) sum += std::norm(v);
+  return std::sqrt(sum);
+}
+
+double ZMatrix::max_abs_diff(const ZMatrix& other) const {
+  WLSMS_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  return worst;
+}
+
+ZMatrix ZMatrix::block(std::size_t row0, std::size_t col0,
+                       std::size_t size) const {
+  WLSMS_EXPECTS(row0 + size <= rows_ && col0 + size <= cols_);
+  ZMatrix out(size, size);
+  for (std::size_t c = 0; c < size; ++c)
+    for (std::size_t r = 0; r < size; ++r)
+      out(r, c) = (*this)(row0 + r, col0 + c);
+  return out;
+}
+
+}  // namespace wlsms::linalg

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense column-major complex matrix used by the multiple-scattering solver.
+///
+/// The LSMS hot path is the factorization of the local KKR matrix
+/// tau = (1 - t G0)^-1 t built over each atom's LIZ (paper §II-B); those
+/// matrices are dense complex and of moderate size (130 x 130 for the
+/// paper's 65-atom LIZ with one s-channel per spin; (2 (lmax+1)^2 N_LIZ)^2
+/// in general). Storage is column-major to match the BLAS convention the
+/// original code (ZGEMM) uses.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace wlsms::linalg {
+
+using Complex = std::complex<double>;
+
+/// Dense column-major matrix of complex<double>.
+class ZMatrix {
+ public:
+  ZMatrix() = default;
+
+  /// Creates a rows x cols matrix initialized to zero.
+  ZMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, Complex{0.0, 0.0}) {}
+
+  /// Identity factory.
+  static ZMatrix identity(std::size_t n) {
+    ZMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = Complex{1.0, 0.0};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool square() const { return rows_ == cols_; }
+
+  /// Element access (column-major: consecutive rows within a column are
+  /// adjacent in memory).
+  Complex& operator()(std::size_t r, std::size_t c) {
+    return data_[c * rows_ + r];
+  }
+  const Complex& operator()(std::size_t r, std::size_t c) const {
+    return data_[c * rows_ + r];
+  }
+
+  Complex* data() { return data_.data(); }
+  const Complex* data() const { return data_.data(); }
+
+  /// Pointer to the top of column c.
+  Complex* col(std::size_t c) { return data_.data() + c * rows_; }
+  const Complex* col(std::size_t c) const { return data_.data() + c * rows_; }
+
+  /// Sets every element to zero.
+  void set_zero();
+
+  /// In-place A += alpha * B (same shape required).
+  void axpy(Complex alpha, const ZMatrix& b);
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Max |a_ij - b_ij| over all elements; shapes must match.
+  double max_abs_diff(const ZMatrix& other) const;
+
+  /// Extracts the square sub-block of size `size` whose top-left corner is
+  /// (row0, col0). Used to pull the central-atom block out of a LIZ matrix.
+  ZMatrix block(std::size_t row0, std::size_t col0, std::size_t size) const;
+
+  bool operator==(const ZMatrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+}  // namespace wlsms::linalg

@@ -1,0 +1,75 @@
+#include "lsms/contour.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wlsms::lsms {
+
+void gauss_legendre(std::size_t n, std::vector<double>& nodes,
+                    std::vector<double>& weights) {
+  WLSMS_EXPECTS(n >= 1);
+  nodes.assign(n, 0.0);
+  weights.assign(n, 0.0);
+  const double pi = std::acos(-1.0);
+  const std::size_t half = (n + 1) / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    // Chebyshev-like initial guess for the i-th root of P_n.
+    double x = std::cos(pi * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(n) + 0.5));
+    double dp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_n(x) and P'_n(x) by the three-term recurrence.
+      double p0 = 1.0;
+      double p1 = x;
+      for (std::size_t k = 2; k <= n; ++k) {
+        const double kk = static_cast<double>(k);
+        const double p2 = ((2.0 * kk - 1.0) * x * p1 - (kk - 1.0) * p0) / kk;
+        p0 = p1;
+        p1 = p2;
+      }
+      dp = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / dp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    nodes[i] = -x;
+    nodes[n - 1 - i] = x;
+    const double w = 2.0 / ((1.0 - x * x) * dp * dp);
+    weights[i] = w;
+    weights[n - 1 - i] = w;
+  }
+  if (n == 1) {
+    nodes[0] = 0.0;
+    weights[0] = 2.0;
+  }
+}
+
+std::vector<ContourPoint> semicircle_contour(double e_bottom, double e_fermi,
+                                             std::size_t n_points) {
+  WLSMS_EXPECTS(e_fermi > e_bottom);
+  WLSMS_EXPECTS(n_points >= 1);
+  const double pi = std::acos(-1.0);
+  const double center = 0.5 * (e_bottom + e_fermi);
+  const double radius = 0.5 * (e_fermi - e_bottom);
+
+  std::vector<double> nodes;
+  std::vector<double> weights;
+  gauss_legendre(n_points, nodes, weights);
+
+  std::vector<ContourPoint> contour;
+  contour.reserve(n_points);
+  const Complex i_unit{0.0, 1.0};
+  for (std::size_t k = 0; k < n_points; ++k) {
+    // Map [-1, 1] -> theta in [pi, 0] (so the path runs e_bottom -> e_fermi).
+    const double theta = 0.5 * pi * (1.0 - nodes[k]);
+    const Complex phase = std::exp(i_unit * theta);
+    const Complex z = center + radius * phase;
+    // dz = i R e^{i theta} dtheta, dtheta = -(pi/2) dnode.
+    const Complex w = i_unit * radius * phase * (-0.5 * pi) * weights[k];
+    contour.push_back({z, w});
+  }
+  return contour;
+}
+
+}  // namespace wlsms::lsms

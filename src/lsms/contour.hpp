@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file contour.hpp
+/// Complex-energy integration contour.
+///
+/// LSMS exploits the analyticity of the Green function to move the energy
+/// integral off the real axis: "the required integral over electron energy
+/// levels can be analytically continued onto a contour in the complex plane
+/// where the imaginary part of the energy further restricts its range"
+/// (paper §II-B, property 2). We use the standard semicircular contour from
+/// the band bottom E_b to the Fermi energy E_F in the upper half-plane,
+/// discretized with Gauss-Legendre quadrature:
+///
+///   z(theta) = c + R e^{i theta},  theta: pi -> 0,
+///   c = (E_b + E_F)/2,  R = (E_F - E_b)/2,
+///   integral f(z) dz  ~=  sum_k w_k f(z_k),  w_k = i R e^{i theta_k} dtheta_k.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace wlsms::lsms {
+
+using linalg::Complex;
+
+/// One quadrature node: evaluation point and complex weight (the Jacobian
+/// dz/dtheta folded into the Gauss-Legendre weight).
+struct ContourPoint {
+  Complex z;
+  Complex weight;
+};
+
+/// Gauss-Legendre nodes and weights on [-1, 1]. Computed by Newton iteration
+/// on the Legendre polynomial; accurate to ~1e-15 for the orders used here.
+void gauss_legendre(std::size_t n, std::vector<double>& nodes,
+                    std::vector<double>& weights);
+
+/// Semicircular contour from `e_bottom` to `e_fermi` through the upper
+/// half-plane with `n_points` Gauss-Legendre nodes. Integrating an analytic
+/// f along the returned points (sum of weight * f(z)) equals the real-axis
+/// integral from e_bottom to e_fermi.
+std::vector<ContourPoint> semicircle_contour(double e_bottom, double e_fermi,
+                                             std::size_t n_points);
+
+}  // namespace wlsms::lsms

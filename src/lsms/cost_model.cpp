@@ -1,0 +1,39 @@
+#include "lsms/cost_model.hpp"
+
+#include "common/error.hpp"
+#include "perf/flops.hpp"
+
+namespace wlsms::lsms {
+
+std::uint64_t LsmsFidelity::channels_per_atom() const {
+  const std::uint64_t lp1 = lmax + 1;
+  return 2ULL * lp1 * lp1;
+}
+
+std::uint64_t LsmsFidelity::matrix_order() const {
+  return channels_per_atom() * liz_atoms;
+}
+
+std::uint64_t flops_per_atom_point(const LsmsFidelity& fidelity) {
+  const std::uint64_t n = fidelity.matrix_order();
+  const std::uint64_t rhs = fidelity.channels_per_atom();
+  return perf::cost::zgetrf(n) + perf::cost::zgetrs(n, rhs);
+}
+
+std::uint64_t flops_per_energy(const LsmsFidelity& fidelity,
+                               std::uint64_t n_atoms) {
+  return flops_per_atom_point(fidelity) * fidelity.contour_points * n_atoms;
+}
+
+double seconds_per_energy(const LsmsFidelity& fidelity,
+                          double flops_per_second_per_core) {
+  WLSMS_EXPECTS(flops_per_second_per_core > 0.0);
+  // One atom per core: the per-energy wall time is the per-atom work, all
+  // atoms proceeding concurrently (communication is "a small fraction of the
+  // total computation time" per §II-B and is modelled separately by the DES).
+  const std::uint64_t per_atom =
+      flops_per_atom_point(fidelity) * fidelity.contour_points;
+  return static_cast<double>(per_atom) / flops_per_second_per_core;
+}
+
+}  // namespace wlsms::lsms

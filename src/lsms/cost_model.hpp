@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file cost_model.hpp
+/// Analytic cost model of a production LSMS energy evaluation.
+///
+/// The discrete-event cluster simulator (src/cluster) needs the time one
+/// LSMS instance spends on one Wang-Landau energy request at the *paper's*
+/// fidelity (lmax = 3, 65-atom LIZ, ~30 contour points), which is far more
+/// expensive than the s-channel substrate this repository runs numerically.
+/// The flop structure is identical, only the block size differs:
+/// per atom and contour point the dominant work is factorizing the LIZ
+/// matrix of order  n = 2 (lmax+1)^2 N_LIZ  and back-solving for the central
+/// block of the inverse (2 (lmax+1)^2 right-hand sides). This module turns
+/// those counts into seconds via a per-core sustained-flop-rate parameter
+/// calibrated to the paper's Table II (75.8 % of the 9.2 GFlop/s Opteron
+/// peak).
+
+#include <cstdint>
+
+namespace wlsms::lsms {
+
+/// Fidelity of an LSMS energy evaluation.
+struct LsmsFidelity {
+  std::uint32_t lmax = 3;            ///< angular-momentum cutoff
+  std::uint32_t liz_atoms = 65;      ///< atoms per LIZ (paper: 65)
+  std::uint32_t contour_points = 31; ///< energy points on the contour
+
+  /// Block order per atom: n = 2 (lmax+1)^2 N_LIZ.
+  std::uint64_t matrix_order() const;
+  /// Scattering channels per atom: 2 (lmax+1)^2.
+  std::uint64_t channels_per_atom() const;
+};
+
+/// Real flops retired by one atom's solve at one contour point
+/// (ZGETRF of the LIZ matrix + ZGETRS for the central columns).
+std::uint64_t flops_per_atom_point(const LsmsFidelity& fidelity);
+
+/// Real flops for one full energy evaluation of an `n_atoms` system with one
+/// atom per core (every core factorizes its own LIZ matrix at every contour
+/// point).
+std::uint64_t flops_per_energy(const LsmsFidelity& fidelity,
+                               std::uint64_t n_atoms);
+
+/// Wall-clock seconds for one energy evaluation when each atom runs on its
+/// own core sustaining `flops_per_second_per_core`.
+double seconds_per_energy(const LsmsFidelity& fidelity,
+                          double flops_per_second_per_core);
+
+}  // namespace wlsms::lsms

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file exchange.hpp
+/// Extraction of effective Heisenberg exchange constants from the
+/// multiple-scattering substrate.
+///
+/// The frozen-potential energy is, to second order in the moment rotations,
+/// a bilinear function of the directions (paper §II-B: "valid to second
+/// order"); projecting it onto shell-resolved Heisenberg couplings
+///
+///   E({e}) ~= E0 - Sum_s J_s Sum_{bonds (i,j) in shell s} e_i . e_j
+///
+/// yields the surrogate Hamiltonian the production Wang-Landau runs
+/// converge (DESIGN.md §2, substitution 2). Two independent estimators are
+/// provided and cross-checked in tests:
+///  1. least-squares regression of LSMS energies over random configurations;
+///  2. the four-state pair-embedding formula with spectator moments
+///     perpendicular to the probed pair.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lsms/solver.hpp"
+
+namespace wlsms::lsms {
+
+/// One unordered exchange bond (possibly through a periodic image).
+struct ExchangeBond {
+  std::size_t site_a = 0;
+  std::size_t site_b = 0;
+  std::size_t shell = 0;  ///< shell index the bond belongs to
+};
+
+/// Shell-resolved result of an extraction.
+struct ShellExchange {
+  double radius = 0.0;        ///< shell distance [a0]
+  std::size_t bonds = 0;      ///< number of bonds in this shell (whole cell)
+  double j = 0.0;             ///< exchange constant [Ry]; J > 0 ferromagnetic
+};
+
+/// The fitted effective model.
+struct ExtractedExchange {
+  double e0 = 0.0;                    ///< configuration-independent offset [Ry]
+  std::vector<ShellExchange> shells;  ///< per-shell couplings
+  std::vector<ExchangeBond> bond_list;///< every bond, tagged with its shell
+  double fit_rms = 0.0;  ///< rms residual of the fit [Ry]; measures how
+                         ///< Heisenberg-like the substrate is
+
+  /// Energy of `moments` under the fitted model [Ry].
+  double energy(const spin::MomentConfiguration& moments) const;
+
+  /// Per-shell J values only (convenience).
+  std::vector<double> j_values() const;
+};
+
+/// Enumerates the unordered exchange bonds of `structure` out to
+/// `n_shells` neighbour shells and tags each with its shell index. Bonds
+/// whose two ends are periodic images of the same site contribute a
+/// configuration-independent constant and are dropped.
+std::vector<ExchangeBond> enumerate_bonds(const lattice::Structure& structure,
+                                          std::size_t n_shells,
+                                          std::vector<double>* shell_radii);
+
+/// Least-squares extraction: evaluates `solver` on `n_samples` random
+/// configurations (plus the ferromagnetic reference) and regresses onto the
+/// shell bond sums.
+ExtractedExchange extract_exchange(const LsmsSolver& solver,
+                                   std::size_t n_shells,
+                                   std::size_t n_samples, Rng& rng);
+
+/// Four-state pair-embedding estimate of J between `site_a` and `site_b`:
+/// spectators along +x, the pair along +-z;
+/// J = [E(+-) + E(-+) - E(++) - E(--)] / 4.
+double pair_exchange_embedding(const LsmsSolver& solver, std::size_t site_a,
+                               std::size_t site_b);
+
+}  // namespace wlsms::lsms

@@ -1,0 +1,111 @@
+#include "lsms/kkr.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace wlsms::lsms {
+
+LizGeometry build_liz(const lattice::Structure& structure, std::size_t site,
+                      double liz_radius) {
+  WLSMS_EXPECTS(liz_radius > 0.0);
+  LizGeometry liz;
+  liz.center = site;
+  liz.members = structure.neighbors_within(site, liz_radius);
+  return liz;
+}
+
+std::vector<std::int64_t> geometry_key(const LizGeometry& liz) {
+  // Quantize to 1e-9 a0; displacements are already sorted by distance and
+  // site index by neighbors_within, which is stable across congruent zones
+  // of a periodic crystal only up to site relabeling -- so the key uses the
+  // displacement vectors alone, re-sorted lexicographically.
+  std::vector<std::array<std::int64_t, 3>> rows;
+  rows.reserve(liz.members.size());
+  const auto quantize = [](double x) {
+    return static_cast<std::int64_t>(std::llround(x * 1e9));
+  };
+  for (const lattice::Neighbor& n : liz.members)
+    rows.push_back({quantize(n.displacement.x), quantize(n.displacement.y),
+                    quantize(n.displacement.z)});
+  std::sort(rows.begin(), rows.end());
+  std::vector<std::int64_t> key;
+  key.reserve(rows.size() * 3);
+  for (const auto& r : rows) key.insert(key.end(), r.begin(), r.end());
+  return key;
+}
+
+linalg::ZMatrix scalar_propagator_matrix(const LizGeometry& liz, Complex z) {
+  const std::size_t n = liz.zone_size();
+  linalg::ZMatrix p(n, n);
+
+  // Positions relative to the centre; index 0 is the centre itself.
+  std::vector<Vec3> pos(n);
+  pos[0] = Vec3{0.0, 0.0, 0.0};
+  for (std::size_t j = 0; j < liz.members.size(); ++j)
+    pos[j + 1] = liz.members[j].displacement;
+
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t k = 0; k < n; ++k) {
+      if (j == k) continue;
+      const double r = (pos[j] - pos[k]).norm();
+      // Distinct LIZ members can be images of the same structure site, but
+      // they are distinct scatterers at distinct positions, so r > 0 always.
+      p(j, k) = free_propagator(r, z);
+    }
+  return p;
+}
+
+linalg::ZMatrix assemble_kkr_matrix(const Scatterer& scatterer,
+                                    const LizGeometry& liz,
+                                    const spin::MomentConfiguration& moments,
+                                    Complex z,
+                                    const linalg::ZMatrix& scalar_propagator) {
+  const std::size_t n = liz.zone_size();
+  WLSMS_EXPECTS(scalar_propagator.rows() == n && scalar_propagator.cols() == n);
+  linalg::ZMatrix m(2 * n, 2 * n);
+
+  // Off-diagonal: -g0(r_jk) in each spin channel (spin-conserving hopping),
+  // scaled by the calibrated hybridization strength.
+  const double strength = scatterer.params().propagator_strength;
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == k) continue;
+      const Complex g = strength * scalar_propagator(j, k);
+      m(2 * j, 2 * k) = -g;
+      m(2 * j + 1, 2 * k + 1) = -g;
+    }
+
+  // Diagonal: inverse single-site t-matrices, rotated to each moment.
+  const auto put_block = [&m](std::size_t j, const spin::Spin2x2& b) {
+    m(2 * j, 2 * j) = b[0];
+    m(2 * j, 2 * j + 1) = b[1];
+    m(2 * j + 1, 2 * j) = b[2];
+    m(2 * j + 1, 2 * j + 1) = b[3];
+  };
+  put_block(0, scatterer.t_inverse(moments[liz.center], z));
+  for (std::size_t j = 0; j < liz.members.size(); ++j)
+    put_block(j + 1, scatterer.t_inverse(moments[liz.members[j].site], z));
+
+  return m;
+}
+
+spin::Spin2x2 central_tau_block(const linalg::ZMatrix& kkr) {
+  WLSMS_EXPECTS(kkr.square() && kkr.rows() >= 2);
+  const linalg::LuFactorization lu(kkr);
+  const std::size_t n = kkr.rows();
+
+  std::vector<Complex> col0(n, Complex{0.0, 0.0});
+  std::vector<Complex> col1(n, Complex{0.0, 0.0});
+  col0[0] = Complex{1.0, 0.0};
+  col1[1] = Complex{1.0, 0.0};
+  lu.solve_in_place(col0.data());
+  lu.solve_in_place(col1.data());
+
+  return {col0[0], col1[0], col0[1], col1[1]};
+}
+
+}  // namespace wlsms::lsms

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file kkr.hpp
+/// Real-space KKR matrix assembly over a local interaction zone and the
+/// extraction of the central-atom scattering-path block.
+///
+/// For atom i with LIZ atoms {0 = i, 1..L} the real-space KKR matrix at
+/// complex energy z is, in site (x) spin space,
+///
+///   M(z) = t(z)^-1 - G0(z) ,
+///
+/// with site-diagonal 2x2 blocks t_j(e_j, z)^-1 and site-off-diagonal blocks
+/// -g0(r_jk; z) * 1_spin (the s-wave free propagator; spin is conserved in
+/// propagation, all spin dependence lives in the t-matrices). The
+/// scattering-path operator of the zone is tau(z) = M(z)^-1, and the atom's
+/// local electronic structure needs only the central 2x2 block tau_00(z) --
+/// this is LSMS's "local sub-block of the inverse of the real space KKR
+/// matrix" whose evaluation dominates the paper's runtime (§II-B).
+
+#include <cstddef>
+#include <vector>
+
+#include "lattice/structure.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "lsms/scattering.hpp"
+#include "spin/moments.hpp"
+
+namespace wlsms::lsms {
+
+/// The geometry of one atom's local interaction zone: the central site plus
+/// every structure site (or periodic image) within the LIZ radius.
+struct LizGeometry {
+  std::size_t center = 0;                  ///< central site index
+  std::vector<lattice::Neighbor> members;  ///< all other LIZ atoms
+  /// Total number of atoms in the zone, center included.
+  std::size_t zone_size() const { return members.size() + 1; }
+};
+
+/// Builds the LIZ of `site` with radius `liz_radius` (a0).
+LizGeometry build_liz(const lattice::Structure& structure, std::size_t site,
+                      double liz_radius);
+
+/// Canonical cache key for a LIZ geometry: the sorted, quantized displacement
+/// list. Two atoms with congruent zones (every atom of a perfect periodic
+/// crystal) share propagator matrices through this key.
+std::vector<std::int64_t> geometry_key(const LizGeometry& liz);
+
+/// Scalar (spin-independent) propagator matrix of a zone at one energy:
+/// P[j][k] = g0(|r_j - r_k|; z) for j != k, 0 on the diagonal, with index 0
+/// the central atom. Depends on geometry and z only, so it is precomputed
+/// once per distinct geometry and reused for every moment configuration.
+linalg::ZMatrix scalar_propagator_matrix(const LizGeometry& liz,
+                                         Complex z);
+
+/// Assembles the full KKR matrix M(z) = t^-1 - G0 of the zone
+/// (2 * zone_size square). `directions` supplies the moment direction of
+/// every *structure* site; LIZ members look theirs up via Neighbor::site.
+linalg::ZMatrix assemble_kkr_matrix(const Scatterer& scatterer,
+                                    const LizGeometry& liz,
+                                    const spin::MomentConfiguration& moments,
+                                    Complex z,
+                                    const linalg::ZMatrix& scalar_propagator);
+
+/// Central 2x2 block of M^-1, computed by factorizing M once and solving for
+/// the two central columns (not by forming the full inverse).
+spin::Spin2x2 central_tau_block(const linalg::ZMatrix& kkr);
+
+}  // namespace wlsms::lsms

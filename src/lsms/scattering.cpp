@@ -1,0 +1,71 @@
+#include "lsms/scattering.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wlsms::lsms {
+
+namespace {
+constexpr Complex kI{0.0, 1.0};
+}
+
+Complex momentum(Complex z) {
+  // std::sqrt uses the principal branch: arg in (-pi/2, pi/2]. For z in the
+  // upper half-plane this already gives Im kappa > 0; for real positive z it
+  // gives the physical kappa > 0.
+  return std::sqrt(z);
+}
+
+Complex free_propagator(double r, Complex z) {
+  WLSMS_EXPECTS(r > 0.0);
+  const Complex kappa = momentum(z);
+  return std::exp(kI * kappa * r) / r;
+}
+
+Scatterer::Scatterer(const ScatteringParameters& params) : params_(params) {
+  WLSMS_EXPECTS(params.width > 0.0);
+  WLSMS_EXPECTS(params.band_bottom > 0.0);
+  WLSMS_EXPECTS(params.fermi_energy > params.band_bottom);
+}
+
+Complex Scatterer::t_resonant(double resonance, Complex z) const {
+  const Complex kappa = momentum(z);
+  const Complex cot_delta = 2.0 * (resonance - z) / params_.width;
+  return -1.0 / (kappa * (cot_delta - kI));
+}
+
+Complex Scatterer::t_up(Complex z) const {
+  return t_resonant(params_.resonance_up, z);
+}
+
+Complex Scatterer::t_down(Complex z) const {
+  return t_resonant(params_.resonance_down, z);
+}
+
+Spin2x2 Scatterer::t_matrix(const Vec3& e, Complex z) const {
+  return spin::rotated_t_matrix(t_up(z), t_down(z), e);
+}
+
+Spin2x2 Scatterer::t_inverse(const Vec3& e, Complex z) const {
+  const Complex a = 0.5 * (t_up(z) + t_down(z));
+  const Complex b = 0.5 * (t_up(z) - t_down(z));
+  const Complex denom = a * a - b * b;  // = t_up * t_down
+  const Complex ia = a / denom;
+  const Complex ib = -b / denom;
+  const Spin2x2 sde = spin::pauli_dot(e);
+  return {ia + ib * sde[0], ib * sde[1], ib * sde[2], ia + ib * sde[3]};
+}
+
+double Scatterer::phase_shift_up(double e) const {
+  const double cot_delta = 2.0 * (params_.resonance_up - e) / params_.width;
+  const double delta = std::atan2(1.0, cot_delta);  // in (0, pi)
+  return delta;
+}
+
+double Scatterer::phase_shift_down(double e) const {
+  const double cot_delta = 2.0 * (params_.resonance_down - e) / params_.width;
+  return std::atan2(1.0, cot_delta);
+}
+
+}  // namespace wlsms::lsms

@@ -1,0 +1,135 @@
+#include "lsms/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "perf/flops.hpp"
+
+namespace wlsms::lsms {
+
+LsmsSolver::LsmsSolver(lattice::Structure structure, LsmsParameters params)
+    : structure_(std::move(structure)),
+      params_(params),
+      scatterer_(params.scattering),
+      contour_(semicircle_contour(params.scattering.band_bottom,
+                                  params.scattering.fermi_energy,
+                                  params.contour_points)) {
+  const std::size_t n = structure_.size();
+  lizs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    lizs_.push_back(build_liz(structure_, i, params_.liz_radius));
+
+  // Propagator matrices are pure geometry: share them between congruent
+  // zones (every atom of a perfect crystal) through the canonical key.
+  std::map<std::vector<std::int64_t>,
+           std::shared_ptr<const std::vector<linalg::ZMatrix>>>
+      cache;
+  propagators_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto key = geometry_key(lizs_[i]);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      auto matrices = std::make_shared<std::vector<linalg::ZMatrix>>();
+      matrices->reserve(contour_.size());
+      for (const ContourPoint& cp : contour_)
+        matrices->push_back(scalar_propagator_matrix(lizs_[i], cp.z));
+      it = cache.emplace(std::move(key), std::move(matrices)).first;
+    }
+    propagators_.push_back(it->second);
+  }
+
+  // Reverse map: which zones does each site appear in?
+  affected_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) affected_[i].push_back(i);
+  for (std::size_t i = 0; i < n; ++i)
+    for (const lattice::Neighbor& member : lizs_[i].members)
+      if (member.site != i) affected_[member.site].push_back(i);
+  for (std::vector<std::size_t>& list : affected_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+}
+
+double LsmsSolver::zone_energy(const LizGeometry& liz,
+                               const spin::MomentConfiguration& moments) const {
+  const std::vector<linalg::ZMatrix>& props =
+      *propagators_[liz.center];
+  Complex accumulated{0.0, 0.0};
+  for (std::size_t k = 0; k < contour_.size(); ++k) {
+    const linalg::ZMatrix m =
+        assemble_kkr_matrix(scatterer_, liz, moments, contour_[k].z, props[k]);
+    const spin::Spin2x2 tau = central_tau_block(m);
+    const Complex trace = tau[0] + tau[3];
+    accumulated += contour_[k].weight * contour_[k].z * trace;
+  }
+  const double pi = std::acos(-1.0);
+  return -accumulated.imag() / pi;
+}
+
+double LsmsSolver::local_energy(std::size_t i,
+                                const spin::MomentConfiguration& moments) const {
+  WLSMS_EXPECTS(i < n_atoms());
+  WLSMS_EXPECTS(moments.size() == n_atoms());
+  return zone_energy(lizs_[i], moments);
+}
+
+LocalEnergies LsmsSolver::energies(
+    const spin::MomentConfiguration& moments) const {
+  WLSMS_EXPECTS(moments.size() == n_atoms());
+  LocalEnergies out;
+  out.per_atom.assign(n_atoms(), 0.0);
+  const std::int64_t n = static_cast<std::int64_t>(n_atoms());
+#pragma omp parallel for schedule(dynamic)
+  for (std::int64_t i = 0; i < n; ++i)
+    out.per_atom[static_cast<std::size_t>(i)] =
+        zone_energy(lizs_[static_cast<std::size_t>(i)], moments);
+  for (double e : out.per_atom) out.total += e;
+  return out;
+}
+
+double LsmsSolver::energy(const spin::MomentConfiguration& moments) const {
+  return energies(moments).total;
+}
+
+const std::vector<std::size_t>& LsmsSolver::affected_sites(
+    std::size_t site) const {
+  WLSMS_EXPECTS(site < n_atoms());
+  return affected_[site];
+}
+
+LocalEnergies LsmsSolver::energy_after_move(
+    const spin::MomentConfiguration& moments, const spin::TrialMove& move,
+    const LocalEnergies& current) const {
+  WLSMS_EXPECTS(moments.size() == n_atoms());
+  WLSMS_EXPECTS(current.per_atom.size() == n_atoms());
+  WLSMS_EXPECTS(move.site < n_atoms());
+
+  spin::MomentConfiguration trial = moments;
+  trial.set(move.site, move.new_direction);
+
+  LocalEnergies out = current;
+  const std::vector<std::size_t>& affected = affected_[move.site];
+  const std::int64_t n_affected = static_cast<std::int64_t>(affected.size());
+#pragma omp parallel for schedule(dynamic)
+  for (std::int64_t k = 0; k < n_affected; ++k) {
+    const std::size_t i = affected[static_cast<std::size_t>(k)];
+    out.per_atom[i] = zone_energy(lizs_[i], trial);
+  }
+  out.total = 0.0;
+  for (double e : out.per_atom) out.total += e;
+  return out;
+}
+
+std::uint64_t LsmsSolver::flops_per_energy() const {
+  std::uint64_t total = 0;
+  for (const LizGeometry& liz : lizs_) {
+    const std::uint64_t order = 2 * liz.zone_size();
+    const std::uint64_t per_point =
+        perf::cost::zgetrf(order) + 2 * perf::cost::zgetrs(order, 1);
+    total += per_point * contour_.size();
+  }
+  return total;
+}
+
+}  // namespace wlsms::lsms

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file solver.hpp
+/// The LSMS energy engine: frozen-potential band energies of moment
+/// configurations, one LIZ solve per atom per contour point.
+///
+/// For every atom i the solver computes the local band energy
+///
+///   e_i = -(1/pi) Im Integral_C  z Tr_spin[ tau_00^{(i)}(z) ] dz ,
+///
+/// with tau_00 the central block of the LIZ scattering-path operator and C
+/// the complex contour from the band bottom to the Fermi energy. The total
+/// energy E({e}) = Sum_i e_i is the classical energy functional the
+/// Wang-Landau walk samples; differences between configurations are the
+/// frozen-potential (magnetic force theorem) energy differences of §II-B.
+///
+/// Domain decomposition follows the paper: each atom's solve is independent
+/// given the t-matrices of its LIZ ("one atom per processor"); here the atom
+/// loop is OpenMP-parallel and, in the distributed harness (src/parallel,
+/// src/cluster), one walker's atoms map onto one LSMS instance.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "lattice/structure.hpp"
+#include "lsms/contour.hpp"
+#include "lsms/kkr.hpp"
+#include "lsms/scattering.hpp"
+#include "spin/moments.hpp"
+#include "spin/moves.hpp"
+
+namespace wlsms::lsms {
+
+/// Solver configuration.
+struct LsmsParameters {
+  ScatteringParameters scattering;
+  double liz_radius = 11.5;        ///< LIZ radius [a0]; paper: 11.5 -> 65 atoms
+  std::size_t contour_points = 16; ///< Gauss-Legendre nodes on the contour
+};
+
+/// Per-configuration energy breakdown.
+struct LocalEnergies {
+  std::vector<double> per_atom;  ///< e_i [Ry]
+  double total = 0.0;            ///< Sum_i e_i [Ry]
+};
+
+/// Frozen-potential multiple-scattering energy engine for one structure.
+///
+/// Geometry-dependent data (LIZ membership and the scalar propagator
+/// matrices at every contour point) is precomputed at construction and
+/// shared between congruent zones, so per-energy-evaluation work is exactly
+/// the dense linear algebra the paper profiles.
+class LsmsSolver {
+ public:
+  LsmsSolver(lattice::Structure structure, LsmsParameters params);
+
+  const lattice::Structure& structure() const { return structure_; }
+  const LsmsParameters& params() const { return params_; }
+  const Scatterer& scatterer() const { return scatterer_; }
+  std::size_t n_atoms() const { return structure_.size(); }
+
+  /// Atoms per LIZ (zone size, centre included) of site i.
+  std::size_t liz_size(std::size_t i) const { return lizs_[i].zone_size(); }
+
+  /// Local band energy of atom i for the given moments [Ry].
+  double local_energy(std::size_t i,
+                      const spin::MomentConfiguration& moments) const;
+
+  /// Total energy and the per-atom breakdown (atom loop is OpenMP-parallel).
+  LocalEnergies energies(const spin::MomentConfiguration& moments) const;
+
+  /// Total energy only.
+  double energy(const spin::MomentConfiguration& moments) const;
+
+  /// Sites whose local energy changes when `site` moves: site itself plus
+  /// every atom whose LIZ contains it. Mirrors the paper's communication
+  /// pattern (a t-matrix is sent exactly to the zones that list it).
+  const std::vector<std::size_t>& affected_sites(std::size_t site) const;
+
+  /// Energy after applying `move` to `moments`, given the current per-atom
+  /// breakdown; recomputes only affected_sites(move.site). Returns the new
+  /// breakdown. `moments` is left unchanged.
+  LocalEnergies energy_after_move(const spin::MomentConfiguration& moments,
+                                  const spin::TrialMove& move,
+                                  const LocalEnergies& current) const;
+
+  /// Analytic count of real flops one full energy evaluation retires
+  /// (assembly excluded; factorization + solves, summed over atoms and
+  /// contour points).
+  std::uint64_t flops_per_energy() const;
+
+ private:
+  double zone_energy(const LizGeometry& liz,
+                     const spin::MomentConfiguration& moments) const;
+
+  lattice::Structure structure_;
+  LsmsParameters params_;
+  Scatterer scatterer_;
+  std::vector<ContourPoint> contour_;
+  std::vector<LizGeometry> lizs_;
+  /// lizs_[i] -> its propagator set (one matrix per contour point), shared
+  /// between congruent zones.
+  std::vector<std::shared_ptr<const std::vector<linalg::ZMatrix>>> propagators_;
+  std::vector<std::vector<std::size_t>> affected_;
+};
+
+}  // namespace wlsms::lsms

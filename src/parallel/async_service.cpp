@@ -1,0 +1,42 @@
+#include "parallel/async_service.hpp"
+
+#include "common/error.hpp"
+
+namespace wlsms::parallel {
+
+AsyncEnergyService::AsyncEnergyService(const wl::EnergyFunction& energy,
+                                       std::size_t n_instances)
+    : energy_(energy), pool_(n_instances) {}
+
+void AsyncEnergyService::submit(wl::EnergyRequest request) {
+  {
+    const std::scoped_lock lock(mutex_);
+    ++in_flight_;
+  }
+  pool_.post([this, request = std::move(request)] {
+    wl::EnergyResult result{request.walker, request.ticket,
+                            energy_.total_energy(request.config), false};
+    {
+      const std::scoped_lock lock(mutex_);
+      results_.push_back(result);
+      --in_flight_;
+    }
+    results_ready_.notify_one();
+  });
+}
+
+wl::EnergyResult AsyncEnergyService::retrieve() {
+  std::unique_lock lock(mutex_);
+  WLSMS_EXPECTS(in_flight_ > 0 || !results_.empty());
+  results_ready_.wait(lock, [this] { return !results_.empty(); });
+  const wl::EnergyResult result = results_.front();
+  results_.pop_front();
+  return result;
+}
+
+std::size_t AsyncEnergyService::outstanding() const {
+  const std::scoped_lock lock(mutex_);
+  return in_flight_ + results_.size();
+}
+
+}  // namespace wlsms::parallel

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file async_service.hpp
+/// Thread-pool-backed EnergyService: the real asynchronous realization of
+/// the paper's driver <-> instance protocol (Fig. 3). Each submitted
+/// configuration is evaluated on a worker thread; retrieve() blocks on the
+/// completion queue, so results genuinely arrive out of submission order
+/// under scheduler noise — the condition §II-C says the driver must (and
+/// does) tolerate.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "parallel/thread_pool.hpp"
+#include "wl/energy_service.hpp"
+
+namespace wlsms::parallel {
+
+/// Asynchronous energy service over a ThreadPool.
+class AsyncEnergyService final : public wl::EnergyService {
+ public:
+  /// `energy` must be safe for concurrent total_energy calls (all backends
+  /// in this library are) and must outlive the service.
+  AsyncEnergyService(const wl::EnergyFunction& energy, std::size_t n_instances);
+
+  void submit(wl::EnergyRequest request) override;
+  wl::EnergyResult retrieve() override;
+  std::size_t outstanding() const override;
+
+ private:
+  const wl::EnergyFunction& energy_;
+  ThreadPool pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable results_ready_;
+  std::deque<wl::EnergyResult> results_;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace wlsms::parallel

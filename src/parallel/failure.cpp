@@ -1,0 +1,28 @@
+#include "parallel/failure.hpp"
+
+#include "common/error.hpp"
+
+namespace wlsms::parallel {
+
+FailureInjectingService::FailureInjectingService(wl::EnergyService& inner,
+                                                 double failure_probability,
+                                                 Rng rng)
+    : inner_(inner), failure_probability_(failure_probability), rng_(rng) {
+  WLSMS_EXPECTS(failure_probability >= 0.0 && failure_probability < 1.0);
+}
+
+void FailureInjectingService::submit(wl::EnergyRequest request) {
+  inner_.submit(std::move(request));
+}
+
+wl::EnergyResult FailureInjectingService::retrieve() {
+  wl::EnergyResult result = inner_.retrieve();
+  if (!result.failed && rng_.uniform() < failure_probability_) {
+    result.failed = true;
+    result.energy = 0.0;
+    ++injected_;
+  }
+  return result;
+}
+
+}  // namespace wlsms::parallel

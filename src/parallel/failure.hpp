@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file failure.hpp
+/// Failure injection for the resilience path. The paper's outlook (§V)
+/// plans to "make the WL method resilient to the loss of processing
+/// nodes"; the WlDriver implements that by resubmitting failed results,
+/// and this decorator provides the faults to survive: each retrieved
+/// result is converted into a failure with a configurable probability,
+/// emulating an LSMS instance dying mid-calculation.
+
+#include "common/rng.hpp"
+#include "wl/energy_service.hpp"
+
+namespace wlsms::parallel {
+
+/// Decorator that randomly fails results from an inner service.
+class FailureInjectingService final : public wl::EnergyService {
+ public:
+  /// Each result independently fails with `failure_probability`.
+  FailureInjectingService(wl::EnergyService& inner, double failure_probability,
+                          Rng rng);
+
+  void submit(wl::EnergyRequest request) override;
+  wl::EnergyResult retrieve() override;
+  std::size_t outstanding() const override { return inner_.outstanding(); }
+
+  std::uint64_t injected_failures() const { return injected_; }
+
+ private:
+  wl::EnergyService& inner_;
+  double failure_probability_;
+  Rng rng_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace wlsms::parallel

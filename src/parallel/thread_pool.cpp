@@ -1,0 +1,45 @@
+#include "parallel/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace wlsms::parallel {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  WLSMS_EXPECTS(n_threads >= 1);
+  workers_.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace wlsms::parallel

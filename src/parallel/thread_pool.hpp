@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool. Stands in for the farm of LSMS instances of the
+/// paper's Fig. 3: each queued task is one instance's energy evaluation;
+/// completion order is whatever the scheduler produces, which is exactly
+/// the out-of-order arrival the WL driver must tolerate.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wlsms::parallel {
+
+/// Simple FIFO thread pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_threads);
+
+  /// Drains the queue and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; never blocks.
+  void post(std::function<void()> task);
+
+  std::size_t n_threads() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wlsms::parallel

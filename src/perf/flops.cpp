@@ -1,0 +1,48 @@
+#include "perf/flops.hpp"
+
+#include <atomic>
+
+namespace wlsms::perf {
+
+namespace {
+
+std::atomic<std::uint64_t>& global_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+// Per-thread tally that drains into the global counter in chunks to keep
+// atomic traffic off the kernel hot path.
+struct ThreadTally {
+  std::uint64_t local = 0;
+  std::uint64_t drained = 0;
+  ~ThreadTally() { global_counter().fetch_add(local - drained); }
+};
+
+thread_local ThreadTally tally;
+
+constexpr std::uint64_t kDrainThreshold = 1ULL << 20;
+
+}  // namespace
+
+void add_flops(std::uint64_t count) {
+  tally.local += count;
+  if (tally.local - tally.drained >= kDrainThreshold) {
+    global_counter().fetch_add(tally.local - tally.drained);
+    tally.drained = tally.local;
+  }
+}
+
+std::uint64_t thread_flops() { return tally.local; }
+
+std::uint64_t total_flops() {
+  // Include this thread's undrained part so single-threaded callers see an
+  // exact value without a synchronization point.
+  return global_counter().load() + (tally.local - tally.drained);
+}
+
+FlopWindow::FlopWindow() : start_(total_flops()) {}
+
+std::uint64_t FlopWindow::elapsed() const { return total_flops() - start_; }
+
+}  // namespace wlsms::perf

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file flops.hpp
+/// Floating-point-operation accounting.
+///
+/// The paper instruments WL-LSMS with PAPI FP_OPS counters to report the
+/// sustained petaflop number (Table II). PAPI is hardware-specific, so this
+/// library provides the equivalent observable in software: every linear
+/// algebra kernel reports the number of real floating-point operations it
+/// retired into a thread-local counter, which can be aggregated across
+/// threads. The discrete-event cluster model (src/cluster) combines these
+/// counts with the machine description to compute sustained Flop/s at scale.
+
+#include <cstdint>
+
+namespace wlsms::perf {
+
+/// Adds `count` retired real floating-point operations to this thread's
+/// counter. Kernels call this once per call with an analytic count, so the
+/// overhead is negligible.
+void add_flops(std::uint64_t count);
+
+/// Flops retired by the calling thread since thread start (monotonic).
+std::uint64_t thread_flops();
+
+/// Flops retired by all threads that ever reported, aggregated.
+std::uint64_t total_flops();
+
+/// RAII window over the *global* counter: records the total at construction
+/// and reports the delta. Captures work done by every thread, so it is the
+/// right tool around an OpenMP region.
+class FlopWindow {
+ public:
+  FlopWindow();
+  /// Flops retired globally since construction.
+  std::uint64_t elapsed() const;
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Analytic real-flop counts for the complex kernels (1 complex multiply =
+/// 6 real flops, 1 complex add = 2 real flops), matching what PAPI would
+/// count on scalar hardware.
+namespace cost {
+
+/// C += A*B with A (m x k), B (k x n), complex double.
+constexpr std::uint64_t zgemm(std::uint64_t m, std::uint64_t n,
+                              std::uint64_t k) {
+  return 8ULL * m * n * k;
+}
+
+/// LU factorization with partial pivoting of an n x n complex matrix.
+constexpr std::uint64_t zgetrf(std::uint64_t n) {
+  return 8ULL * n * n * n / 3ULL;
+}
+
+/// Triangular solves for one right-hand side after zgetrf.
+constexpr std::uint64_t zgetrs(std::uint64_t n, std::uint64_t nrhs) {
+  return 8ULL * n * n * nrhs;
+}
+
+}  // namespace cost
+
+}  // namespace wlsms::perf

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing helpers; the software analogue of the paper's
+/// PAPI_get_real_usec() measurements.
+
+#include <chrono>
+
+namespace wlsms::perf {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace wlsms::perf

@@ -1,0 +1,46 @@
+#include "spin/moves.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wlsms::spin {
+
+TrialMove UniformSphereMove::propose(const MomentConfiguration& config,
+                                     Rng& rng) const {
+  TrialMove move;
+  move.site = rng.uniform_index(config.size());
+  move.new_direction = rng.unit_vector();
+  return move;
+}
+
+ConeMove::ConeMove(double half_angle) : half_angle_(half_angle) {
+  WLSMS_EXPECTS(half_angle > 0.0 && half_angle <= std::acos(-1.0));
+}
+
+TrialMove ConeMove::propose(const MomentConfiguration& config,
+                            Rng& rng) const {
+  TrialMove move;
+  move.site = rng.uniform_index(config.size());
+  const Vec3 e = config[move.site];
+
+  // Uniform point on the spherical cap around +z of opening half_angle_:
+  // cos(theta) uniform in [cos(half_angle), 1].
+  const double cos_min = std::cos(half_angle_);
+  const double cos_theta = rng.uniform(cos_min, 1.0);
+  const double sin_theta = std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
+  const double phi = rng.uniform(0.0, 2.0 * std::acos(-1.0));
+  const Vec3 local{sin_theta * std::cos(phi), sin_theta * std::sin(phi),
+                   cos_theta};
+
+  // Rotate the cap from +z onto the current direction e via an orthonormal
+  // frame {u, v, e}.
+  Vec3 axis = (std::abs(e.z) < 0.9) ? Vec3{0.0, 0.0, 1.0} : Vec3{1.0, 0.0, 0.0};
+  const Vec3 u = e.cross(axis).normalized();
+  const Vec3 v = e.cross(u);
+  move.new_direction =
+      (u * local.x + v * local.y + e * local.z).normalized();
+  return move;
+}
+
+}  // namespace wlsms::spin

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file moves.hpp
+/// Trial-move generators for the Monte Carlo layers.
+///
+/// The paper's WL driver "generates a new trial move for a given instance by
+/// randomly picking one moment in its set and generating a new random
+/// direction on a sphere for it" (§II-C); that is UniformSphereMove. The
+/// Metropolis baseline additionally offers a cone move, the standard choice
+/// for continuous spins at low temperature.
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "spin/moments.hpp"
+
+namespace wlsms::spin {
+
+/// A proposed single-moment update.
+struct TrialMove {
+  std::size_t site = 0;
+  Vec3 new_direction;
+};
+
+/// Picks a uniformly random site and a uniformly random new direction on
+/// the sphere (the paper's move; symmetric, ergodic, temperature-free).
+class UniformSphereMove {
+ public:
+  TrialMove propose(const MomentConfiguration& config, Rng& rng) const;
+};
+
+/// Picks a uniformly random site and perturbs its direction within a cone of
+/// opening `half_angle` radians around the current direction. Symmetric
+/// (uniform over the spherical cap), so no proposal-ratio correction is
+/// needed in acceptance rules.
+class ConeMove {
+ public:
+  explicit ConeMove(double half_angle);
+  TrialMove propose(const MomentConfiguration& config, Rng& rng) const;
+  double half_angle() const { return half_angle_; }
+
+ private:
+  double half_angle_;
+};
+
+}  // namespace wlsms::spin

@@ -1,0 +1,66 @@
+#include "spin/rotation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wlsms::spin {
+
+namespace {
+constexpr Complex kI{0.0, 1.0};
+}
+
+Spin2x2 pauli_x() {
+  return {Complex{0, 0}, Complex{1, 0}, Complex{1, 0}, Complex{0, 0}};
+}
+
+Spin2x2 pauli_y() { return {Complex{0, 0}, -kI, kI, Complex{0, 0}}; }
+
+Spin2x2 pauli_z() {
+  return {Complex{1, 0}, Complex{0, 0}, Complex{0, 0}, Complex{-1, 0}};
+}
+
+Spin2x2 pauli_dot(const Vec3& e) {
+  return {Complex{e.z, 0.0}, Complex{e.x, -e.y}, Complex{e.x, e.y},
+          Complex{-e.z, 0.0}};
+}
+
+Spin2x2 su2_from_direction(const Vec3& e) {
+  // Spherical angles of e; rotation R = exp(-i phi sigma_z/2)
+  //                                  * exp(-i theta sigma_y/2).
+  const double theta = std::acos(std::clamp(e.z, -1.0, 1.0));
+  const double phi = std::atan2(e.y, e.x);
+  const double ct = std::cos(0.5 * theta);
+  const double st = std::sin(0.5 * theta);
+  const Complex em{std::cos(0.5 * phi), -std::sin(0.5 * phi)};
+  const Complex ep{std::cos(0.5 * phi), std::sin(0.5 * phi)};
+  return {em * ct, -em * st, ep * st, ep * ct};
+}
+
+Spin2x2 multiply2(const Spin2x2& a, const Spin2x2& b) {
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+          a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+Spin2x2 dagger(const Spin2x2& a) {
+  return {std::conj(a[0]), std::conj(a[2]), std::conj(a[1]), std::conj(a[3])};
+}
+
+Spin2x2 conjugate(const Spin2x2& r, const Spin2x2& a) {
+  return multiply2(multiply2(r, a), dagger(r));
+}
+
+Spin2x2 rotated_t_matrix(Complex t_up, Complex t_dn, const Vec3& e) {
+  const Complex t_bar = 0.5 * (t_up + t_dn);
+  const Complex dt = 0.5 * (t_up - t_dn);
+  const Spin2x2 sde = pauli_dot(e);
+  return {t_bar + dt * sde[0], dt * sde[1], dt * sde[2], t_bar + dt * sde[3]};
+}
+
+double max_abs_diff(const Spin2x2& a, const Spin2x2& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 4; ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+}  // namespace wlsms::spin

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file rotation.hpp
+/// SU(2) spin rotations and Pauli algebra. In the frozen-potential picture
+/// the applied local field "simply rotates the exchange potential on an
+/// atomic site" (paper §II-B): the single-site scattering matrix of an atom
+/// whose moment points along e is t(e) = R(e) diag(t_up, t_dn) R(e)^dagger,
+/// with R(e) the SU(2) rotation taking z to e. Equivalently
+/// t(e) = t_bar * 1 + dt * (sigma . e); both forms are provided and tested
+/// against each other.
+
+#include <array>
+
+#include "common/vec3.hpp"
+#include "linalg/matrix.hpp"
+
+namespace wlsms::spin {
+
+using linalg::Complex;
+
+/// 2x2 complex matrix in a flat array, row-major: {m00, m01, m10, m11}.
+using Spin2x2 = std::array<Complex, 4>;
+
+/// Pauli matrices sigma_x, sigma_y, sigma_z.
+Spin2x2 pauli_x();
+Spin2x2 pauli_y();
+Spin2x2 pauli_z();
+
+/// sigma . e for a unit vector e.
+Spin2x2 pauli_dot(const Vec3& e);
+
+/// SU(2) rotation R with R sigma_z R^dagger = sigma . e. The standard
+/// half-angle construction; for e = -z (theta = pi, phi undefined) a fixed
+/// azimuth of 0 is used, which is a valid representative.
+Spin2x2 su2_from_direction(const Vec3& e);
+
+/// Conjugation R A R^dagger.
+Spin2x2 conjugate(const Spin2x2& r, const Spin2x2& a);
+
+/// Matrix product A B for 2x2 blocks.
+Spin2x2 multiply2(const Spin2x2& a, const Spin2x2& b);
+
+/// Hermitian conjugate.
+Spin2x2 dagger(const Spin2x2& a);
+
+/// Spin-diagonal scattering matrix rotated to direction e:
+/// t(e) = t_bar * 1 + dt * (sigma . e), with t_bar = (t_up + t_dn)/2 and
+/// dt = (t_up - t_dn)/2.
+Spin2x2 rotated_t_matrix(Complex t_up, Complex t_dn, const Vec3& e);
+
+/// Max |a_ij - b_ij| over the four elements.
+double max_abs_diff(const Spin2x2& a, const Spin2x2& b);
+
+}  // namespace wlsms::spin

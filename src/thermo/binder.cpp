@@ -1,0 +1,108 @@
+#include "thermo/binder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "spin/moves.hpp"
+
+namespace wlsms::thermo {
+
+namespace {
+
+CumulantPoint sample_at(const wl::EnergyFunction& energy,
+                        spin::MomentConfiguration& state, double temperature_k,
+                        const CumulantConfig& config, Rng& rng) {
+  const double beta = units::beta_from_kelvin(temperature_k);
+  double e = energy.total_energy(state);
+  const spin::UniformSphereMove mover;
+
+  double sum_m2 = 0.0;
+  double sum_m4 = 0.0;
+  std::uint64_t samples = 0;
+  const std::uint64_t total =
+      config.thermalization_steps + config.measurement_steps;
+  for (std::uint64_t step = 0; step < total; ++step) {
+    const spin::TrialMove move = mover.propose(state, rng);
+    const double e_new = energy.energy_after_move(state, move, e);
+    const double delta = e_new - e;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-beta * delta)) {
+      state.set(move.site, move.new_direction);
+      e = e_new;
+    }
+    if (step >= config.thermalization_steps &&
+        (step - config.thermalization_steps) % config.measure_interval == 0) {
+      const double m = state.magnetization();
+      const double m2 = m * m;
+      sum_m2 += m2;
+      sum_m4 += m2 * m2;
+      ++samples;
+    }
+    if ((step & ((1u << 22) - 1)) == 0) e = energy.total_energy(state);
+  }
+
+  CumulantPoint point;
+  point.temperature = temperature_k;
+  WLSMS_ENSURES(samples > 0);
+  point.m2 = sum_m2 / static_cast<double>(samples);
+  point.m4 = sum_m4 / static_cast<double>(samples);
+  point.binder_u4 = 1.0 - point.m4 / (3.0 * point.m2 * point.m2);
+  return point;
+}
+
+}  // namespace
+
+std::vector<CumulantPoint> binder_cumulant_sweep(
+    const wl::EnergyFunction& energy, const std::vector<double>& temperatures,
+    const CumulantConfig& config, Rng& rng) {
+  WLSMS_EXPECTS(!temperatures.empty());
+  WLSMS_EXPECTS(config.measure_interval >= 1);
+  for (double t : temperatures) WLSMS_EXPECTS(t > 0.0);
+
+  // Anneal hot -> cold, warm-starting each chain from the previous one.
+  std::vector<std::size_t> order(temperatures.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return temperatures[a] > temperatures[b];
+  });
+
+  std::vector<CumulantPoint> points(temperatures.size());
+  spin::MomentConfiguration state =
+      spin::MomentConfiguration::random(energy.n_sites(), rng);
+  for (std::size_t i : order)
+    points[i] = sample_at(energy, state, temperatures[i], config, rng);
+  return points;
+}
+
+double binder_crossing(const std::vector<CumulantPoint>& small_system,
+                       const std::vector<CumulantPoint>& large_system) {
+  WLSMS_EXPECTS(small_system.size() == large_system.size());
+  WLSMS_EXPECTS(small_system.size() >= 2);
+
+  // Work on the temperature-sorted difference d(T) = U4_small - U4_large.
+  std::vector<std::size_t> order(small_system.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return small_system[a].temperature < small_system[b].temperature;
+  });
+
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const CumulantPoint& s0 = small_system[order[k - 1]];
+    const CumulantPoint& s1 = small_system[order[k]];
+    const CumulantPoint& l0 = large_system[order[k - 1]];
+    const CumulantPoint& l1 = large_system[order[k]];
+    WLSMS_EXPECTS(s0.temperature == l0.temperature);
+    const double d0 = s0.binder_u4 - l0.binder_u4;
+    const double d1 = s1.binder_u4 - l1.binder_u4;
+    if (d0 == 0.0) return s0.temperature;
+    if (d0 < 0.0 && d1 >= 0.0) {
+      // Linear interpolation of the sign change.
+      const double frac = d0 / (d0 - d1);
+      return s0.temperature + frac * (s1.temperature - s0.temperature);
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace wlsms::thermo

@@ -1,0 +1,123 @@
+#include "thermo/joint_observables.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace wlsms::thermo {
+
+namespace {
+
+/// ln Sum_e g(e, m-bin) exp(-beta e) per magnetization bin; bins never
+/// visited at any energy get -infinity (excluded).
+std::vector<double> ln_constrained_z(const wl::JointDos& dos, double beta) {
+  const std::size_t m_bins = dos.m_bins();
+  const std::size_t e_bins = dos.e_bins();
+  std::vector<double> ln_z(m_bins, -1e300);
+
+  for (std::size_t bm = 0; bm < m_bins; ++bm) {
+    double max_log_w = -1e300;
+    for (std::size_t be = 0; be < e_bins; ++be) {
+      if (!dos.cell_visited(be, bm)) continue;
+      max_log_w = std::max(max_log_w,
+                           dos.cell_ln_g(be, bm) - beta * dos.e_center(be));
+    }
+    if (max_log_w <= -1e299) continue;
+    double sum = 0.0;
+    for (std::size_t be = 0; be < e_bins; ++be) {
+      if (!dos.cell_visited(be, bm)) continue;
+      sum += std::exp(dos.cell_ln_g(be, bm) - beta * dos.e_center(be) -
+                      max_log_w);
+    }
+    ln_z[bm] = max_log_w + std::log(sum);
+  }
+  return ln_z;
+}
+
+}  // namespace
+
+FreeEnergyProfile free_energy_profile(const wl::JointDos& dos,
+                                      double temperature_k) {
+  WLSMS_EXPECTS(temperature_k > 0.0);
+  const double kt = units::k_boltzmann_ry * temperature_k;
+  const std::vector<double> ln_z = ln_constrained_z(dos, 1.0 / kt);
+
+  FreeEnergyProfile profile;
+  profile.temperature = temperature_k;
+  double f_min = 1e300;
+  for (std::size_t bm = 0; bm < dos.m_bins(); ++bm) {
+    if (ln_z[bm] <= -1e299) continue;
+    profile.m.push_back(dos.m_center(bm));
+    profile.f.push_back(-kt * ln_z[bm]);
+    f_min = std::min(f_min, profile.f.back());
+  }
+  for (double& f : profile.f) f -= f_min;
+  return profile;
+}
+
+double switching_barrier(const wl::JointDos& dos, double temperature_k) {
+  const FreeEnergyProfile profile = free_energy_profile(dos, temperature_k);
+  if (profile.m.size() < 3) return 0.0;
+
+  // Minima on the negative-M and positive-M branches, maximum in between.
+  double min_neg = 1e300;
+  double min_pos = 1e300;
+  for (std::size_t i = 0; i < profile.m.size(); ++i) {
+    if (profile.m[i] < 0.0) min_neg = std::min(min_neg, profile.f[i]);
+    if (profile.m[i] > 0.0) min_pos = std::min(min_pos, profile.f[i]);
+  }
+  if (min_neg >= 1e299 || min_pos >= 1e299) return 0.0;
+
+  // Barrier: maximum of F along the lowest path crossing M = 0; with a 1-D
+  // profile that is simply F near M = 0.
+  double f_at_zero = 1e300;
+  for (std::size_t i = 0; i < profile.m.size(); ++i)
+    if (std::abs(profile.m[i]) < 2.0 / static_cast<double>(dos.m_bins()))
+      f_at_zero = std::min(f_at_zero, profile.f[i]);
+  if (f_at_zero >= 1e299) {
+    // No sampled states near M = 0; use the interior maximum as a fallback.
+    f_at_zero = *std::max_element(profile.f.begin(), profile.f.end());
+  }
+  const double barrier = f_at_zero - std::max(min_neg, min_pos);
+  return std::max(0.0, barrier);
+}
+
+double mean_abs_magnetization(const wl::JointDos& dos, double temperature_k) {
+  WLSMS_EXPECTS(temperature_k > 0.0);
+  const double beta = 1.0 / (units::k_boltzmann_ry * temperature_k);
+  const std::vector<double> ln_z = ln_constrained_z(dos, beta);
+
+  double max_ln_z = -1e300;
+  for (double v : ln_z) max_ln_z = std::max(max_ln_z, v);
+  WLSMS_ENSURES(max_ln_z > -1e299);
+
+  double sum_w = 0.0;
+  double sum_wm = 0.0;
+  for (std::size_t bm = 0; bm < ln_z.size(); ++bm) {
+    if (ln_z[bm] <= -1e299) continue;
+    const double w = std::exp(ln_z[bm] - max_ln_z);
+    sum_w += w;
+    sum_wm += w * std::abs(dos.m_center(bm));
+  }
+  return sum_wm / sum_w;
+}
+
+std::vector<std::pair<double, double>> magnetization_curve(
+    const wl::JointDos& dos, double t_min, double t_max,
+    std::size_t n_points) {
+  WLSMS_EXPECTS(t_max > t_min && t_min > 0.0);
+  WLSMS_EXPECTS(n_points >= 2);
+  std::vector<std::pair<double, double>> curve;
+  curve.reserve(n_points);
+  for (std::size_t k = 0; k < n_points; ++k) {
+    const double t =
+        t_min + (t_max - t_min) * static_cast<double>(k) /
+                    static_cast<double>(n_points - 1);
+    curve.emplace_back(t, mean_abs_magnetization(dos, t));
+  }
+  return curve;
+}
+
+}  // namespace wlsms::thermo

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file joint_observables.hpp
+/// Thermodynamics from a joint density of states g(E, M).
+///
+/// The joint DOS yields the magnetization curve M(T) (paper §II-B: the
+/// moments are recovered "in a joint density of states calculation") and
+/// the constrained free-energy profile
+///
+///   F(M; T) = -k_B T ln Integral g(E, M) e^{-E/(k_B T)} dE ,
+///
+/// whose barrier between the two field-free minima is the temperature-
+/// dependent switching barrier of the FePt nanoparticle application
+/// (paper refs [14], [15] and §V outlook).
+
+#include <cstddef>
+#include <vector>
+
+#include "wl/joint_dos.hpp"
+
+namespace wlsms::thermo {
+
+/// Constrained free-energy profile at one temperature.
+struct FreeEnergyProfile {
+  double temperature = 0.0;       ///< [K]
+  std::vector<double> m;          ///< magnetization bin centres
+  std::vector<double> f;          ///< F(M; T) [Ry], min shifted to zero
+};
+
+/// F(M; T) over the visited magnetization bins.
+FreeEnergyProfile free_energy_profile(const wl::JointDos& dos,
+                                      double temperature_k);
+
+/// Height of the barrier separating M < 0 from M > 0 at `temperature_k`:
+/// F at the maximum of the profile over the interior, minus the lower of
+/// the two boundary minima. Returns 0 if the profile is barrier-free.
+double switching_barrier(const wl::JointDos& dos, double temperature_k);
+
+/// Thermal expectation <|M|>(T) from the joint DOS.
+double mean_abs_magnetization(const wl::JointDos& dos, double temperature_k);
+
+/// Sweep of <|M|>(T); the magnetization-vs-temperature curve.
+std::vector<std::pair<double, double>> magnetization_curve(
+    const wl::JointDos& dos, double t_min, double t_max, std::size_t n_points);
+
+}  // namespace wlsms::thermo

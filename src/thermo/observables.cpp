@@ -1,0 +1,133 @@
+#include "thermo/observables.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace wlsms::thermo {
+
+DosTable dos_table(const wl::DosGrid& dos) {
+  DosTable table;
+  for (const auto& [e, ln_g] : dos.visited_series()) {
+    table.energy.push_back(e);
+    table.ln_g.push_back(ln_g);
+  }
+  return table;
+}
+
+namespace {
+
+/// Boltzmann-weighted statistics of the tabulated DOS at inverse
+/// temperature beta, computed stably: every weight is shifted by the
+/// maximum log-weight L before exponentiation.
+struct WeightedStats {
+  double log_i0;   ///< ln Sum_i g_i exp(-beta E_i)  (bin width dropped: it
+                   ///< shifts F by a T-linear constant, like ln g_0)
+  double mean_e;   ///< <E>
+  double var_e;    ///< <E^2> - <E>^2
+};
+
+WeightedStats weighted_stats(const DosTable& dos, double beta) {
+  WLSMS_EXPECTS(!dos.energy.empty());
+  WLSMS_EXPECTS(dos.energy.size() == dos.ln_g.size());
+
+  double max_log_w = -1e300;
+  for (std::size_t i = 0; i < dos.energy.size(); ++i)
+    max_log_w = std::max(max_log_w, dos.ln_g[i] - beta * dos.energy[i]);
+
+  double sum_w = 0.0;
+  double sum_we = 0.0;
+  double sum_we2 = 0.0;
+  for (std::size_t i = 0; i < dos.energy.size(); ++i) {
+    const double w = std::exp(dos.ln_g[i] - beta * dos.energy[i] - max_log_w);
+    sum_w += w;
+    sum_we += w * dos.energy[i];
+    sum_we2 += w * dos.energy[i] * dos.energy[i];
+  }
+  const double mean = sum_we / sum_w;
+  const double mean2 = sum_we2 / sum_w;
+  return {max_log_w + std::log(sum_w), mean,
+          std::max(0.0, mean2 - mean * mean)};
+}
+
+}  // namespace
+
+Observables observables_at(const DosTable& dos, double temperature_k) {
+  WLSMS_EXPECTS(temperature_k > 0.0);
+  const double kt = units::k_boltzmann_ry * temperature_k;
+  const WeightedStats stats = weighted_stats(dos, 1.0 / kt);
+
+  Observables obs;
+  obs.temperature = temperature_k;
+  obs.free_energy = -kt * stats.log_i0;                       // eq. 14
+  obs.internal_energy = stats.mean_e;                         // eq. 15
+  obs.specific_heat =
+      stats.var_e / (units::k_boltzmann_ry * temperature_k * temperature_k);
+  // eq. 16: c = (I2/I0 - I1^2/I0^2)/(k_B T^2) = Var(E)/(k_B T^2).
+  obs.entropy = (obs.internal_energy - obs.free_energy) / temperature_k;
+  return obs;
+}
+
+std::vector<Observables> temperature_sweep(const DosTable& dos, double t_min,
+                                           double t_max,
+                                           std::size_t n_points) {
+  WLSMS_EXPECTS(t_max > t_min && t_min > 0.0);
+  WLSMS_EXPECTS(n_points >= 2);
+  std::vector<Observables> sweep;
+  sweep.reserve(n_points);
+  for (std::size_t k = 0; k < n_points; ++k) {
+    const double t =
+        t_min + (t_max - t_min) * static_cast<double>(k) /
+                    static_cast<double>(n_points - 1);
+    sweep.push_back(observables_at(dos, t));
+  }
+  return sweep;
+}
+
+CurieEstimate estimate_curie_temperature(const DosTable& dos, double t_min,
+                                         double t_max,
+                                         std::size_t coarse_points,
+                                         double tolerance_k) {
+  WLSMS_EXPECTS(coarse_points >= 8);
+  WLSMS_EXPECTS(tolerance_k > 0.0);
+  const std::vector<Observables> sweep =
+      temperature_sweep(dos, t_min, t_max, coarse_points);
+
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < sweep.size(); ++k)
+    if (sweep[k].specific_heat > sweep[best].specific_heat) best = k;
+
+  // Golden-section refinement in the bracketing interval.
+  const double step = (t_max - t_min) / static_cast<double>(coarse_points - 1);
+  double lo = std::max(t_min, sweep[best].temperature - step);
+  double hi = std::min(t_max, sweep[best].temperature + step);
+  const double phi = 0.5 * (std::sqrt(5.0) - 1.0);
+  const auto c_at = [&dos](double t) {
+    return observables_at(dos, t).specific_heat;
+  };
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double c1 = c_at(x1);
+  double c2 = c_at(x2);
+  while (hi - lo > tolerance_k) {
+    if (c1 < c2) {
+      lo = x1;
+      x1 = x2;
+      c1 = c2;
+      x2 = lo + phi * (hi - lo);
+      c2 = c_at(x2);
+    } else {
+      hi = x2;
+      x2 = x1;
+      c2 = c1;
+      x1 = hi - phi * (hi - lo);
+      c1 = c_at(x1);
+    }
+  }
+  const double tc = 0.5 * (lo + hi);
+  return {tc, c_at(tc)};
+}
+
+}  // namespace wlsms::thermo

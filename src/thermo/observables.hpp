@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file observables.hpp
+/// Thermodynamics from a converged density of states.
+///
+/// Implements eqs. 9-16 of the paper: with the moments
+///
+///   I_n(T) = Integral E^n g(E) e^{-E/(k_B T)} dE                  (eq. 12)
+///
+/// one gets Z = I_0 (13), F = -k_B T ln I_0 (14), U = I_1/I_0 (15) and
+///
+///   c = (I_2/I_0 - I_1^2/I_0^2) / (k_B T^2)                       (eq. 16).
+///
+/// Because only ln g is known (and only up to the unknown additive constant
+/// ln g_0, eq. 9), every quantity is computed in log space with the
+/// log-sum-exp trick; F carries the g_0 ambiguity (the paper plots
+/// F' = F + k_B T ln g_0, Fig. 5) while U, c and S' = (U - F')/T are
+/// absolute, exactly as the paper notes below eq. 11.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "wl/dos_grid.hpp"
+
+namespace wlsms::thermo {
+
+/// A tabulated ln g(E): energies (bin centres) and ln g values.
+struct DosTable {
+  std::vector<double> energy;  ///< [Ry]
+  std::vector<double> ln_g;    ///< unnormalized
+};
+
+/// Extracts the visited part of a DosGrid as a table.
+DosTable dos_table(const wl::DosGrid& dos);
+
+/// Thermodynamic quantities at one temperature.
+struct Observables {
+  double temperature = 0.0;    ///< [K]
+  double free_energy = 0.0;    ///< F' = -k_B T ln(I_0) [Ry] (g0-ambiguous)
+  double internal_energy = 0.0;///< U = I_1/I_0 [Ry] (absolute)
+  double specific_heat = 0.0;  ///< c, eq. 16 [Ry/K] (absolute)
+  double entropy = 0.0;        ///< S' = (U - F')/T [Ry/K] (g0-ambiguous)
+};
+
+/// Evaluates eqs. 13-16 at `temperature_k` (> 0) from the tabulated DOS.
+Observables observables_at(const DosTable& dos, double temperature_k);
+
+/// Evaluates a whole temperature sweep [t_min, t_max] with `n_points`
+/// uniformly spaced temperatures.
+std::vector<Observables> temperature_sweep(const DosTable& dos, double t_min,
+                                           double t_max, std::size_t n_points);
+
+/// Location and height of the specific-heat peak over a sweep: the paper's
+/// Curie-temperature estimate ("a transition temperature ... can be read
+/// off these graphs", Fig. 6). Runs a coarse sweep then refines by golden-
+/// section search to `tolerance_k`.
+struct CurieEstimate {
+  double tc = 0.0;            ///< peak position [K]
+  double peak_height = 0.0;   ///< c at the peak [Ry/K]
+};
+CurieEstimate estimate_curie_temperature(const DosTable& dos, double t_min,
+                                         double t_max,
+                                         std::size_t coarse_points = 200,
+                                         double tolerance_k = 0.5);
+
+}  // namespace wlsms::thermo

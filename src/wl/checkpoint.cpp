@@ -1,0 +1,132 @@
+#include "wl/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wlsms::wl {
+
+namespace {
+
+constexpr const char* kMagic = "wlsms-checkpoint";
+constexpr int kVersion = 1;
+
+void require(bool condition, const std::string& what) {
+  if (!condition) throw CheckpointError(what);
+}
+
+}  // namespace
+
+void write_checkpoint(std::ostream& out, const Checkpoint& checkpoint) {
+  out.precision(17);
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "grid " << checkpoint.grid.e_min << ' ' << checkpoint.grid.e_max
+      << ' ' << checkpoint.grid.bins << ' '
+      << checkpoint.grid.kernel_width_fraction << '\n';
+  out << "gamma " << checkpoint.gamma << '\n';
+  out << "steps " << checkpoint.total_steps << '\n';
+
+  out << "ln_g " << checkpoint.ln_g.size() << '\n';
+  for (double v : checkpoint.ln_g) out << v << '\n';
+  out << "histogram " << checkpoint.histogram.size() << '\n';
+  for (std::uint64_t v : checkpoint.histogram) out << v << '\n';
+  out << "visited " << checkpoint.visited.size() << '\n';
+  for (std::uint8_t v : checkpoint.visited) out << static_cast<int>(v) << '\n';
+
+  out << "walkers " << checkpoint.walkers.size() << '\n';
+  for (const spin::MomentConfiguration& w : checkpoint.walkers) {
+    out << w.size() << '\n';
+    for (const Vec3& d : w.directions())
+      out << d.x << ' ' << d.y << ' ' << d.z << '\n';
+  }
+}
+
+Checkpoint read_checkpoint(std::istream& in) {
+  Checkpoint cp;
+  std::string token;
+  int version = 0;
+  require(static_cast<bool>(in >> token >> version), "missing header");
+  require(token == kMagic, "bad magic: " + token);
+  require(version == kVersion, "unsupported version");
+
+  require(static_cast<bool>(in >> token) && token == "grid", "missing grid");
+  require(static_cast<bool>(in >> cp.grid.e_min >> cp.grid.e_max >>
+                            cp.grid.bins >> cp.grid.kernel_width_fraction),
+          "bad grid line");
+
+  require(static_cast<bool>(in >> token) && token == "gamma", "missing gamma");
+  require(static_cast<bool>(in >> cp.gamma), "bad gamma");
+  require(static_cast<bool>(in >> token) && token == "steps", "missing steps");
+  require(static_cast<bool>(in >> cp.total_steps), "bad steps");
+
+  std::size_t count = 0;
+  require(static_cast<bool>(in >> token >> count) && token == "ln_g",
+          "missing ln_g");
+  cp.ln_g.resize(count);
+  for (double& v : cp.ln_g)
+    require(static_cast<bool>(in >> v), "truncated ln_g");
+
+  require(static_cast<bool>(in >> token >> count) && token == "histogram",
+          "missing histogram");
+  cp.histogram.resize(count);
+  for (std::uint64_t& v : cp.histogram)
+    require(static_cast<bool>(in >> v), "truncated histogram");
+
+  require(static_cast<bool>(in >> token >> count) && token == "visited",
+          "missing visited");
+  cp.visited.resize(count);
+  for (std::uint8_t& v : cp.visited) {
+    int value = 0;
+    require(static_cast<bool>(in >> value), "truncated visited");
+    v = static_cast<std::uint8_t>(value);
+  }
+
+  require(static_cast<bool>(in >> token >> count) && token == "walkers",
+          "missing walkers");
+  cp.walkers.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    std::size_t n = 0;
+    require(static_cast<bool>(in >> n), "truncated walker count");
+    std::vector<Vec3> dirs(n);
+    for (Vec3& d : dirs)
+      require(static_cast<bool>(in >> d.x >> d.y >> d.z), "truncated walker");
+    cp.walkers.push_back(spin::MomentConfiguration::from_directions(dirs));
+  }
+  return cp;
+}
+
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  std::ofstream out(path);
+  require(out.good(), "cannot open for write: " + path);
+  write_checkpoint(out, checkpoint);
+  require(out.good(), "write failed: " + path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open for read: " + path);
+  return read_checkpoint(in);
+}
+
+Checkpoint make_checkpoint(const DosGrid& dos, double gamma,
+                           std::uint64_t total_steps,
+                           std::vector<spin::MomentConfiguration> walkers) {
+  Checkpoint cp;
+  cp.grid = dos.config();
+  cp.ln_g = dos.ln_g_values();
+  cp.histogram = dos.histogram();
+  cp.visited = dos.visited();
+  cp.gamma = gamma;
+  cp.total_steps = total_steps;
+  cp.walkers = std::move(walkers);
+  return cp;
+}
+
+void restore_dos(const Checkpoint& checkpoint, DosGrid& dos) {
+  WLSMS_EXPECTS(dos.bins() == checkpoint.ln_g.size());
+  dos.set_ln_g_values(checkpoint.ln_g);
+  dos.set_visited(checkpoint.visited);
+}
+
+}  // namespace wlsms::wl

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Checkpoint/restart for Wang-Landau state. Production WL-LSMS runs consume
+/// millions of core hours (paper Table I: 4.9M for 250 atoms), so the
+/// density-of-states estimate, the histogram, the schedule state and the
+/// walker configurations must survive job boundaries. The format is
+/// versioned line-oriented text: portable, diffable, and resilient to
+/// partial writes (loads fail loudly on truncation).
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "spin/moments.hpp"
+#include "wl/dos_grid.hpp"
+
+namespace wlsms::wl {
+
+/// Everything needed to resume a run.
+struct Checkpoint {
+  DosGridConfig grid;
+  std::vector<double> ln_g;
+  std::vector<std::uint64_t> histogram;
+  std::vector<std::uint8_t> visited;
+  double gamma = 1.0;
+  std::uint64_t total_steps = 0;
+  std::vector<spin::MomentConfiguration> walkers;
+};
+
+/// Serializes `checkpoint` to `out`.
+void write_checkpoint(std::ostream& out, const Checkpoint& checkpoint);
+
+/// Parses a checkpoint; throws CheckpointError on malformed input.
+Checkpoint read_checkpoint(std::istream& in);
+
+/// File-based convenience wrappers.
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
+Checkpoint load_checkpoint(const std::string& path);
+
+/// Builds a checkpoint from a grid (+ schedule state and walkers).
+Checkpoint make_checkpoint(const DosGrid& dos, double gamma,
+                           std::uint64_t total_steps,
+                           std::vector<spin::MomentConfiguration> walkers);
+
+/// Restores `dos` (must have been constructed with checkpoint.grid).
+void restore_dos(const Checkpoint& checkpoint, DosGrid& dos);
+
+/// Thrown on malformed or truncated checkpoint data.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace wlsms::wl

@@ -1,0 +1,166 @@
+#include "wl/dos_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wlsms::wl {
+
+DosGrid::DosGrid(const DosGridConfig& config) : config_(config) {
+  WLSMS_EXPECTS(config.e_max > config.e_min);
+  WLSMS_EXPECTS(config.bins >= 3);
+  WLSMS_EXPECTS(config.kernel_width_fraction > 0.0 &&
+                config.kernel_width_fraction < 1.0);
+  bin_width_ = (config.e_max - config.e_min) / static_cast<double>(config.bins);
+  kernel_width_ = config.kernel_width_fraction * (config.e_max - config.e_min);
+  ln_g_.assign(config.bins, 0.0);
+  histogram_.assign(config.bins, 0);
+  visited_.assign(config.bins, 0);
+}
+
+double DosGrid::bin_center(std::size_t b) const {
+  WLSMS_EXPECTS(b < bins());
+  return config_.e_min + (static_cast<double>(b) + 0.5) * bin_width_;
+}
+
+bool DosGrid::contains(double e) const {
+  return e >= config_.e_min && e < config_.e_max;
+}
+
+std::size_t DosGrid::bin_index(double e) const {
+  WLSMS_EXPECTS(contains(e));
+  const auto b =
+      static_cast<std::size_t>((e - config_.e_min) / bin_width_);
+  return std::min(b, bins() - 1);
+}
+
+double DosGrid::ln_g(double e) const {
+  WLSMS_EXPECTS(contains(e));
+  // Piecewise-linear interpolation on bin centres, clamped at the ends.
+  // Interpolation never crosses into a bin the walk has not visited: such
+  // bins carry only kernel spill-over, and mixing them in makes energies in
+  // the outer half of a support-edge bin look artificially probable — a
+  // walker there would reject every outbound proposal and deposit into the
+  // edge bin without bound (see tests/test_wl_exact.cpp).
+  const double x = (e - config_.e_min) / bin_width_ - 0.5;
+  if (x <= 0.0) return ln_g_.front();
+  const double upper = static_cast<double>(bins() - 1);
+  if (x >= upper) return ln_g_.back();
+  const auto b = static_cast<std::size_t>(x);
+  const double frac = x - static_cast<double>(b);
+  const bool lo_visited = visited_[b] != 0;
+  const bool hi_visited = visited_[b + 1] != 0;
+  if (lo_visited && !hi_visited) return ln_g_[b];
+  if (!lo_visited && hi_visited) return ln_g_[b + 1];
+  return (1.0 - frac) * ln_g_[b] + frac * ln_g_[b + 1];
+}
+
+bool DosGrid::visit(double e, double gamma) {
+  WLSMS_EXPECTS(contains(e));
+  WLSMS_EXPECTS(gamma >= 0.0);
+  // Epanechnikov-kernel update of eq. 8 over all bins within the support.
+  const double lo = e - kernel_width_;
+  const double hi = e + kernel_width_;
+  const std::size_t b_lo =
+      contains(lo) ? bin_index(lo) : (lo < config_.e_min ? 0 : bins() - 1);
+  const std::size_t b_hi =
+      contains(hi) ? bin_index(hi) : (hi < config_.e_min ? 0 : bins() - 1);
+  for (std::size_t b = b_lo; b <= b_hi; ++b) {
+    const double x = (bin_center(b) - e) / kernel_width_;
+    const double k = 1.0 - x * x;
+    if (k > 0.0) ln_g_[b] += gamma * k;
+  }
+  const std::size_t hit = bin_index(e);
+  ++histogram_[hit];
+  const bool newly_visited = (visited_[hit] == 0);
+  visited_[hit] = 1;
+  return newly_visited;
+}
+
+void DosGrid::reset_histogram() {
+  std::fill(histogram_.begin(), histogram_.end(), 0);
+}
+
+std::vector<double> DosGrid::smoothed_histogram() const {
+  const auto margin =
+      static_cast<std::ptrdiff_t>(std::ceil(kernel_width_ / bin_width_));
+  const auto n = static_cast<std::ptrdiff_t>(bins());
+  std::vector<double> smoothed(bins(), 0.0);
+  for (std::ptrdiff_t b = 0; b < n; ++b) {
+    if (!visited_[static_cast<std::size_t>(b)]) continue;
+    double weighted = 0.0;
+    double weight_sum = 0.0;
+    for (std::ptrdiff_t d = -margin; d <= margin; ++d) {
+      const std::ptrdiff_t other = b + d;
+      if (other < 0 || other >= n) continue;
+      if (!visited_[static_cast<std::size_t>(other)]) continue;
+      const double x = static_cast<double>(d) * bin_width_ / kernel_width_;
+      const double k = 1.0 - x * x;
+      if (k <= 0.0) continue;
+      weighted += k * static_cast<double>(
+                          histogram_[static_cast<std::size_t>(other)]);
+      weight_sum += k;
+    }
+    if (weight_sum > 0.0)
+      smoothed[static_cast<std::size_t>(b)] = weighted / weight_sum;
+  }
+  return smoothed;
+}
+
+bool DosGrid::is_flat(double flatness_a, double min_mean_visits) const {
+  WLSMS_EXPECTS(flatness_a > 0.0 && flatness_a < 1.0);
+  const std::vector<double> smoothed = smoothed_histogram();
+
+  double min_count = 1e300;
+  double sum = 0.0;
+  std::size_t n_visited = 0;
+  for (std::size_t b = 0; b < bins(); ++b) {
+    if (!visited_[b]) continue;
+    ++n_visited;
+    sum += smoothed[b];
+    min_count = std::min(min_count, smoothed[b]);
+  }
+  if (n_visited < 2) return false;
+  const double mean = sum / static_cast<double>(n_visited);
+  if (mean < min_mean_visits) return false;
+  return min_count >= flatness_a * mean;
+}
+
+std::size_t DosGrid::visited_bins() const {
+  std::size_t n = 0;
+  for (std::uint8_t v : visited_) n += v;
+  return n;
+}
+
+std::uint64_t DosGrid::histogram_total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t h : histogram_) sum += h;
+  return sum;
+}
+
+void DosGrid::set_ln_g_values(std::vector<double> values) {
+  WLSMS_EXPECTS(values.size() == bins());
+  ln_g_ = std::move(values);
+}
+
+void DosGrid::set_visited(std::vector<std::uint8_t> visited) {
+  WLSMS_EXPECTS(visited.size() == bins());
+  visited_ = std::move(visited);
+}
+
+std::vector<std::pair<double, double>> DosGrid::visited_series() const {
+  double min_ln_g = 0.0;
+  bool first = true;
+  for (std::size_t b = 0; b < bins(); ++b) {
+    if (!visited_[b]) continue;
+    if (first || ln_g_[b] < min_ln_g) min_ln_g = ln_g_[b];
+    first = false;
+  }
+  std::vector<std::pair<double, double>> series;
+  for (std::size_t b = 0; b < bins(); ++b)
+    if (visited_[b]) series.emplace_back(bin_center(b), ln_g_[b] - min_ln_g);
+  return series;
+}
+
+}  // namespace wlsms::wl

@@ -1,0 +1,112 @@
+#include "wl/driver.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wlsms::wl {
+
+WlDriver::WlDriver(std::size_t n_sites, EnergyService& service,
+                   const WangLandauConfig& config,
+                   std::unique_ptr<ModificationSchedule> schedule, Rng rng)
+    : service_(service),
+      config_(config),
+      dos_(config.grid),
+      schedule_(std::move(schedule)),
+      rng_(rng) {
+  WLSMS_EXPECTS(n_sites >= 1);
+  WLSMS_EXPECTS(config.n_walkers >= 1);
+  WLSMS_EXPECTS(schedule_ != nullptr);
+
+  walkers_.resize(config.n_walkers);
+  for (std::size_t w = 0; w < walkers_.size(); ++w) {
+    walkers_[w].current = spin::MomentConfiguration::random(n_sites, rng_);
+    submit_initial(w);
+  }
+}
+
+void WlDriver::submit_initial(std::size_t w) {
+  Walker& walker = walkers_[w];
+  walker.trial = walker.current;
+  walker.ticket = next_ticket_++;
+  service_.submit({w, walker.ticket, walker.trial});
+}
+
+void WlDriver::submit_trial(std::size_t w) {
+  Walker& walker = walkers_[w];
+  walker.pending_move = move_generator_.propose(walker.current, rng_);
+  walker.trial = walker.current;
+  walker.trial.set(walker.pending_move.site, walker.pending_move.new_direction);
+  walker.ticket = next_ticket_++;
+  service_.submit({w, walker.ticket, walker.trial});
+}
+
+void WlDriver::record_visit(Walker& walker) {
+  if (dos_.visit(walker.energy, schedule_->gamma())) dos_.reset_histogram();
+  schedule_->on_step(stats_.total_steps);
+  ++iteration_steps_;
+
+  const std::uint64_t cap = config_.max_iteration_steps > 0
+                                ? config_.max_iteration_steps
+                                : 1000 * dos_.bins();
+  if (stats_.total_steps % config_.check_interval == 0) {
+    const bool flat = dos_.is_flat(config_.flatness);
+    if (flat || iteration_steps_ >= cap) {
+      schedule_->on_flat_histogram(stats_.total_steps);
+      dos_.reset_histogram();
+      ++stats_.iterations;
+      if (!flat) ++stats_.forced_iterations;
+      iteration_steps_ = 0;
+    }
+  }
+}
+
+void WlDriver::process(const EnergyResult& result) {
+  WLSMS_EXPECTS(result.walker < walkers_.size());
+  Walker& walker = walkers_[result.walker];
+  // Results for superseded tickets cannot occur: one request per walker is
+  // in flight at any time.
+  WLSMS_EXPECTS(result.ticket == walker.ticket);
+
+  if (result.failed) {
+    // Resilience: the computing instance died; repost the same trial.
+    ++stats_.resubmissions;
+    walker.ticket = next_ticket_++;
+    service_.submit({result.walker, walker.ticket, walker.trial});
+    return;
+  }
+
+  if (!walker.seeded) {
+    // First energy of the walker's starting configuration.
+    walker.energy = result.energy;
+    WLSMS_EXPECTS(dos_.contains(walker.energy));
+    walker.seeded = true;
+    submit_trial(result.walker);
+    return;
+  }
+
+  ++stats_.total_steps;
+  if (!dos_.contains(result.energy)) {
+    ++stats_.out_of_range;
+  } else {
+    const double ln_ratio = dos_.ln_g(walker.energy) - dos_.ln_g(result.energy);
+    if (ln_ratio >= 0.0 || rng_.uniform() < std::exp(ln_ratio)) {
+      walker.current = walker.trial;
+      walker.energy = result.energy;
+      ++stats_.accepted_steps;
+    }
+  }
+  record_visit(walker);
+  submit_trial(result.walker);
+}
+
+const DriverStats& WlDriver::run() {
+  while (!schedule_->converged() && stats_.total_steps < config_.max_steps) {
+    process(service_.retrieve());
+  }
+  // Drain so the service is idle when we hand it back.
+  while (service_.outstanding() > 0) (void)service_.retrieve();
+  return stats_;
+}
+
+}  // namespace wlsms::wl

@@ -1,0 +1,63 @@
+#include "wl/energy_function.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "perf/flops.hpp"
+
+namespace wlsms::wl {
+
+double EnergyFunction::energy_after_move(
+    const spin::MomentConfiguration& moments, const spin::TrialMove& move,
+    double current_energy) const {
+  (void)current_energy;
+  spin::MomentConfiguration trial = moments;
+  trial.set(move.site, move.new_direction);
+  return total_energy(trial);
+}
+
+HeisenbergEnergy::HeisenbergEnergy(heisenberg::HeisenbergModel model)
+    : model_(std::move(model)) {}
+
+double HeisenbergEnergy::total_energy(
+    const spin::MomentConfiguration& moments) const {
+  return model_.energy(moments);
+}
+
+double HeisenbergEnergy::energy_after_move(
+    const spin::MomentConfiguration& moments, const spin::TrialMove& move,
+    double current_energy) const {
+  return current_energy + model_.energy_delta(moments, move);
+}
+
+std::uint64_t HeisenbergEnergy::flops_per_evaluation() const {
+  // Dot product (5 flops) + multiply-accumulate (2) per bond.
+  return 7ULL * model_.bonds().size();
+}
+
+LsmsEnergy::LsmsEnergy(std::shared_ptr<const lsms::LsmsSolver> solver)
+    : solver_(std::move(solver)) {
+  WLSMS_EXPECTS(solver_ != nullptr);
+}
+
+double LsmsEnergy::total_energy(
+    const spin::MomentConfiguration& moments) const {
+  return solver_->energy(moments);
+}
+
+std::uint64_t LsmsEnergy::flops_per_evaluation() const {
+  return solver_->flops_per_energy();
+}
+
+HeisenbergEnergy make_surrogate_energy(const lattice::Structure& structure,
+                                       const lsms::ExtractedExchange& exchange,
+                                       double energy_scale) {
+  WLSMS_EXPECTS(energy_scale > 0.0);
+  std::vector<double> j_shells;
+  j_shells.reserve(exchange.shells.size());
+  for (const lsms::ShellExchange& s : exchange.shells)
+    j_shells.push_back(energy_scale * s.j);
+  return HeisenbergEnergy(heisenberg::HeisenbergModel(structure, j_shells));
+}
+
+}  // namespace wlsms::wl

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file energy_function.hpp
+/// The energy-functional interface the Wang-Landau machinery samples, plus
+/// adapters for every backend in this repository.
+///
+/// The paper's split is exactly this interface: the Wang-Landau driver knows
+/// nothing about the energy other than "submit a configuration, get E back"
+/// (§II-C); the LSMS instances implement it. Backends:
+///  - LsmsEnergy:      the multiple-scattering substrate (direct WL-LSMS);
+///  - HeisenbergEnergy: an explicit classical Heisenberg model;
+///  - SurrogateEnergy: the Heisenberg model with couplings extracted from
+///    the LSMS substrate (production converger, DESIGN.md §2).
+
+#include <cstdint>
+#include <memory>
+
+#include "heisenberg/heisenberg.hpp"
+#include "lsms/exchange.hpp"
+#include "lsms/solver.hpp"
+#include "spin/moments.hpp"
+#include "spin/moves.hpp"
+
+namespace wlsms::wl {
+
+/// A classical energy functional over moment configurations.
+class EnergyFunction {
+ public:
+  virtual ~EnergyFunction() = default;
+
+  /// Number of moments a configuration must carry.
+  virtual std::size_t n_sites() const = 0;
+
+  /// Total energy of `moments` [Ry].
+  virtual double total_energy(
+      const spin::MomentConfiguration& moments) const = 0;
+
+  /// Energy after applying `move` to `moments` whose current energy is
+  /// `current_energy`. The default recomputes from scratch; backends with a
+  /// cheap local update override it.
+  virtual double energy_after_move(const spin::MomentConfiguration& moments,
+                                   const spin::TrialMove& move,
+                                   double current_energy) const;
+
+  /// Approximate real flops one total_energy evaluation costs; lets the
+  /// harnesses report sustained-performance numbers per backend.
+  virtual std::uint64_t flops_per_evaluation() const { return 0; }
+};
+
+/// Classical Heisenberg backend with O(coordination) move updates.
+class HeisenbergEnergy final : public EnergyFunction {
+ public:
+  explicit HeisenbergEnergy(heisenberg::HeisenbergModel model);
+
+  const heisenberg::HeisenbergModel& model() const { return model_; }
+
+  std::size_t n_sites() const override { return model_.n_sites(); }
+  double total_energy(const spin::MomentConfiguration& moments) const override;
+  double energy_after_move(const spin::MomentConfiguration& moments,
+                           const spin::TrialMove& move,
+                           double current_energy) const override;
+  std::uint64_t flops_per_evaluation() const override;
+
+ private:
+  heisenberg::HeisenbergModel model_;
+};
+
+/// Direct multiple-scattering backend (one LIZ solve per atom).
+class LsmsEnergy final : public EnergyFunction {
+ public:
+  explicit LsmsEnergy(std::shared_ptr<const lsms::LsmsSolver> solver);
+
+  const lsms::LsmsSolver& solver() const { return *solver_; }
+
+  std::size_t n_sites() const override { return solver_->n_atoms(); }
+  double total_energy(const spin::MomentConfiguration& moments) const override;
+  std::uint64_t flops_per_evaluation() const override;
+
+ private:
+  std::shared_ptr<const lsms::LsmsSolver> solver_;
+};
+
+/// Builds the production surrogate: a HeisenbergEnergy whose shell couplings
+/// come from an LSMS extraction, optionally rescaled by `energy_scale` (the
+/// Curie-temperature calibration of fe_parameters.hpp). The extraction's
+/// constant offset e0 is dropped: only energy differences matter to the
+/// statistical mechanics, and dropping it puts the ferromagnetic minimum of
+/// the surrogate at -sum(J) like any Heisenberg model.
+HeisenbergEnergy make_surrogate_energy(const lattice::Structure& structure,
+                                       const lsms::ExtractedExchange& exchange,
+                                       double energy_scale = 1.0);
+
+}  // namespace wlsms::wl

@@ -1,0 +1,40 @@
+#include "wl/energy_service.hpp"
+
+#include "common/error.hpp"
+
+namespace wlsms::wl {
+
+SynchronousEnergyService::SynchronousEnergyService(const EnergyFunction& energy)
+    : energy_(energy) {}
+
+void SynchronousEnergyService::submit(EnergyRequest request) {
+  queue_.push_back(std::move(request));
+}
+
+EnergyResult SynchronousEnergyService::retrieve() {
+  WLSMS_EXPECTS(!queue_.empty());
+  const EnergyRequest request = std::move(queue_.front());
+  queue_.pop_front();
+  return {request.walker, request.ticket, energy_.total_energy(request.config),
+          false};
+}
+
+ReorderingEnergyService::ReorderingEnergyService(const EnergyFunction& energy,
+                                                 Rng rng)
+    : energy_(energy), rng_(rng) {}
+
+void ReorderingEnergyService::submit(EnergyRequest request) {
+  buffer_.push_back(std::move(request));
+}
+
+EnergyResult ReorderingEnergyService::retrieve() {
+  WLSMS_EXPECTS(!buffer_.empty());
+  const std::size_t pick =
+      static_cast<std::size_t>(rng_.uniform_index(buffer_.size()));
+  const EnergyRequest request = std::move(buffer_[pick]);
+  buffer_.erase(buffer_.begin() + static_cast<std::ptrdiff_t>(pick));
+  return {request.walker, request.ticket, energy_.total_energy(request.config),
+          false};
+}
+
+}  // namespace wlsms::wl

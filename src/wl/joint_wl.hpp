@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file joint_wl.hpp
+/// Sequential Wang-Landau sampler for the joint density of states g(E, M_z).
+/// The flat-histogram walk runs in the (energy, magnetization) plane, which
+/// gives direct access to constrained free energies F(M_z; T) — the
+/// temperature-dependent switching barriers of the paper's FePt application
+/// (refs [14], [15]).
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "spin/moments.hpp"
+#include "spin/moves.hpp"
+#include "wl/energy_function.hpp"
+#include "wl/joint_dos.hpp"
+#include "wl/schedule.hpp"
+
+namespace wlsms::wl {
+
+/// Run parameters for the joint estimation.
+struct JointWangLandauConfig {
+  JointDosConfig grid;
+  double flatness = 0.6;  ///< 2-D grids are harder to flatten; default lower
+  std::uint64_t check_interval = 2000;
+  std::uint64_t max_steps = UINT64_MAX;
+  /// Cap on one flatness iteration (0 = 1000 * cells); see
+  /// WangLandauConfig::max_iteration_steps.
+  std::uint64_t max_iteration_steps = 0;
+};
+
+/// Counters of a joint run.
+struct JointWangLandauStats {
+  std::uint64_t total_steps = 0;
+  std::uint64_t accepted_steps = 0;
+  std::uint64_t out_of_range = 0;
+  std::size_t iterations = 0;
+  std::size_t forced_iterations = 0;  ///< gamma cuts by iteration-step cap
+};
+
+/// Single-walker Wang-Landau estimator of ln g(E, M_z).
+class JointWangLandau {
+ public:
+  JointWangLandau(const EnergyFunction& energy,
+                  const JointWangLandauConfig& config,
+                  std::unique_ptr<ModificationSchedule> schedule, Rng rng);
+
+  /// Advances one WL step; false once converged or at the step cap.
+  bool step();
+
+  /// Runs to convergence (or the cap); returns the stats.
+  const JointWangLandauStats& run();
+
+  bool converged() const { return schedule_->converged(); }
+  const JointDos& dos() const { return dos_; }
+  const JointWangLandauStats& stats() const { return stats_; }
+  const spin::MomentConfiguration& configuration() const { return config_w_; }
+
+ private:
+  const EnergyFunction& energy_;
+  JointWangLandauConfig config_;
+  JointDos dos_;
+  std::unique_ptr<ModificationSchedule> schedule_;
+  Rng rng_;
+  spin::UniformSphereMove move_generator_;
+  spin::MomentConfiguration config_w_;
+  double energy_w_ = 0.0;
+  double m_w_ = 0.0;
+  JointWangLandauStats stats_;
+  std::uint64_t iteration_steps_ = 0;
+  std::size_t previous_hit_cells_ = 0;
+};
+
+}  // namespace wlsms::wl

@@ -1,0 +1,107 @@
+#include "wl/multimaster.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace wlsms::wl {
+
+DosGrid merge_dos_estimates(const std::vector<const DosGrid*>& estimates) {
+  WLSMS_EXPECTS(!estimates.empty());
+  const DosGrid& first = *estimates.front();
+  DosGrid merged(first.config());
+
+  std::vector<double> ln_g(first.bins(), 0.0);
+  std::vector<std::uint8_t> visited(first.bins(), 0);
+  for (std::size_t b = 0; b < first.bins(); ++b) {
+    double sum = 0.0;
+    std::size_t contributors = 0;
+    for (const DosGrid* grid : estimates) {
+      WLSMS_EXPECTS(grid->bins() == first.bins());
+      if (!grid->visited()[b]) continue;
+      sum += grid->ln_g_values()[b];
+      ++contributors;
+    }
+    if (contributors > 0) {
+      ln_g[b] = sum / static_cast<double>(contributors);
+      visited[b] = 1;
+    }
+  }
+  merged.set_ln_g_values(std::move(ln_g));
+  merged.set_visited(std::move(visited));
+  return merged;
+}
+
+MultiMasterResult run_multimaster(const EnergyFunction& energy,
+                                  const WangLandauConfig& per_master_config,
+                                  std::size_t n_masters, double gamma_final,
+                                  Rng seed_rng) {
+  WLSMS_EXPECTS(n_masters >= 1);
+  WLSMS_EXPECTS(gamma_final > 0.0 && gamma_final < 1.0);
+
+  MultiMasterResult result{DosGrid(per_master_config.grid), {}, 0};
+  result.per_master.resize(n_masters);
+
+  // Persistent per-master state across gamma levels.
+  std::vector<std::vector<spin::MomentConfiguration>> walker_configs(n_masters);
+  std::vector<DosGrid> master_dos;
+  master_dos.reserve(n_masters);
+  for (std::size_t m = 0; m < n_masters; ++m)
+    master_dos.emplace_back(per_master_config.grid);
+  std::vector<Rng> rngs;
+  rngs.reserve(n_masters);
+  for (std::size_t m = 0; m < n_masters; ++m)
+    rngs.push_back(seed_rng.split(static_cast<unsigned>(m)));
+
+  double gamma = 1.0;
+  while (gamma > gamma_final) {
+    // Each master runs at fixed `gamma` until its own histogram is flat
+    // (one halving of a per-level schedule), in parallel.
+    std::vector<std::thread> threads;
+    threads.reserve(n_masters);
+    for (std::size_t m = 0; m < n_masters; ++m) {
+      threads.emplace_back([&, m] {
+        auto schedule = std::make_unique<HalvingSchedule>(gamma, 0.6 * gamma);
+        WangLandau sampler(energy, per_master_config, std::move(schedule),
+                           rngs[m]);
+        rngs[m].jump();  // fresh stream next level
+        // Seed from the previous level's state.
+        if (!walker_configs[m].empty())
+          for (std::size_t w = 0; w < sampler.n_walkers(); ++w)
+            sampler.set_walker(w, walker_configs[m][w]);
+        sampler.dos().set_ln_g_values(master_dos[m].ln_g_values());
+        sampler.dos().set_visited(master_dos[m].visited());
+
+        sampler.run();
+
+        result.per_master[m].total_steps += sampler.stats().total_steps;
+        result.per_master[m].accepted_steps += sampler.stats().accepted_steps;
+        result.per_master[m].out_of_range += sampler.stats().out_of_range;
+        result.per_master[m].iterations += sampler.stats().iterations;
+        master_dos[m].set_ln_g_values(sampler.dos().ln_g_values());
+        master_dos[m].set_visited(sampler.dos().visited());
+        walker_configs[m].clear();
+        for (std::size_t w = 0; w < sampler.n_walkers(); ++w)
+          walker_configs[m].push_back(sampler.walker_config(w));
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    // Merge and broadcast.
+    std::vector<const DosGrid*> views;
+    views.reserve(n_masters);
+    for (const DosGrid& d : master_dos) views.push_back(&d);
+    DosGrid merged = merge_dos_estimates(views);
+    for (DosGrid& d : master_dos) {
+      d.set_ln_g_values(merged.ln_g_values());
+      d.set_visited(merged.visited());
+    }
+    result.merged_dos = std::move(merged);
+
+    gamma *= 0.5;
+    ++result.gamma_levels;
+  }
+  return result;
+}
+
+}  // namespace wlsms::wl

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file multimaster.hpp
+/// Multiple-master Wang-Landau — the scaling extension the paper sketches
+/// in its outlook (§V): "for cases where the energy evaluation [is] very
+/// fast ... we will try to distribute the work of the master, in order to
+/// scale to large numbers of walkers without running into limitations of
+/// Amdahl's law."
+///
+/// Implementation: K masters run concurrently on std::threads, each owning a
+/// private DosGrid and a share of the walkers, all on identical energy
+/// windows. Whenever a master's histogram goes flat the masters synchronize
+/// at a barrier, their ln g estimates are merged (averaged bin-wise over the
+/// union of visited bins), the merged estimate is broadcast back, gamma is
+/// halved globally, and all histograms reset. Averaging independent ln g
+/// estimates at equal gamma reduces the estimator variance like 1/K while
+/// the walk itself parallelizes perfectly, which is exactly the property the
+/// single-master throughput ablation (bench_ablation_masters) quantifies.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "wl/dos_grid.hpp"
+#include "wl/energy_function.hpp"
+#include "wl/wanglandau.hpp"
+
+namespace wlsms::wl {
+
+/// Result of a multi-master run.
+struct MultiMasterResult {
+  DosGrid merged_dos;             ///< final merged estimate
+  std::vector<WangLandauStats> per_master;
+  std::size_t gamma_levels = 0;   ///< global gamma reductions performed
+};
+
+/// Merges ln g estimates bin-wise: the merged bin is the mean over the
+/// masters that visited it; unvisited-by-all bins stay at zero. Exposed for
+/// testing. All grids must share a layout.
+DosGrid merge_dos_estimates(const std::vector<const DosGrid*>& estimates);
+
+/// Runs `n_masters` masters of `walkers_per_master` walkers each until the
+/// halving schedule reaches `gamma_final` (or each master hits
+/// `max_steps_per_master`). `energy` must be safe for concurrent calls
+/// (every backend in this library is: they are logically const).
+MultiMasterResult run_multimaster(const EnergyFunction& energy,
+                                  const WangLandauConfig& per_master_config,
+                                  std::size_t n_masters, double gamma_final,
+                                  Rng seed_rng);
+
+}  // namespace wlsms::wl

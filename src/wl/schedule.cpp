@@ -1,0 +1,54 @@
+#include "wl/schedule.hpp"
+
+#include "common/error.hpp"
+
+namespace wlsms::wl {
+
+HalvingSchedule::HalvingSchedule(double gamma_initial, double gamma_final)
+    : gamma_(gamma_initial), gamma_final_(gamma_final) {
+  WLSMS_EXPECTS(gamma_initial > gamma_final && gamma_final > 0.0);
+}
+
+double HalvingSchedule::on_flat_histogram(std::uint64_t total_steps) {
+  (void)total_steps;
+  gamma_ *= 0.5;
+  ++iterations_;
+  return gamma_;
+}
+
+std::unique_ptr<ModificationSchedule> HalvingSchedule::clone() const {
+  return std::make_unique<HalvingSchedule>(*this);
+}
+
+OneOverTSchedule::OneOverTSchedule(std::size_t bins, double gamma_initial,
+                                   double gamma_final)
+    : bins_(static_cast<double>(bins)),
+      gamma_(gamma_initial),
+      gamma_final_(gamma_final) {
+  WLSMS_EXPECTS(bins >= 1);
+  WLSMS_EXPECTS(gamma_initial > gamma_final && gamma_final > 0.0);
+}
+
+double OneOverTSchedule::on_flat_histogram(std::uint64_t total_steps) {
+  if (!one_over_t_) {
+    gamma_ *= 0.5;
+    const double one_over_t =
+        bins_ / static_cast<double>(total_steps > 0 ? total_steps : 1);
+    if (gamma_ < one_over_t) one_over_t_ = true;
+  }
+  return gamma_;
+}
+
+double OneOverTSchedule::on_step(std::uint64_t total_steps) {
+  if (one_over_t_ && total_steps > 0) {
+    const double one_over_t = bins_ / static_cast<double>(total_steps);
+    if (one_over_t < gamma_) gamma_ = one_over_t;
+  }
+  return gamma_;
+}
+
+std::unique_ptr<ModificationSchedule> OneOverTSchedule::clone() const {
+  return std::make_unique<OneOverTSchedule>(*this);
+}
+
+}  // namespace wlsms::wl

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file schedule.hpp
+/// Modification-factor schedules for the Wang-Landau iteration.
+///
+/// The paper uses the classic schedule: start at gamma = ln f = 1, halve
+/// whenever the histogram is flat, stop when gamma reaches a floor
+/// ("until ln f ~ 0", §II-A). The 1/t refinement of Belardinelli & Pereyra
+/// (J. Chem. Phys. 127, 184105 (2007)) — switch to gamma = bins/t once the
+/// halving schedule crosses it — removes the known error saturation of the
+/// classic schedule and is provided as the optional extension exercised by
+/// bench_ablation_schedule.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace wlsms::wl {
+
+/// Strategy controlling gamma (the ln f of eqs. 6/8) over the run.
+class ModificationSchedule {
+ public:
+  virtual ~ModificationSchedule() = default;
+
+  /// Current modification factor.
+  virtual double gamma() const = 0;
+
+  /// Called when the flatness criterion fires; the classic schedule halves
+  /// gamma here. Returns the new gamma.
+  virtual double on_flat_histogram(std::uint64_t total_steps) = 0;
+
+  /// Called every step; 1/t-type schedules decay here. Returns current gamma.
+  virtual double on_step(std::uint64_t total_steps) = 0;
+
+  /// True when the density of states counts as converged (gamma at floor).
+  virtual bool converged() const = 0;
+
+  virtual std::unique_ptr<ModificationSchedule> clone() const = 0;
+};
+
+/// The paper's schedule: gamma_0 = 1, gamma -> gamma/2 on flat histogram,
+/// converged when gamma <= gamma_final.
+class HalvingSchedule final : public ModificationSchedule {
+ public:
+  explicit HalvingSchedule(double gamma_initial = 1.0,
+                           double gamma_final = 1e-6);
+
+  double gamma() const override { return gamma_; }
+  double on_flat_histogram(std::uint64_t total_steps) override;
+  double on_step(std::uint64_t total_steps) override { (void)total_steps; return gamma_; }
+  bool converged() const override { return gamma_ <= gamma_final_; }
+  std::unique_ptr<ModificationSchedule> clone() const override;
+
+  double gamma_final() const { return gamma_final_; }
+  /// Number of halvings performed so far.
+  std::size_t iterations() const { return iterations_; }
+
+ private:
+  double gamma_;
+  double gamma_final_;
+  std::size_t iterations_ = 0;
+};
+
+/// Belardinelli-Pereyra: classic halving until gamma < bins/t, then
+/// gamma = bins/t every step (t = total WL steps taken).
+class OneOverTSchedule final : public ModificationSchedule {
+ public:
+  OneOverTSchedule(std::size_t bins, double gamma_initial = 1.0,
+                   double gamma_final = 1e-6);
+
+  double gamma() const override { return gamma_; }
+  double on_flat_histogram(std::uint64_t total_steps) override;
+  double on_step(std::uint64_t total_steps) override;
+  bool converged() const override { return gamma_ <= gamma_final_; }
+  std::unique_ptr<ModificationSchedule> clone() const override;
+
+  bool in_one_over_t_phase() const { return one_over_t_; }
+
+ private:
+  double bins_;
+  double gamma_;
+  double gamma_final_;
+  bool one_over_t_ = false;
+};
+
+}  // namespace wlsms::wl

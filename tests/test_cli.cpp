@@ -1,0 +1,88 @@
+// Tests for the wlsms command-line option parser.
+#include "cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace wlsms::cli {
+namespace {
+
+Options parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "wlsms");
+  return Options::parse(static_cast<int>(argv.size()),
+                        const_cast<char**>(argv.data()));
+}
+
+TEST(Cli, ParsesCommandAndOptions) {
+  const Options options =
+      parse({"curie", "--cells", "5", "--gamma-final", "1e-6"});
+  EXPECT_EQ(options.command(), "curie");
+  EXPECT_EQ(options.get_long("cells", 0), 5);
+  EXPECT_DOUBLE_EQ(options.get_double("gamma-final", 0.0), 1e-6);
+}
+
+TEST(Cli, EmptyArgvGivesEmptyCommand) {
+  const Options options = parse({});
+  EXPECT_TRUE(options.empty_command());
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  const Options options = parse({"thermo"});
+  EXPECT_EQ(options.get_string("dos", "fallback.csv"), "fallback.csv");
+  EXPECT_DOUBLE_EQ(options.get_double("tmin", 200.0), 200.0);
+  EXPECT_EQ(options.get_long("points", 15), 15);
+  EXPECT_FALSE(options.has("dos"));
+}
+
+TEST(Cli, StringValuesPassThrough) {
+  const Options options = parse({"thermo", "--dos", "my dos.csv"});
+  EXPECT_EQ(options.get_string("dos", ""), "my dos.csv");
+  EXPECT_TRUE(options.has("dos"));
+}
+
+TEST(Cli, RejectsBareToken) {
+  EXPECT_THROW(parse({"curie", "cells", "5"}), std::runtime_error);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  EXPECT_THROW(parse({"curie", "--cells"}), std::runtime_error);
+}
+
+TEST(Cli, RejectsNonNumericNumber) {
+  const Options options = parse({"curie", "--cells", "five"});
+  EXPECT_THROW(options.get_long("cells", 0), std::runtime_error);
+}
+
+TEST(Cli, RejectsTrailingGarbageInNumber) {
+  const Options options = parse({"curie", "--tmin", "150K"});
+  EXPECT_THROW(options.get_double("tmin", 0.0), std::runtime_error);
+}
+
+TEST(Cli, NegativeNumbersParse) {
+  const Options options = parse({"x", "--shift", "-3.5"});
+  EXPECT_DOUBLE_EQ(options.get_double("shift", 0.0), -3.5);
+}
+
+TEST(Cli, UnusedKeysReported) {
+  const Options options = parse({"curie", "--cells", "2", "--typo", "1"});
+  (void)options.get_long("cells", 0);
+  const std::vector<std::string> unused = options.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, QueriedKeysNotReported) {
+  const Options options = parse({"curie", "--cells", "2"});
+  (void)options.get_long("cells", 0);
+  EXPECT_TRUE(options.unused_keys().empty());
+}
+
+TEST(Cli, LastDuplicateWins) {
+  const Options options = parse({"x", "--n", "1", "--n", "2"});
+  EXPECT_EQ(options.get_long("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace wlsms::cli

@@ -1,0 +1,155 @@
+// Tests for the discrete-event simulator of the WL-LSMS machine runs
+// (the substitution behind Fig. 7 / Tables I-II, DESIGN.md §2).
+#include "cluster/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+namespace wlsms::cluster {
+namespace {
+
+JobDescription paper_job(std::size_t walkers) {
+  JobDescription job;
+  job.n_atoms = 1024;
+  job.n_walkers = walkers;
+  job.steps_per_walker = 20;
+  job.fidelity.lmax = 3;
+  job.fidelity.liz_atoms = 65;
+  job.fidelity.contour_points = 20;
+  job.compute_jitter = 0.005;
+  return job;
+}
+
+TEST(Des, CoreCountMatchesPaperLayout) {
+  // 144 walkers x 1024 atoms + the 8-core driver node = 147,464 cores,
+  // the number the paper headlines.
+  const SimulationResult r =
+      simulate_wl_lsms(jaguar_xt5(), paper_job(144));
+  EXPECT_EQ(r.cores, 147464u);
+}
+
+TEST(Des, ProcessesEveryRequestedEvaluation) {
+  const SimulationResult r = simulate_wl_lsms(jaguar_xt5(), paper_job(10));
+  EXPECT_EQ(r.results_processed, 10u * 20u);
+}
+
+TEST(Des, SustainedPerformanceNearPaperTableTwo) {
+  // Table II: 1.03 PFlop/s and 75.8 % of peak on 147,464 cores.
+  const SimulationResult r =
+      simulate_wl_lsms(jaguar_xt5(), paper_job(144));
+  EXPECT_GT(r.sustained_flops, 0.85e15);
+  EXPECT_LT(r.sustained_flops, 1.15e15);
+  EXPECT_NEAR(r.fraction_of_peak, 0.758, 0.05);
+}
+
+TEST(Des, FractionOfPeakRoughlyConstantAcrossScales) {
+  const MachineDescription machine = jaguar_xt5();
+  const auto results = weak_scaling(machine, paper_job(10), {10, 50, 100, 144});
+  for (const SimulationResult& r : results)
+    EXPECT_NEAR(r.fraction_of_peak, results.front().fraction_of_peak, 0.02);
+}
+
+TEST(Des, WeakScalingIsNearlyFlat) {
+  // Fig. 7: runtime vs walker count at fixed steps/walker is flat to a few
+  // per cent.
+  const auto results =
+      weak_scaling(jaguar_xt5(), paper_job(10), {10, 50, 100, 144});
+  const double t0 = results.front().makespan_s;
+  for (const SimulationResult& r : results) {
+    EXPECT_NEAR(r.makespan_s / t0, 1.0, 0.05) << "walkers=" << r.n_walkers;
+  }
+}
+
+TEST(Des, StrongScalingApproachesIdealSpeedup) {
+  const std::size_t total_steps = 2880;  // 144 * 20
+  const auto results = strong_scaling(jaguar_xt5(), paper_job(10), total_steps,
+                                      {10, 40, 144});
+  // Serial fraction is tiny: speedup from 10 to 144 walkers ~ 14.4x on the
+  // compute part; allow generous tolerance for the constant setup time.
+  const double speedup =
+      results.front().makespan_s / results.back().makespan_s;
+  EXPECT_GT(speedup, 8.0);
+  EXPECT_LE(speedup, 14.4 * 1.05);
+}
+
+TEST(Des, EnergyEvaluationTakesTensOfSeconds) {
+  // One walker, one step: makespan ~ setup + T_e; checks the §II-C quote.
+  JobDescription job = paper_job(1);
+  job.steps_per_walker = 1;
+  job.compute_jitter = 0.0;
+  const MachineDescription machine = jaguar_xt5();
+  const SimulationResult r = simulate_wl_lsms(machine, job);
+  const double t_e = r.makespan_s - machine.setup_time_s;
+  EXPECT_GT(t_e, 10.0);
+  EXPECT_LT(t_e, 200.0);
+}
+
+TEST(Des, CoreHoursScaleWithMachineSize) {
+  const MachineDescription machine = jaguar_xt5();
+  const auto results = weak_scaling(machine, paper_job(10), {10, 144});
+  // Same wall time, ~14x the cores -> ~14x the core-hours.
+  EXPECT_NEAR(results[1].core_hours / results[0].core_hours, 14.3, 1.0);
+  // Sanity: core-hours = makespan * cores / 3600.
+  EXPECT_NEAR(results[0].core_hours,
+              results[0].makespan_s * static_cast<double>(results[0].cores) /
+                  3600.0,
+              1e-9);
+}
+
+TEST(Des, SingleMasterSaturatesForFastEnergies) {
+  // §V outlook: "for cases where the energy evaluation [is] very fast ...
+  // limitations of Amdahl's law". With sub-millisecond energies the master
+  // serializes; with 4 masters the wall lifts.
+  MachineDescription machine = jaguar_xt5();
+  machine.master_service_time_s = 50e-6;
+  machine.setup_time_s = 0.1;  // setup must not mask the master wall
+  JobDescription job = paper_job(512);
+  job.n_atoms = 16;
+  job.steps_per_walker = 50;
+  job.energy_time_override_s = 1e-3;
+  job.compute_jitter = 0.0;
+
+  const SimulationResult single = simulate_wl_lsms(machine, job);
+  EXPECT_GT(single.master_busy_fraction, 0.9);
+
+  job.n_masters = 4;
+  const SimulationResult multi = simulate_wl_lsms(machine, job);
+  EXPECT_LT(multi.makespan_s, single.makespan_s);
+  EXPECT_LT(multi.master_busy_fraction, single.master_busy_fraction);
+}
+
+TEST(Des, SlowEnergiesKeepMasterIdle) {
+  // In the production regime the master is essentially idle (the paper's
+  // premise for the single-master design).
+  const SimulationResult r = simulate_wl_lsms(jaguar_xt5(), paper_job(144));
+  EXPECT_LT(r.master_busy_fraction, 0.01);
+}
+
+TEST(Des, DeterministicForFixedSeed) {
+  const SimulationResult a = simulate_wl_lsms(jaguar_xt5(), paper_job(50));
+  const SimulationResult b = simulate_wl_lsms(jaguar_xt5(), paper_job(50));
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+TEST(Des, JitterChangesOnlySlightly) {
+  JobDescription job = paper_job(50);
+  const SimulationResult jittered = simulate_wl_lsms(jaguar_xt5(), job);
+  job.compute_jitter = 0.0;
+  const SimulationResult clean = simulate_wl_lsms(jaguar_xt5(), job);
+  EXPECT_NEAR(jittered.makespan_s / clean.makespan_s, 1.0, 0.05);
+  EXPECT_GE(jittered.makespan_s, clean.makespan_s * 0.99);
+}
+
+TEST(Des, InvalidJobThrows) {
+  JobDescription job = paper_job(0);
+  EXPECT_THROW(simulate_wl_lsms(jaguar_xt5(), job), ContractError);
+  job = paper_job(1);
+  job.steps_per_walker = 0;
+  EXPECT_THROW(simulate_wl_lsms(jaguar_xt5(), job), ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::cluster

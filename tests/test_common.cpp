@@ -1,0 +1,87 @@
+// Tests for the small common utilities: units, contracts, logging.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/units.hpp"
+
+namespace wlsms {
+namespace {
+
+TEST(Units, BoltzmannConstantMagnitude) {
+  // k_B = 8.617333e-5 eV/K / 13.605693 eV/Ry.
+  EXPECT_NEAR(units::k_boltzmann_ry, 8.617333e-5 / 13.605693, 1e-9);
+}
+
+TEST(Units, BetaFromKelvinIsReciprocal) {
+  const double t = 1234.0;
+  EXPECT_DOUBLE_EQ(units::beta_from_kelvin(t),
+                   1.0 / (units::k_boltzmann_ry * t));
+}
+
+TEST(Units, PaperConstantsRecorded) {
+  EXPECT_DOUBLE_EQ(units::fe_lattice_parameter_a0, 5.42);
+  EXPECT_DOUBLE_EQ(units::fe_liz_radius_a0, 11.5);
+  EXPECT_DOUBLE_EQ(units::fe_curie_experiment_k, 1050.0);
+}
+
+TEST(Units, RoomTemperatureEnergyScale) {
+  // k_B * 300 K ~ 1.9e-3 Ry ~ 25.9 meV: the sanity anchor for every
+  // temperature conversion in the library.
+  EXPECT_NEAR(units::k_boltzmann_ry * 300.0 * units::ry_in_ev, 0.02585, 1e-4);
+}
+
+TEST(Contracts, ExpectsThrowsWithLocation) {
+  try {
+    WLSMS_EXPECTS(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const ContractError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresThrowsPostconditionMessage) {
+  try {
+    WLSMS_ENSURES(false);
+    FAIL() << "should have thrown";
+  } catch (const ContractError& error) {
+    EXPECT_NE(std::string(error.what()).find("postcondition"),
+              std::string::npos);
+  }
+}
+
+TEST(Contracts, PassingConditionsAreSilent) {
+  EXPECT_NO_THROW(WLSMS_EXPECTS(2 + 2 == 4));
+  EXPECT_NO_THROW(WLSMS_ENSURES(true));
+}
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  set_log_level(previous);
+}
+
+TEST(Logging, EmitBelowThresholdIsNoOp) {
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kOff);
+  // Nothing to assert on stderr portably; the contract is "does not crash"
+  // and the level gate is what keeps hot loops cheap.
+  log_info("suppressed ", 42);
+  log_warn("suppressed too");
+  log_debug("and this");
+  set_log_level(previous);
+}
+
+TEST(Logging, ConcatFormatsMixedArguments) {
+  EXPECT_EQ(detail::concat("x=", 3, ", y=", 2.5), "x=3, y=2.5");
+  EXPECT_EQ(detail::concat(), "");
+}
+
+}  // namespace
+}  // namespace wlsms

@@ -1,0 +1,224 @@
+// Tests for the stochastic Landau-Lifshitz-Gilbert integrator (the spin-
+// dynamics alternative the paper's §I contrasts Wang-Landau against).
+#include "dynamics/llg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "lattice/cluster.hpp"
+#include "lattice/structure.hpp"
+#include "lsms/fe_parameters.hpp"
+#include "mc/metropolis.hpp"
+#include "wl/energy_function.hpp"
+
+namespace wlsms::dynamics {
+namespace {
+
+heisenberg::HeisenbergModel fe16_model() {
+  std::vector<double> j = lsms::fe_reference_exchange();
+  for (double& v : j) v *= lsms::fe_exchange_energy_scale;
+  return heisenberg::HeisenbergModel(lattice::make_fe_supercell(2), j);
+}
+
+TEST(EffectiveField, MatchesAnalyticFormOnDimer) {
+  const auto structure = lattice::make_cubic_cluster(
+      lattice::CubicLattice::kSimpleCubic, 1.0, 2, 1, 1);
+  heisenberg::HeisenbergModel model(structure, {0.7});
+  model.set_uniform_anisotropy(0.2, {0, 0, 1});
+  const auto config = spin::MomentConfiguration::from_directions(
+      {{1, 0, 0}, {0, 0, 1}});
+  // Site 0: J * e_1 + 2K (e_0 . z) z = (0, 0, 0.7) + 0.
+  const Vec3 h0 = model.effective_field(0, config);
+  EXPECT_NEAR(h0.x, 0.0, 1e-14);
+  EXPECT_NEAR(h0.z, 0.7, 1e-14);
+  // Site 1: J * e_0 + 2K (e_1 . z) z = (0.7, 0, 0) + (0, 0, 0.4).
+  const Vec3 h1 = model.effective_field(1, config);
+  EXPECT_NEAR(h1.x, 0.7, 1e-14);
+  EXPECT_NEAR(h1.z, 0.4, 1e-14);
+}
+
+TEST(EffectiveField, IsMinusEnergyGradient) {
+  // Central differences of E along a tangent direction must equal -H . t.
+  const heisenberg::HeisenbergModel model = fe16_model();
+  Rng rng(3);
+  auto config = spin::MomentConfiguration::random(16, rng);
+  for (std::size_t i : {0u, 5u, 11u}) {
+    const Vec3 m = config[i];
+    Vec3 axis = (std::abs(m.z) < 0.9) ? Vec3{0, 0, 1} : Vec3{1, 0, 0};
+    const Vec3 tangent = m.cross(axis).normalized();
+    const double h = 1e-6;
+    auto shifted = [&](double s) {
+      auto c = config;
+      c.set(i, (m + s * tangent).normalized());
+      return model.energy(c);
+    };
+    const double gradient = (shifted(h) - shifted(-h)) / (2.0 * h);
+    EXPECT_NEAR(-model.effective_field(i, config).dot(tangent), gradient,
+                1e-7);
+  }
+}
+
+TEST(SpinDynamics, PreservesUnitLength) {
+  const heisenberg::HeisenbergModel model = fe16_model();
+  Rng rng(4);
+  LlgParameters params;
+  params.damping = 0.2;
+  params.timestep = 1.0;  // reduced by the mRy field scale
+  SpinDynamics dynamics(model, spin::MomentConfiguration::random(16, rng),
+                        params);
+  dynamics.run(500);
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(dynamics.configuration()[i].norm(), 1.0, 1e-12);
+}
+
+TEST(SpinDynamics, DampedDynamicsRelaxToFerromagnet) {
+  const heisenberg::HeisenbergModel model = fe16_model();
+  Rng rng(5);
+  LlgParameters params;
+  params.damping = 0.5;
+  params.timestep = 2.0;
+  SpinDynamics dynamics(model, spin::MomentConfiguration::random(16, rng),
+                        params);
+  const double e_start = dynamics.energy();
+  dynamics.run(20000);
+  EXPECT_LT(dynamics.energy(), e_start);
+  EXPECT_NEAR(dynamics.energy(), model.ferromagnetic_energy(),
+              0.02 * std::abs(model.ferromagnetic_energy()));
+  EXPECT_GT(dynamics.magnetization(), 0.98);
+}
+
+TEST(SpinDynamics, EnergyDecreasesMonotonicallyAtZeroTemperature) {
+  const heisenberg::HeisenbergModel model = fe16_model();
+  Rng rng(6);
+  LlgParameters params;
+  params.damping = 0.3;
+  params.timestep = 1.0;
+  SpinDynamics dynamics(model, spin::MomentConfiguration::random(16, rng),
+                        params);
+  double previous = dynamics.energy();
+  for (int block = 0; block < 40; ++block) {
+    dynamics.run(100);
+    const double e = dynamics.energy();
+    EXPECT_LE(e, previous + 1e-9);
+    previous = e;
+  }
+}
+
+TEST(SpinDynamics, UndampedPrecessionConservesEnergy) {
+  const heisenberg::HeisenbergModel model = fe16_model();
+  Rng rng(7);
+  LlgParameters params;
+  params.damping = 0.0;
+  params.timestep = 0.5;
+  SpinDynamics dynamics(model, spin::MomentConfiguration::random(16, rng),
+                        params);
+  const double e0 = dynamics.energy();
+  dynamics.run(4000);
+  // Heun drifts at O(dt^2) per step; over this horizon the drift must stay
+  // far below the exchange scale.
+  EXPECT_NEAR(dynamics.energy(), e0, 5e-4);
+  EXPECT_NEAR(dynamics.time(), 2000.0, 1e-9);
+}
+
+TEST(SpinDynamics, UndampedPrecessionConservesMagnetization) {
+  // Without damping and noise the total moment precesses but |M| of an
+  // exchange-only Hamiltonian is conserved.
+  const heisenberg::HeisenbergModel model = fe16_model();
+  Rng rng(8);
+  LlgParameters params;
+  params.damping = 0.0;
+  params.timestep = 0.5;
+  SpinDynamics dynamics(model, spin::MomentConfiguration::random(16, rng),
+                        params);
+  const double m0 = dynamics.magnetization();
+  dynamics.run(4000);
+  EXPECT_NEAR(dynamics.magnetization(), m0, 1e-3);
+}
+
+TEST(SpinDynamics, ThermalDynamicsSampleBoltzmann) {
+  // Fluctuation-dissipation check: the long-time average energy of the
+  // stochastic LLG must match canonical Metropolis sampling.
+  const heisenberg::HeisenbergModel model = fe16_model();
+  const double t = 900.0;
+
+  LlgParameters params;
+  params.damping = 0.5;
+  params.timestep = 1.0;
+  params.temperature_k = t;
+  params.seed = 9;
+  Rng rng(10);
+  SpinDynamics dynamics(model, spin::MomentConfiguration::random(16, rng),
+                        params);
+  dynamics.run(20000);  // thermalize
+  double sum_e = 0.0;
+  int samples = 0;
+  for (int block = 0; block < 600; ++block) {
+    dynamics.run(50);
+    sum_e += dynamics.energy();
+    ++samples;
+  }
+  const double u_llg = sum_e / samples;
+
+  const wl::HeisenbergEnergy energy(fe16_model());
+  mc::MetropolisConfig mc_config;
+  mc_config.temperature_k = t;
+  mc_config.thermalization_steps = 200000;
+  mc_config.measurement_steps = 600000;
+  mc_config.measure_interval = 16;
+  const mc::MetropolisResult reference = mc::metropolis_run(
+      energy, spin::MomentConfiguration::random(16, rng), mc_config, rng);
+
+  EXPECT_NEAR(u_llg, reference.mean_energy,
+              0.08 * std::abs(reference.mean_energy));
+}
+
+TEST(SpinDynamics, TrappedInAnisotropyWell) {
+  // The §I time-scale dilemma in miniature: at low temperature a strongly
+  // anisotropic particle started in the +z well stays there for the whole
+  // (long) trajectory, while its thermal equilibrium is symmetric.
+  const auto structure = lattice::make_cubic_cluster(
+      lattice::CubicLattice::kSimpleCubic, 1.0, 2, 1, 1);
+  heisenberg::HeisenbergModel model(structure, {2e-3});
+  model.set_uniform_anisotropy(2e-3, {0, 0, 1});
+
+  LlgParameters params;
+  params.damping = 0.3;
+  params.timestep = 1.0;
+  params.temperature_k = 120.0;  // barrier / k_B T ~ 50
+  params.seed = 11;
+  SpinDynamics dynamics(model, spin::MomentConfiguration::ferromagnetic(2),
+                        params);
+  double min_mz = 1.0;
+  for (int block = 0; block < 400; ++block) {
+    dynamics.run(100);
+    min_mz = std::min(min_mz, dynamics.magnetization_z());
+  }
+  EXPECT_GT(min_mz, 0.2);  // never switched
+}
+
+TEST(SpinDynamics, ContractViolations) {
+  const heisenberg::HeisenbergModel model = fe16_model();
+  Rng rng(12);
+  LlgParameters params;
+  params.timestep = 0.0;
+  EXPECT_THROW(SpinDynamics(model, spin::MomentConfiguration::random(16, rng),
+                            params),
+               ContractError);
+  params.timestep = 0.1;
+  params.temperature_k = 100.0;
+  params.damping = 0.0;  // bath without damping violates FD
+  EXPECT_THROW(SpinDynamics(model, spin::MomentConfiguration::random(16, rng),
+                            params),
+               ContractError);
+  params.damping = 0.1;
+  EXPECT_THROW(SpinDynamics(model, spin::MomentConfiguration::random(8, rng),
+                            params),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::dynamics

@@ -1,0 +1,151 @@
+// Tests for the classical Heisenberg surrogate Hamiltonian.
+#include "heisenberg/heisenberg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "lattice/cluster.hpp"
+#include "lattice/structure.hpp"
+
+namespace wlsms::heisenberg {
+namespace {
+
+lattice::Structure dimer() {
+  return lattice::make_cubic_cluster(lattice::CubicLattice::kSimpleCubic, 1.0,
+                                     2, 1, 1);
+}
+
+TEST(Heisenberg, DimerEnergyIsMinusJCosTheta) {
+  const HeisenbergModel model(dimer(), {2.0});
+  for (double theta : {0.0, 0.5, 1.2, 3.14159}) {
+    const auto config = spin::MomentConfiguration::from_directions(
+        {{0, 0, 1}, {std::sin(theta), 0, std::cos(theta)}});
+    EXPECT_NEAR(model.energy(config), -2.0 * std::cos(theta), 1e-12);
+  }
+}
+
+TEST(Heisenberg, BondCountOnBccCell) {
+  const HeisenbergModel model(lattice::make_fe_supercell(2), {1.0, 0.5});
+  EXPECT_EQ(model.bonds().size(), 64u + 48u);
+}
+
+TEST(Heisenberg, ZeroCouplingShellsProduceNoBonds) {
+  const HeisenbergModel model(lattice::make_fe_supercell(2), {1.0, 0.0});
+  EXPECT_EQ(model.bonds().size(), 64u);
+}
+
+TEST(Heisenberg, FerromagneticEnergyIsMinusBondSum) {
+  const HeisenbergModel model(lattice::make_fe_supercell(2), {1.5, 0.25});
+  const double expected = -(64.0 * 1.5 + 48.0 * 0.25);
+  EXPECT_NEAR(model.ferromagnetic_energy(), expected, 1e-10);
+  EXPECT_NEAR(
+      model.energy(spin::MomentConfiguration::ferromagnetic(16)),
+      expected, 1e-10);
+}
+
+TEST(Heisenberg, StaggeredEnergyOnBipartiteLattice) {
+  // bcc J1 bonds connect the two sublattices; J2 bonds stay within one.
+  const HeisenbergModel model(lattice::make_fe_supercell(2), {1.0, 0.5});
+  std::vector<bool> sub(16);
+  for (std::size_t i = 0; i < 16; ++i) sub[i] = (i % 2 == 1);
+  EXPECT_NEAR(model.staggered_energy(sub), 64.0 * 1.0 - 48.0 * 0.5, 1e-10);
+  EXPECT_NEAR(model.energy(spin::MomentConfiguration::staggered(sub)),
+              model.staggered_energy(sub), 1e-10);
+}
+
+class HeisenbergDeltas : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeisenbergDeltas, IncrementalDeltaMatchesRecompute) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const HeisenbergModel model(lattice::make_fe_supercell(2),
+                              {3.2e-3, 6.1e-5});
+  auto config = spin::MomentConfiguration::random(16, rng);
+  double e = model.energy(config);
+  const spin::UniformSphereMove mover;
+  for (int k = 0; k < 200; ++k) {
+    const spin::TrialMove move = mover.propose(config, rng);
+    const double delta = model.energy_delta(config, move);
+    config.set(move.site, move.new_direction);
+    const double e_new = model.energy(config);
+    ASSERT_NEAR(e + delta, e_new, 1e-12);
+    e = e_new;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeisenbergDeltas, ::testing::Range(1, 6));
+
+TEST(Heisenberg, UniformAnisotropyFavorsAxis) {
+  HeisenbergModel model(dimer(), {0.0});
+  model.set_uniform_anisotropy(1.0, {0, 0, 1});
+  const auto along = spin::MomentConfiguration::ferromagnetic(2);
+  const auto transverse = spin::MomentConfiguration::from_directions(
+      {{1, 0, 0}, {1, 0, 0}});
+  EXPECT_NEAR(model.energy(along), -2.0, 1e-12);
+  EXPECT_NEAR(model.energy(transverse), 0.0, 1e-12);
+  // Both +z and -z are equally favourable (easy axis, not easy direction).
+  const auto down = spin::MomentConfiguration::from_directions(
+      {{0, 0, -1}, {0, 0, -1}});
+  EXPECT_NEAR(model.energy(down), -2.0, 1e-12);
+}
+
+TEST(Heisenberg, SiteAnisotropyOnlyAffectsSelectedSites) {
+  HeisenbergModel model(dimer(), {0.0});
+  model.set_site_anisotropy({1}, 2.0, {0, 0, 1});
+  const auto config = spin::MomentConfiguration::ferromagnetic(2);
+  EXPECT_NEAR(model.energy(config), -2.0, 1e-12);
+  // Rotating site 0 (no anisotropy) changes nothing.
+  auto rotated = config;
+  rotated.set(0, {1, 0, 0});
+  EXPECT_NEAR(model.energy(rotated), -2.0, 1e-12);
+}
+
+TEST(Heisenberg, AnisotropyDeltaMatchesRecompute) {
+  Rng rng(9);
+  HeisenbergModel model(lattice::make_fe_supercell(2), {1e-3});
+  model.set_uniform_anisotropy(5e-4, {0, 0, 1});
+  auto config = spin::MomentConfiguration::random(16, rng);
+  double e = model.energy(config);
+  const spin::UniformSphereMove mover;
+  for (int k = 0; k < 100; ++k) {
+    const spin::TrialMove move = mover.propose(config, rng);
+    const double delta = model.energy_delta(config, move);
+    config.set(move.site, move.new_direction);
+    ASSERT_NEAR(e + delta, model.energy(config), 1e-13);
+    e = model.energy(config);
+  }
+}
+
+TEST(Heisenberg, FerromagneticEnergyIncludesAnisotropy) {
+  HeisenbergModel model(dimer(), {1.0});
+  model.set_uniform_anisotropy(0.5, {0, 0, 1});
+  EXPECT_NEAR(model.ferromagnetic_energy(), -1.0 - 2.0 * 0.5, 1e-12);
+}
+
+TEST(Heisenberg, FiniteClusterHasFewerBondsThanPeriodic) {
+  const auto periodic = lattice::make_supercell(
+      lattice::CubicLattice::kSimpleCubic, 1.0, 3, 3, 3);
+  const auto open = lattice::make_cubic_cluster(
+      lattice::CubicLattice::kSimpleCubic, 1.0, 3, 3, 3);
+  const HeisenbergModel mp(periodic, {1.0});
+  const HeisenbergModel mo(open, {1.0});
+  EXPECT_EQ(mp.bonds().size(), 81u);  // 27 sites x 6 / 2
+  EXPECT_EQ(mo.bonds().size(), 54u);  // 3 * 2*3*3 faces
+}
+
+TEST(Heisenberg, ContractViolations) {
+  const HeisenbergModel model(dimer(), {1.0});
+  Rng rng(1);
+  const auto wrong = spin::MomentConfiguration::random(5, rng);
+  EXPECT_THROW(model.energy(wrong), ContractError);
+  EXPECT_THROW(HeisenbergModel(dimer(), {}), ContractError);
+  HeisenbergModel m2(dimer(), {1.0});
+  EXPECT_THROW(m2.set_uniform_anisotropy(1.0, {0, 0, 0}), ContractError);
+  EXPECT_THROW(m2.set_site_anisotropy({9}, 1.0, {0, 0, 1}), ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::heisenberg

@@ -1,0 +1,88 @@
+// Tests for the CSV writer and table formatter behind the bench harness.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace wlsms::io {
+namespace {
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "wlsms_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b", "c"});
+    csv.row({1.0, 2.5, -3.0});
+    csv.row({4.0, 5.0, 6.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b,c");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5,-3");
+  std::getline(in, line);
+  EXPECT_EQ(line, "4,5,6");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  const std::string path = ::testing::TempDir() + "wlsms_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({1.0}), ContractError);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(Csv, EmptyHeaderThrows) {
+  EXPECT_THROW(CsvWriter(::testing::TempDir() + "e.csv", {}), ContractError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table({"atoms", "cores"});
+  table.row({"16", "278"});
+  table.row({"250", "125250"});
+  const std::string out = table.render();
+  std::istringstream lines(out);
+  std::string header, underline, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, underline);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.size(), row1.size());
+  EXPECT_EQ(row1.size(), row2.size());
+  EXPECT_EQ(underline.size(), header.size());
+  EXPECT_NE(row2.find("125250"), std::string::npos);
+  // Right alignment: "16" ends where "250" ends.
+  EXPECT_EQ(row1.find("16") + 2, row2.find("250") + 3);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.row({"1"}), ContractError);
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+  EXPECT_EQ(format_double(2.5, 4), "2.5000");
+}
+
+TEST(FormatFlops, PicksSensibleUnits) {
+  EXPECT_EQ(format_flops(1.029e15), "1.029 PFlop/s");
+  EXPECT_EQ(format_flops(17.6e12), "17.6 TFlop/s");
+  EXPECT_EQ(format_flops(6.97e9), "6.97 GFlop/s");
+  EXPECT_EQ(format_flops(5.0e6), "5.00 MFlop/s");
+}
+
+}  // namespace
+}  // namespace wlsms::io

@@ -1,0 +1,100 @@
+// Tests for density-of-states persistence.
+#include "io/dos_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace wlsms::io {
+namespace {
+
+thermo::DosTable sample_table() {
+  thermo::DosTable table;
+  for (int i = 0; i < 50; ++i) {
+    table.energy.push_back(-1.0 + 0.04 * i);
+    table.ln_g.push_back(100.0 * std::sin(0.3 * i) + 500.0);
+  }
+  return table;
+}
+
+TEST(DosIo, StreamRoundTripIsExact) {
+  const thermo::DosTable original = sample_table();
+  std::stringstream stream;
+  write_dos(stream, original);
+  const thermo::DosTable loaded = read_dos(stream);
+  ASSERT_EQ(loaded.energy.size(), original.energy.size());
+  for (std::size_t i = 0; i < loaded.energy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.energy[i], original.energy[i]);
+    EXPECT_DOUBLE_EQ(loaded.ln_g[i], original.ln_g[i]);
+  }
+}
+
+TEST(DosIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "wlsms_dos_test.csv";
+  const thermo::DosTable original = sample_table();
+  save_dos(path, original);
+  const thermo::DosTable loaded = load_dos(path);
+  EXPECT_EQ(loaded.energy, original.energy);
+  std::remove(path.c_str());
+}
+
+TEST(DosIo, ThermodynamicsSurviveRoundTrip) {
+  const thermo::DosTable original = sample_table();
+  std::stringstream stream;
+  write_dos(stream, original);
+  const thermo::DosTable loaded = read_dos(stream);
+  const auto a = thermo::observables_at(original, 800.0);
+  const auto b = thermo::observables_at(loaded, 800.0);
+  EXPECT_DOUBLE_EQ(a.internal_energy, b.internal_energy);
+  EXPECT_DOUBLE_EQ(a.specific_heat, b.specific_heat);
+}
+
+TEST(DosIo, CompatibleWithBenchCsvHeader) {
+  // The bench harness writes "energy_ry,ln_g" via CsvWriter; read_dos must
+  // accept exactly that format.
+  std::stringstream stream("energy_ry,ln_g\n-1.0,0.5\n0.0,2.5\n");
+  const thermo::DosTable table = read_dos(stream);
+  ASSERT_EQ(table.energy.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.energy[1], 0.0);
+  EXPECT_DOUBLE_EQ(table.ln_g[0], 0.5);
+}
+
+TEST(DosIo, BadHeaderRejected) {
+  std::stringstream stream("e,g\n1,2\n");
+  EXPECT_THROW(read_dos(stream), DosIoError);
+}
+
+TEST(DosIo, NonNumericFieldRejected) {
+  std::stringstream stream("energy_ry,ln_g\n-1.0,abc\n");
+  EXPECT_THROW(read_dos(stream), DosIoError);
+}
+
+TEST(DosIo, MissingCommaRejected) {
+  std::stringstream stream("energy_ry,ln_g\n-1.0 0.5\n");
+  EXPECT_THROW(read_dos(stream), DosIoError);
+}
+
+TEST(DosIo, UnsortedEnergiesRejected) {
+  std::stringstream stream("energy_ry,ln_g\n0.0,1.0\n-1.0,2.0\n");
+  EXPECT_THROW(read_dos(stream), DosIoError);
+}
+
+TEST(DosIo, EmptyBodyRejected) {
+  std::stringstream stream("energy_ry,ln_g\n");
+  EXPECT_THROW(read_dos(stream), DosIoError);
+}
+
+TEST(DosIo, MissingFileRejected) {
+  EXPECT_THROW(load_dos("/nonexistent/dir/dos.csv"), DosIoError);
+}
+
+TEST(DosIo, BlankLinesSkipped) {
+  std::stringstream stream("energy_ry,ln_g\n-1.0,0.5\n\n0.0,2.5\n\n");
+  const thermo::DosTable table = read_dos(stream);
+  EXPECT_EQ(table.energy.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wlsms::io

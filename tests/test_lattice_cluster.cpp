@@ -1,0 +1,110 @@
+// Tests for the finite nanoparticle builders.
+#include "lattice/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "lattice/shells.hpp"
+
+namespace wlsms::lattice {
+namespace {
+
+TEST(SphericalCluster, AtomCenteredSmallestIsSingleShellCluster) {
+  // Radius just beyond the bcc nearest-neighbour distance: centre + 8.
+  const double a = 2.0;
+  const double nn = a * std::sqrt(3.0) / 2.0;
+  const Structure c =
+      make_spherical_cluster(CubicLattice::kBcc, a, nn * 1.01, true);
+  EXPECT_EQ(c.size(), 9u);
+}
+
+TEST(SphericalCluster, GrowsWithRadius) {
+  const double a = units::fe_lattice_parameter_a0;
+  std::size_t previous = 0;
+  for (double radius : {5.0, 8.0, 11.0, 14.0}) {
+    const std::size_t n =
+        make_spherical_cluster(CubicLattice::kBcc, a, radius).size();
+    EXPECT_GT(n, previous);
+    previous = n;
+  }
+}
+
+TEST(SphericalCluster, AllAtomsWithinRadius) {
+  const Structure c = make_spherical_cluster(CubicLattice::kBcc, 2.0, 5.0);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_LE(c.position(i).norm(), 5.0 + 1e-9);
+}
+
+TEST(SphericalCluster, NanoparticleRegimeReachable) {
+  // The paper targets "around one hundred to a few thousand atoms" (§I).
+  const double a = units::fe_lattice_parameter_a0;
+  const std::size_t n =
+      make_spherical_cluster(CubicLattice::kBcc, a, 2.6 * a).size();
+  EXPECT_GT(n, 100u);
+  EXPECT_LT(n, 400u);
+}
+
+TEST(SphericalCluster, NotPeriodic) {
+  const Structure c = make_spherical_cluster(CubicLattice::kBcc, 2.0, 4.0);
+  EXPECT_FALSE(c.is_periodic());
+}
+
+TEST(CubicCluster, OpenBoundaries) {
+  const Structure c =
+      make_cubic_cluster(CubicLattice::kSimpleCubic, 1.0, 3, 3, 3);
+  EXPECT_EQ(c.size(), 27u);
+  EXPECT_FALSE(c.is_periodic());
+  // A corner atom has only 3 nearest neighbours.
+  std::size_t min_coordination = 99;
+  for (std::size_t i = 0; i < c.size(); ++i)
+    min_coordination =
+        std::min(min_coordination, c.neighbors_within(i, 1.01).size());
+  EXPECT_EQ(min_coordination, 3u);
+}
+
+TEST(SurfaceAtoms, DetectsShellOfSphere) {
+  const double a = 2.0;
+  const double nn_cutoff = a * std::sqrt(3.0) / 2.0 * 1.01;
+  const Structure c = make_spherical_cluster(CubicLattice::kBcc, a, 3.0 * a);
+  const auto surface = surface_atoms(c, nn_cutoff, 8);
+  EXPECT_GT(surface.size(), 0u);
+  EXPECT_LT(surface.size(), c.size());
+  // Surface atoms sit farther out than the cluster centre of mass.
+  double mean_surface_r = 0.0;
+  for (std::size_t i : surface) mean_surface_r += c.position(i).norm();
+  mean_surface_r /= static_cast<double>(surface.size());
+  double mean_r = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i)
+    mean_r += c.position(i).norm();
+  mean_r /= static_cast<double>(c.size());
+  EXPECT_GT(mean_surface_r, mean_r);
+}
+
+TEST(SurfaceAtoms, SurfaceFractionShrinksWithSize) {
+  // §I: "in small particles ... the surface region contains a significant
+  // fraction of the particle volume".
+  const double a = 2.0;
+  const double nn_cutoff = a * std::sqrt(3.0) / 2.0 * 1.01;
+  const Structure small = make_spherical_cluster(CubicLattice::kBcc, a, 2.5 * a);
+  const Structure large = make_spherical_cluster(CubicLattice::kBcc, a, 5.0 * a);
+  const double f_small =
+      static_cast<double>(surface_atoms(small, nn_cutoff, 8).size()) /
+      static_cast<double>(small.size());
+  const double f_large =
+      static_cast<double>(surface_atoms(large, nn_cutoff, 8).size()) /
+      static_cast<double>(large.size());
+  EXPECT_GT(f_small, f_large);
+  EXPECT_GT(f_small, 0.3);
+}
+
+TEST(SphericalCluster, InvalidRadiusThrows) {
+  EXPECT_THROW(make_spherical_cluster(CubicLattice::kBcc, 2.0, -1.0),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::lattice

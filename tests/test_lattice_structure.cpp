@@ -1,0 +1,138 @@
+// Geometry tests: supercells, periodic images, neighbour shells, and the
+// paper's LIZ size (65 atoms at 11.5 a0 on bcc Fe).
+#include "lattice/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "lattice/shells.hpp"
+
+namespace wlsms::lattice {
+namespace {
+
+TEST(Supercell, AtomCounts) {
+  EXPECT_EQ(make_supercell(CubicLattice::kSimpleCubic, 1.0, 3, 3, 3).size(),
+            27u);
+  EXPECT_EQ(make_supercell(CubicLattice::kBcc, 1.0, 2, 2, 2).size(), 16u);
+  EXPECT_EQ(make_supercell(CubicLattice::kFcc, 1.0, 2, 2, 2).size(), 32u);
+}
+
+TEST(Supercell, PaperCellSizes) {
+  // The paper simulates 16, 250, and 1024 bcc Fe atoms (2^3, 5^3, 8^3 cells).
+  EXPECT_EQ(make_fe_supercell(2).size(), 16u);
+  EXPECT_EQ(make_fe_supercell(5).size(), 250u);
+  EXPECT_EQ(make_fe_supercell(8).size(), 1024u);
+}
+
+TEST(Supercell, BasisSizes) {
+  EXPECT_EQ(basis_size(CubicLattice::kSimpleCubic), 1u);
+  EXPECT_EQ(basis_size(CubicLattice::kBcc), 2u);
+  EXPECT_EQ(basis_size(CubicLattice::kFcc), 4u);
+}
+
+TEST(Structure, MinimumImageDistance) {
+  // Two atoms near opposite faces of the box are close through the boundary.
+  Structure s = Structure::periodic({{0.5, 5.0, 5.0}, {9.5, 5.0, 5.0}},
+                                    {10.0, 10.0, 10.0});
+  EXPECT_NEAR(s.distance(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(s.displacement(0, 1).x, -1.0, 1e-12);
+}
+
+TEST(Structure, FinitePlainDistance) {
+  Structure s = Structure::finite({{0, 0, 0}, {9.5, 0, 0}});
+  EXPECT_NEAR(s.distance(0, 1), 9.5, 1e-12);
+}
+
+TEST(Structure, PositionsWrappedIntoBox) {
+  Structure s =
+      Structure::periodic({{-1.0, 12.0, 3.0}}, {10.0, 10.0, 10.0});
+  EXPECT_NEAR(s.position(0).x, 9.0, 1e-12);
+  EXPECT_NEAR(s.position(0).y, 2.0, 1e-12);
+  EXPECT_NEAR(s.position(0).z, 3.0, 1e-12);
+}
+
+TEST(Structure, BccNearestNeighborGeometry) {
+  const Structure s = make_supercell(CubicLattice::kBcc, 2.0, 3, 3, 3);
+  const auto nn = s.neighbors_within(0, 1.01 * 2.0 * std::sqrt(3.0) / 2.0);
+  ASSERT_EQ(nn.size(), 8u);  // bcc coordination
+  for (const Neighbor& n : nn)
+    EXPECT_NEAR(n.distance, std::sqrt(3.0), 1e-10);
+}
+
+TEST(Structure, NeighborsSortedByDistance) {
+  const Structure s = make_supercell(CubicLattice::kBcc, 1.0, 3, 3, 3);
+  const auto neighbors = s.neighbors_within(0, 2.5);
+  for (std::size_t i = 1; i < neighbors.size(); ++i)
+    EXPECT_LE(neighbors[i - 1].distance, neighbors[i].distance);
+}
+
+TEST(Structure, NeighborsIncludePeriodicImagesBeyondBox) {
+  // A single-cell sc crystal: every neighbour is an image of atom 0 itself.
+  const Structure s = make_supercell(CubicLattice::kSimpleCubic, 1.0, 1, 1, 1);
+  const auto neighbors = s.neighbors_within(0, 1.1);
+  EXPECT_EQ(neighbors.size(), 6u);
+  for (const Neighbor& n : neighbors) EXPECT_EQ(n.site, 0u);
+}
+
+TEST(Structure, PaperLizContains65Atoms) {
+  // §III: "the local interaction zone has a radius of 11.5 a0, including 65
+  // atoms" for bcc Fe at a = 5.42 a0 (64 neighbours + the centre).
+  const Structure fe = make_fe_supercell(2);
+  const auto liz = fe.neighbors_within(0, units::fe_liz_radius_a0);
+  EXPECT_EQ(liz.size() + 1, 65u);
+}
+
+TEST(Shells, BccCoordinationSequence) {
+  // bcc shells: 8 (sqrt3/2 a), 6 (a), 12 (sqrt2 a), 24 (sqrt11/2 a), 8
+  // (sqrt3 a), 6 (2a).
+  const Structure fe = make_fe_supercell(3);
+  const auto coordinations =
+      shell_coordinations(fe, 0, 2.01 * units::fe_lattice_parameter_a0);
+  ASSERT_GE(coordinations.size(), 6u);
+  EXPECT_EQ(coordinations[0], 8u);
+  EXPECT_EQ(coordinations[1], 6u);
+  EXPECT_EQ(coordinations[2], 12u);
+  EXPECT_EQ(coordinations[3], 24u);
+  EXPECT_EQ(coordinations[4], 8u);
+  EXPECT_EQ(coordinations[5], 6u);
+}
+
+TEST(Shells, FccFirstShellIs12) {
+  const Structure fcc = make_supercell(CubicLattice::kFcc, 1.0, 3, 3, 3);
+  const auto coordinations = shell_coordinations(fcc, 0, 1.05);
+  ASSERT_GE(coordinations.size(), 2u);
+  EXPECT_EQ(coordinations[0], 12u);
+  EXPECT_EQ(coordinations[1], 6u);
+}
+
+TEST(Shells, RadiiMatchBccGeometry) {
+  const double a = units::fe_lattice_parameter_a0;
+  const Structure fe = make_fe_supercell(3);
+  const auto shells = neighbor_shells(fe, 0, 1.5 * a);
+  ASSERT_GE(shells.size(), 2u);
+  EXPECT_NEAR(shells[0].radius, a * std::sqrt(3.0) / 2.0, 1e-9);
+  EXPECT_NEAR(shells[1].radius, a, 1e-9);
+}
+
+TEST(Shells, AllSitesOfPerfectCrystalAreEquivalent) {
+  const Structure fe = make_fe_supercell(2);
+  const auto reference = shell_coordinations(fe, 0, 12.0);
+  for (std::size_t i = 1; i < fe.size(); ++i)
+    EXPECT_EQ(shell_coordinations(fe, i, 12.0), reference);
+}
+
+TEST(Structure, ContractViolations) {
+  const Structure s = make_fe_supercell(2);
+  EXPECT_THROW(s.neighbors_within(999, 1.0), ContractError);
+  EXPECT_THROW(s.neighbors_within(0, -1.0), ContractError);
+  EXPECT_THROW(Structure::periodic({{0, 0, 0}}, {0.0, 1.0, 1.0}),
+               ContractError);
+  EXPECT_THROW(Structure::finite({}), ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::lattice

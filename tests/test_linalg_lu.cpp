@@ -1,0 +1,158 @@
+// Tests for the pivoted LU factorization, inverse, and log-determinant.
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+
+namespace wlsms::linalg {
+namespace {
+
+ZMatrix random_matrix(std::size_t n, Rng& rng) {
+  ZMatrix m(n, n);
+  for (std::size_t c = 0; c < n; ++c)
+    for (std::size_t r = 0; r < n; ++r)
+      m(r, c) = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  // Diagonal dominance keeps the condition number benign for the exactness
+  // checks below.
+  for (std::size_t d = 0; d < n; ++d) m(d, d) += Complex{4.0, 0.0};
+  return m;
+}
+
+class LuSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuSizes, InverseTimesMatrixIsIdentity) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31 + 1);
+  const ZMatrix a = random_matrix(n, rng);
+  const ZMatrix inv = inverse(a);
+  const ZMatrix prod = multiply(a, inv);
+  EXPECT_LT(prod.max_abs_diff(ZMatrix::identity(n)),
+            1e-11 * static_cast<double>(n));
+}
+
+TEST_P(LuSizes, SolveRecoversKnownSolution) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31 + 2);
+  const ZMatrix a = random_matrix(n, rng);
+  ZMatrix x_true(n, 2);
+  for (std::size_t c = 0; c < 2; ++c)
+    for (std::size_t r = 0; r < n; ++r)
+      x_true(r, c) = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  const ZMatrix b = multiply(a, x_true);
+  const ZMatrix x = LuFactorization(a).solve(b);
+  EXPECT_LT(x.max_abs_diff(x_true), 1e-10 * static_cast<double>(n));
+}
+
+TEST_P(LuSizes, LogDetMatchesProductOfEigenvaluesForTriangular) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31 + 3);
+  // Upper-triangular matrix: det = product of diagonal entries.
+  ZMatrix t(n, n);
+  Complex expected_log{0.0, 0.0};
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < c; ++r)
+      t(r, c) = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    const Complex d{rng.uniform(0.5, 2.0), rng.uniform(-0.4, 0.4)};
+    t(c, c) = d;
+    expected_log += Complex{std::log(std::abs(d)), std::arg(d)};
+  }
+  const Complex got = log_det(t);
+  EXPECT_NEAR(got.real(), expected_log.real(), 1e-10);
+  // The imaginary part is branch-dependent; compare modulo 2 pi.
+  const double two_pi = 2.0 * std::acos(-1.0);
+  double diff = std::fmod(got.imag() - expected_log.imag(), two_pi);
+  if (diff > two_pi / 2) diff -= two_pi;
+  if (diff < -two_pi / 2) diff += two_pi;
+  EXPECT_NEAR(diff, 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 64, 130));
+
+TEST(Lu, DetOfKnownTwoByTwo) {
+  ZMatrix m(2, 2);
+  m(0, 0) = {1, 0};
+  m(0, 1) = {2, 0};
+  m(1, 0) = {3, 0};
+  m(1, 1) = {4, 0};
+  const Complex d = LuFactorization(m).det();
+  EXPECT_NEAR(d.real(), -2.0, 1e-13);
+  EXPECT_NEAR(d.imag(), 0.0, 1e-13);
+}
+
+TEST(Lu, DetTracksRowSwapSign) {
+  // Permutation matrix with one swap: det = -1.
+  ZMatrix p(2, 2);
+  p(0, 1) = {1, 0};
+  p(1, 0) = {1, 0};
+  const Complex d = LuFactorization(p).det();
+  EXPECT_NEAR(d.real(), -1.0, 1e-14);
+}
+
+TEST(Lu, LogDetOfIdentityIsZero) {
+  const Complex ld = log_det(ZMatrix::identity(7));
+  EXPECT_NEAR(ld.real(), 0.0, 1e-14);
+  EXPECT_NEAR(ld.imag(), 0.0, 1e-14);
+}
+
+TEST(Lu, LogDetRealPartIsScaleCovariant) {
+  // log|det(s A)| = n log s + log|det A| for real s > 0.
+  Rng rng(91);
+  const std::size_t n = 6;
+  ZMatrix a = random_matrix(n, rng);
+  const double base = log_det(a).real();
+  ZMatrix scaled = a;
+  for (std::size_t c = 0; c < n; ++c)
+    for (std::size_t r = 0; r < n; ++r) scaled(r, c) *= 2.0;
+  EXPECT_NEAR(log_det(scaled).real(),
+              base + static_cast<double>(n) * std::log(2.0), 1e-10);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  ZMatrix m(3, 3);  // all zeros
+  EXPECT_THROW(LuFactorization{m}, SingularMatrixError);
+}
+
+TEST(Lu, RankDeficientThrows) {
+  ZMatrix m(2, 2);
+  m(0, 0) = {1, 0};
+  m(0, 1) = {2, 0};
+  m(1, 0) = {2, 0};
+  m(1, 1) = {4, 0};  // second row = 2 * first
+  EXPECT_THROW(LuFactorization{m}, SingularMatrixError);
+}
+
+TEST(Lu, NonSquareThrows) {
+  const ZMatrix m(2, 3);
+  EXPECT_THROW(LuFactorization{m}, ContractError);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  ZMatrix m(2, 2);
+  m(0, 0) = {0, 0};
+  m(0, 1) = {1, 0};
+  m(1, 0) = {1, 0};
+  m(1, 1) = {0, 0};
+  const ZMatrix inv = LuFactorization(m).inverse();
+  EXPECT_LT(multiply(m, inv).max_abs_diff(ZMatrix::identity(2)), 1e-13);
+}
+
+TEST(Lu, SolveInPlaceSingleRhs) {
+  Rng rng(92);
+  const ZMatrix a = random_matrix(5, rng);
+  std::vector<Complex> x_true(5);
+  for (Complex& v : x_true) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  std::vector<Complex> b(5, Complex{0, 0});
+  for (std::size_t j = 0; j < 5; ++j)
+    for (std::size_t i = 0; i < 5; ++i) b[i] += a(i, j) * x_true[j];
+  LuFactorization(a).solve_in_place(b.data());
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(std::abs(b[i] - x_true[i]), 0.0, 1e-11);
+}
+
+}  // namespace
+}  // namespace wlsms::linalg

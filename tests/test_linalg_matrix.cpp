@@ -1,0 +1,96 @@
+// Tests for the dense complex matrix container.
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace wlsms::linalg {
+namespace {
+
+TEST(ZMatrix, ConstructedZero) {
+  const ZMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_FALSE(m.square());
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_EQ(m(r, c), (Complex{0.0, 0.0}));
+}
+
+TEST(ZMatrix, IdentityFactory) {
+  const ZMatrix eye = ZMatrix::identity(4);
+  EXPECT_TRUE(eye.square());
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_EQ(eye(r, c), (Complex{r == c ? 1.0 : 0.0, 0.0}));
+}
+
+TEST(ZMatrix, ColumnMajorLayout) {
+  ZMatrix m(2, 2);
+  m(0, 0) = {1, 0};
+  m(1, 0) = {2, 0};
+  m(0, 1) = {3, 0};
+  m(1, 1) = {4, 0};
+  const Complex* d = m.data();
+  EXPECT_EQ(d[0], (Complex{1, 0}));
+  EXPECT_EQ(d[1], (Complex{2, 0}));  // same column, next row: adjacent
+  EXPECT_EQ(d[2], (Complex{3, 0}));
+  EXPECT_EQ(d[3], (Complex{4, 0}));
+  EXPECT_EQ(m.col(1)[0], (Complex{3, 0}));
+}
+
+TEST(ZMatrix, SetZeroClears) {
+  ZMatrix m = ZMatrix::identity(3);
+  m.set_zero();
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 0.0);
+}
+
+TEST(ZMatrix, AxpyAccumulates) {
+  ZMatrix a = ZMatrix::identity(2);
+  const ZMatrix b = ZMatrix::identity(2);
+  a.axpy(Complex{2.0, 1.0}, b);
+  EXPECT_EQ(a(0, 0), (Complex{3.0, 1.0}));
+  EXPECT_EQ(a(0, 1), (Complex{0.0, 0.0}));
+}
+
+TEST(ZMatrix, AxpyShapeMismatchThrows) {
+  ZMatrix a(2, 2);
+  const ZMatrix b(2, 3);
+  EXPECT_THROW(a.axpy(Complex{1, 0}, b), ContractError);
+}
+
+TEST(ZMatrix, FrobeniusNorm) {
+  ZMatrix m(1, 2);
+  m(0, 0) = {3.0, 0.0};
+  m(0, 1) = {0.0, 4.0};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(ZMatrix, MaxAbsDiff) {
+  ZMatrix a = ZMatrix::identity(2);
+  ZMatrix b = ZMatrix::identity(2);
+  b(1, 0) = {0.0, 0.25};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.25);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(a), 0.0);
+}
+
+TEST(ZMatrix, BlockExtraction) {
+  ZMatrix m(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      m(r, c) = {static_cast<double>(10 * r + c), 0.0};
+  const ZMatrix b = m.block(1, 2, 2);
+  EXPECT_EQ(b(0, 0), (Complex{12.0, 0.0}));
+  EXPECT_EQ(b(0, 1), (Complex{13.0, 0.0}));
+  EXPECT_EQ(b(1, 0), (Complex{22.0, 0.0}));
+  EXPECT_EQ(b(1, 1), (Complex{23.0, 0.0}));
+}
+
+TEST(ZMatrix, BlockOutOfRangeThrows) {
+  const ZMatrix m(3, 3);
+  EXPECT_THROW(m.block(2, 2, 2), ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::linalg

@@ -1,0 +1,69 @@
+// Tests for the analytic production-fidelity cost model behind the cluster
+// simulator (Table II / Fig. 7 reproduction).
+#include "lsms/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "cluster/machine.hpp"
+#include "perf/flops.hpp"
+
+namespace wlsms::lsms {
+namespace {
+
+TEST(Fidelity, ChannelsPerAtom) {
+  LsmsFidelity f;
+  f.lmax = 3;
+  EXPECT_EQ(f.channels_per_atom(), 32u);  // 2 (lmax+1)^2
+  f.lmax = 0;
+  EXPECT_EQ(f.channels_per_atom(), 2u);
+}
+
+TEST(Fidelity, MatrixOrderIsChannelsTimesLiz) {
+  LsmsFidelity f;
+  f.lmax = 3;
+  f.liz_atoms = 65;
+  EXPECT_EQ(f.matrix_order(), 2080u);
+}
+
+TEST(CostModel, FlopsDominatedByFactorization) {
+  LsmsFidelity f;
+  const std::uint64_t total = flops_per_atom_point(f);
+  const std::uint64_t lu = perf::cost::zgetrf(f.matrix_order());
+  EXPECT_GT(total, lu);
+  EXPECT_LT(total, lu + lu / 2);  // solves are a small correction
+}
+
+TEST(CostModel, MonotoneInFidelity) {
+  LsmsFidelity base;
+  LsmsFidelity bigger_l = base;
+  bigger_l.lmax = base.lmax + 1;
+  LsmsFidelity bigger_liz = base;
+  bigger_liz.liz_atoms = base.liz_atoms + 20;
+  EXPECT_GT(flops_per_atom_point(bigger_l), flops_per_atom_point(base));
+  EXPECT_GT(flops_per_atom_point(bigger_liz), flops_per_atom_point(base));
+}
+
+TEST(CostModel, EnergyFlopsScaleWithAtoms) {
+  LsmsFidelity f;
+  EXPECT_EQ(flops_per_energy(f, 1024), 1024u * flops_per_energy(f, 1));
+}
+
+TEST(CostModel, PaperFidelityTakesTensOfSeconds) {
+  // §II-C: "the underlying ab initio LSMS energy calculations require ...
+  // tens of seconds" per evaluation with one atom per core.
+  const cluster::MachineDescription jaguar = cluster::jaguar_xt5();
+  LsmsFidelity f;  // lmax 3, 65-atom LIZ, 31 contour points
+  const double t = seconds_per_energy(f, jaguar.sustained_flops_per_core());
+  EXPECT_GT(t, 10.0);
+  EXPECT_LT(t, 300.0);
+}
+
+TEST(CostModel, InvalidRateThrows) {
+  LsmsFidelity f;
+  EXPECT_THROW(seconds_per_energy(f, 0.0), ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::lsms

@@ -1,0 +1,149 @@
+// Tests for LIZ construction and KKR matrix assembly.
+#include "lsms/kkr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "lattice/cluster.hpp"
+#include "lsms/fe_parameters.hpp"
+
+namespace wlsms::lsms {
+namespace {
+
+lattice::Structure fe16() { return lattice::make_fe_supercell(2); }
+
+TEST(Liz, PaperRadiusGives65Atoms) {
+  const LizGeometry liz = build_liz(fe16(), 0, units::fe_liz_radius_a0);
+  EXPECT_EQ(liz.zone_size(), 65u);
+}
+
+TEST(Liz, GeometryKeySharedAcrossEquivalentSites) {
+  const lattice::Structure cell = fe16();
+  const auto key0 = geometry_key(build_liz(cell, 0, 5.6));
+  for (std::size_t i = 1; i < cell.size(); ++i)
+    EXPECT_EQ(geometry_key(build_liz(cell, i, 5.6)), key0);
+}
+
+TEST(Liz, GeometryKeyDiffersAtSurface) {
+  // In a finite cluster, centre and surface atoms have different zones.
+  const auto cluster = lattice::make_spherical_cluster(
+      lattice::CubicLattice::kBcc, units::fe_lattice_parameter_a0, 9.0);
+  std::size_t center = 0;
+  std::size_t outermost = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (cluster.position(i).norm() < cluster.position(center).norm())
+      center = i;
+    if (cluster.position(i).norm() > cluster.position(outermost).norm())
+      outermost = i;
+  }
+  EXPECT_NE(geometry_key(build_liz(cluster, center, 5.6)),
+            geometry_key(build_liz(cluster, outermost, 5.6)));
+}
+
+TEST(Propagator, IsSymmetricWithZeroDiagonal) {
+  const LizGeometry liz = build_liz(fe16(), 3, 5.6);
+  const Complex z{0.3, 0.1};
+  const linalg::ZMatrix p = scalar_propagator_matrix(liz, z);
+  const std::size_t n = liz.zone_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(p(i, i), (Complex{0.0, 0.0}));
+    for (std::size_t j = 0; j < i; ++j)
+      EXPECT_NEAR(std::abs(p(i, j) - p(j, i)), 0.0, 1e-14);
+  }
+}
+
+TEST(Propagator, FirstRowMatchesFreePropagator) {
+  const LizGeometry liz = build_liz(fe16(), 0, 5.6);
+  const Complex z{0.32, 0.05};
+  const linalg::ZMatrix p = scalar_propagator_matrix(liz, z);
+  for (std::size_t j = 0; j < liz.members.size(); ++j) {
+    const Complex expected =
+        free_propagator(liz.members[j].distance, z);
+    EXPECT_NEAR(std::abs(p(0, j + 1) - expected), 0.0, 1e-14);
+  }
+}
+
+TEST(KkrMatrix, HasTInverseBlocksOnDiagonal) {
+  const Scatterer scatterer(fe_scattering_parameters());
+  const LizGeometry liz = build_liz(fe16(), 0, 5.6);
+  Rng rng(3);
+  const auto moments = spin::MomentConfiguration::random(16, rng);
+  const Complex z{0.3, 0.08};
+  const linalg::ZMatrix p = scalar_propagator_matrix(liz, z);
+  const linalg::ZMatrix m = assemble_kkr_matrix(scatterer, liz, moments, z, p);
+
+  ASSERT_EQ(m.rows(), 2 * liz.zone_size());
+  const spin::Spin2x2 ti0 = scatterer.t_inverse(moments[0], z);
+  EXPECT_NEAR(std::abs(m(0, 0) - ti0[0]), 0.0, 1e-13);
+  EXPECT_NEAR(std::abs(m(0, 1) - ti0[1]), 0.0, 1e-13);
+  EXPECT_NEAR(std::abs(m(1, 0) - ti0[2]), 0.0, 1e-13);
+  EXPECT_NEAR(std::abs(m(1, 1) - ti0[3]), 0.0, 1e-13);
+}
+
+TEST(KkrMatrix, OffDiagonalIsSpinConservingPropagation) {
+  const Scatterer scatterer(fe_scattering_parameters());
+  const LizGeometry liz = build_liz(fe16(), 0, 5.6);
+  Rng rng(4);
+  const auto moments = spin::MomentConfiguration::random(16, rng);
+  const Complex z{0.3, 0.08};
+  const linalg::ZMatrix p = scalar_propagator_matrix(liz, z);
+  const linalg::ZMatrix m = assemble_kkr_matrix(scatterer, liz, moments, z, p);
+  const double strength = scatterer.params().propagator_strength;
+
+  // Block (0, 1): -strength * g * 1_spin.
+  const Complex g = strength * p(0, 1);
+  EXPECT_NEAR(std::abs(m(0, 2) + g), 0.0, 1e-13);
+  EXPECT_NEAR(std::abs(m(1, 3) + g), 0.0, 1e-13);
+  EXPECT_NEAR(std::abs(m(0, 3)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(m(1, 2)), 0.0, 1e-15);
+}
+
+TEST(CentralTau, MatchesFullInverseBlock) {
+  const Scatterer scatterer(fe_scattering_parameters());
+  const LizGeometry liz = build_liz(fe16(), 0, 5.6);
+  Rng rng(5);
+  const auto moments = spin::MomentConfiguration::random(16, rng);
+  const Complex z{0.3, 0.08};
+  const linalg::ZMatrix p = scalar_propagator_matrix(liz, z);
+  const linalg::ZMatrix m = assemble_kkr_matrix(scatterer, liz, moments, z, p);
+
+  const spin::Spin2x2 tau = central_tau_block(m);
+  const linalg::ZMatrix full_inverse = linalg::inverse(m);
+  EXPECT_NEAR(std::abs(tau[0] - full_inverse(0, 0)), 0.0, 1e-11);
+  EXPECT_NEAR(std::abs(tau[1] - full_inverse(0, 1)), 0.0, 1e-11);
+  EXPECT_NEAR(std::abs(tau[2] - full_inverse(1, 0)), 0.0, 1e-11);
+  EXPECT_NEAR(std::abs(tau[3] - full_inverse(1, 1)), 0.0, 1e-11);
+}
+
+TEST(CentralTau, CollinearConfigurationStaysSpinDiagonal) {
+  // All moments along z: the spin channels never mix.
+  const Scatterer scatterer(fe_scattering_parameters());
+  const LizGeometry liz = build_liz(fe16(), 0, 5.6);
+  const auto moments = spin::MomentConfiguration::ferromagnetic(16);
+  const Complex z{0.35, 0.06};
+  const linalg::ZMatrix p = scalar_propagator_matrix(liz, z);
+  const spin::Spin2x2 tau = central_tau_block(
+      assemble_kkr_matrix(scatterer, liz, moments, z, p));
+  EXPECT_NEAR(std::abs(tau[1]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(tau[2]), 0.0, 1e-12);
+}
+
+TEST(CentralTau, IsolatedAtomReducesToSingleSiteT) {
+  // A LIZ with no members: tau = t (the free single scatterer).
+  const Scatterer scatterer(fe_scattering_parameters());
+  LizGeometry lone;
+  lone.center = 0;
+  const auto moments = spin::MomentConfiguration::ferromagnetic(1);
+  const Complex z{0.3, 0.08};
+  const linalg::ZMatrix p = scalar_propagator_matrix(lone, z);
+  const spin::Spin2x2 tau = central_tau_block(
+      assemble_kkr_matrix(scatterer, lone, moments, z, p));
+  EXPECT_NEAR(std::abs(tau[0] - scatterer.t_up(z)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(tau[3] - scatterer.t_down(z)), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wlsms::lsms

@@ -1,0 +1,138 @@
+// Tests for the single-site scattering model.
+#include "lsms/scattering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "lsms/fe_parameters.hpp"
+
+namespace wlsms::lsms {
+namespace {
+
+TEST(Momentum, PositiveRealEnergyGivesRealMomentum) {
+  const Complex k = momentum(Complex{0.25, 0.0});
+  EXPECT_NEAR(k.real(), 0.5, 1e-14);
+  EXPECT_NEAR(k.imag(), 0.0, 1e-14);
+}
+
+TEST(Momentum, UpperHalfPlaneGivesDecayingBranch) {
+  for (double re : {0.1, 0.5, 1.0}) {
+    for (double im : {0.01, 0.1, 0.5}) {
+      const Complex k = momentum(Complex{re, im});
+      EXPECT_GT(k.imag(), 0.0);
+    }
+  }
+}
+
+TEST(FreePropagator, DecaysWithDistanceOffAxis) {
+  const Complex z{0.3, 0.1};
+  const double g1 = std::abs(free_propagator(2.0, z));
+  const double g2 = std::abs(free_propagator(4.0, z));
+  const double g3 = std::abs(free_propagator(8.0, z));
+  EXPECT_GT(g1, g2);
+  EXPECT_GT(g2, g3);
+  // Exponential, not just 1/r: the ratio beats the geometric one.
+  EXPECT_GT(g1 / g2, 2.0);
+}
+
+TEST(FreePropagator, OnRealAxisIsSphericalWave) {
+  // |g0(r)| = 1/r for real positive energy.
+  const Complex z{0.49, 0.0};
+  EXPECT_NEAR(std::abs(free_propagator(2.0, z)), 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(free_propagator(5.0, z)), 0.2, 1e-12);
+}
+
+TEST(FreePropagator, NonPositiveDistanceThrows) {
+  EXPECT_THROW(free_propagator(0.0, Complex{0.3, 0.1}), ContractError);
+  EXPECT_THROW(free_propagator(-1.0, Complex{0.3, 0.1}), ContractError);
+}
+
+TEST(Scatterer, PhaseShiftCrossesPiOverTwoAtResonance) {
+  const Scatterer s(fe_scattering_parameters());
+  const ScatteringParameters& p = s.params();
+  EXPECT_NEAR(s.phase_shift_up(p.resonance_up), std::acos(-1.0) / 2.0, 1e-12);
+  EXPECT_NEAR(s.phase_shift_down(p.resonance_down), std::acos(-1.0) / 2.0,
+              1e-12);
+  // Below resonance the shift is small, above it approaches pi.
+  EXPECT_LT(s.phase_shift_up(p.resonance_up - 5.0 * p.width), 0.2);
+  EXPECT_GT(s.phase_shift_up(p.resonance_up + 5.0 * p.width), 2.9);
+}
+
+TEST(Scatterer, UnitarityOnRealAxis) {
+  // With this convention t = -(1/k) sin(delta) e^{i delta}, so the unitary
+  // S-matrix is S = e^{2 i delta} = 1 - 2 i k t: |S| = 1 on the real axis.
+  const Scatterer s(fe_scattering_parameters());
+  for (double e : {0.1, 0.25, 0.32, 0.5, 0.8}) {
+    const Complex z{e, 0.0};
+    const Complex k = momentum(z);
+    const Complex s_matrix = 1.0 - 2.0 * Complex{0, 1} * k * s.t_up(z);
+    EXPECT_NEAR(std::abs(s_matrix), 1.0, 1e-12);
+  }
+}
+
+TEST(Scatterer, AnalyticInUpperHalfPlane) {
+  // The resonance pole sits at z = E_res - i Gamma/2 (lower half-plane);
+  // on an upper-half-plane grid |t| must stay bounded.
+  const Scatterer s(fe_scattering_parameters());
+  for (double re = 0.05; re < 1.0; re += 0.05)
+    for (double im : {0.02, 0.1, 0.3}) {
+      const Complex t = s.t_up(Complex{re, im});
+      ASSERT_TRUE(std::isfinite(t.real()) && std::isfinite(t.imag()));
+      ASSERT_LT(std::abs(t), 50.0);
+    }
+}
+
+TEST(Scatterer, ExchangeSplittingSeparatesChannels) {
+  const Scatterer s(fe_scattering_parameters());
+  const Complex z{0.32, 0.05};
+  EXPECT_GT(std::abs(s.t_up(z) - s.t_down(z)), 1e-3);
+}
+
+TEST(Scatterer, TMatrixAlongZIsDiagonal) {
+  const Scatterer s(fe_scattering_parameters());
+  const Complex z{0.3, 0.1};
+  const spin::Spin2x2 t = s.t_matrix({0.0, 0.0, 1.0}, z);
+  EXPECT_NEAR(std::abs(t[1]), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(t[2]), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(t[0] - s.t_up(z)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(t[3] - s.t_down(z)), 0.0, 1e-14);
+}
+
+TEST(Scatterer, TMatrixAlongMinusZSwapsChannels) {
+  const Scatterer s(fe_scattering_parameters());
+  const Complex z{0.3, 0.1};
+  const spin::Spin2x2 t = s.t_matrix({0.0, 0.0, -1.0}, z);
+  EXPECT_NEAR(std::abs(t[0] - s.t_down(z)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(t[3] - s.t_up(z)), 0.0, 1e-14);
+}
+
+TEST(Scatterer, TInverseIsTrueInverse) {
+  const Scatterer s(fe_scattering_parameters());
+  Rng rng(11);
+  const Complex z{0.4, 0.08};
+  for (int k = 0; k < 8; ++k) {
+    const Vec3 e = rng.unit_vector();
+    const spin::Spin2x2 t = s.t_matrix(e, z);
+    const spin::Spin2x2 ti = s.t_inverse(e, z);
+    const spin::Spin2x2 prod = spin::multiply2(t, ti);
+    EXPECT_NEAR(std::abs(prod[0] - Complex{1, 0}), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(prod[3] - Complex{1, 0}), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(prod[1]), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(prod[2]), 0.0, 1e-12);
+  }
+}
+
+TEST(Scatterer, InvalidParametersThrow) {
+  ScatteringParameters p = fe_scattering_parameters();
+  p.width = 0.0;
+  EXPECT_THROW(Scatterer{p}, ContractError);
+  p = fe_scattering_parameters();
+  p.fermi_energy = p.band_bottom - 0.1;
+  EXPECT_THROW(Scatterer{p}, ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::lsms

@@ -1,0 +1,163 @@
+// Tests for the Metropolis baseline against exact single-bond results.
+#include "mc/metropolis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "heisenberg/heisenberg.hpp"
+#include "lattice/cluster.hpp"
+#include "lattice/structure.hpp"
+
+namespace wlsms::mc {
+namespace {
+
+double langevin(double x) { return 1.0 / std::tanh(x) - 1.0 / x; }
+
+wl::HeisenbergEnergy single_bond_energy(double j) {
+  return wl::HeisenbergEnergy(heisenberg::HeisenbergModel(
+      lattice::make_cubic_cluster(lattice::CubicLattice::kSimpleCubic, 1.0, 2,
+                                  1, 1),
+      {j}));
+}
+
+class MetropolisBetaJ : public ::testing::TestWithParam<double> {};
+
+TEST_P(MetropolisBetaJ, SingleBondEnergyMatchesLangevin) {
+  const double x = GetParam();  // beta J
+  const double j = 1.0;
+  const wl::HeisenbergEnergy energy = single_bond_energy(j);
+
+  MetropolisConfig config;
+  config.temperature_k = j / (units::k_boltzmann_ry * x);
+  config.thermalization_steps = 50000;
+  config.measurement_steps = 400000;
+  config.measure_interval = 2;
+  Rng rng(static_cast<unsigned>(100 * x));
+  const MetropolisResult result = metropolis_run(
+      energy, spin::MomentConfiguration::random(2, rng), config, rng);
+
+  EXPECT_NEAR(result.mean_energy, -j * langevin(x), 0.02) << "beta J = " << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, MetropolisBetaJ,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0));
+
+TEST(Metropolis, SpecificHeatMatchesExactDerivative) {
+  const double x = 1.0;
+  const double j = 1.0;
+  const wl::HeisenbergEnergy energy = single_bond_energy(j);
+  MetropolisConfig config;
+  config.temperature_k = j / (units::k_boltzmann_ry * x);
+  config.thermalization_steps = 50000;
+  config.measurement_steps = 1000000;
+  config.measure_interval = 2;
+  Rng rng(5);
+  const MetropolisResult result = metropolis_run(
+      energy, spin::MomentConfiguration::random(2, rng), config, rng);
+  const double sinh_x = std::sinh(x);
+  const double exact_c_over_kb = x * x * (1.0 / (x * x) - 1.0 / (sinh_x * sinh_x));
+  EXPECT_NEAR(result.specific_heat / units::k_boltzmann_ry, exact_c_over_kb,
+              0.08);
+}
+
+TEST(Metropolis, AcceptanceIncreasesWithTemperature) {
+  const wl::HeisenbergEnergy energy = single_bond_energy(1.0);
+  double previous = 0.0;
+  Rng rng(6);
+  for (double x : {8.0, 2.0, 0.5}) {  // colder -> hotter
+    MetropolisConfig config;
+    config.temperature_k = 1.0 / (units::k_boltzmann_ry * x);
+    config.thermalization_steps = 20000;
+    config.measurement_steps = 100000;
+    const MetropolisResult result = metropolis_run(
+        energy, spin::MomentConfiguration::ferromagnetic(2), config, rng);
+    EXPECT_GT(result.acceptance, previous);
+    previous = result.acceptance;
+  }
+}
+
+TEST(Metropolis, ConeMovesRaiseColdAcceptance) {
+  const wl::HeisenbergEnergy energy = single_bond_energy(1.0);
+  Rng rng(7);
+  MetropolisConfig sphere;
+  sphere.temperature_k = 1.0 / (units::k_boltzmann_ry * 8.0);
+  sphere.thermalization_steps = 20000;
+  sphere.measurement_steps = 100000;
+  MetropolisConfig cone = sphere;
+  cone.cone_half_angle = 0.3;
+  const MetropolisResult r_sphere = metropolis_run(
+      energy, spin::MomentConfiguration::ferromagnetic(2), sphere, rng);
+  const MetropolisResult r_cone = metropolis_run(
+      energy, spin::MomentConfiguration::ferromagnetic(2), cone, rng);
+  EXPECT_GT(r_cone.acceptance, r_sphere.acceptance);
+  // Both estimators agree on the physics.
+  EXPECT_NEAR(r_cone.mean_energy, r_sphere.mean_energy, 0.05);
+}
+
+TEST(Metropolis, SweepReturnsRequestedOrderAndCoolsMagnetization) {
+  std::vector<double> j = {3.0e-3, 6.0e-5};
+  const wl::HeisenbergEnergy energy(
+      heisenberg::HeisenbergModel(lattice::make_fe_supercell(2), j));
+  const std::vector<double> temps = {300.0, 1500.0, 800.0};
+  MetropolisConfig config;
+  config.thermalization_steps = 100000;
+  config.measurement_steps = 300000;
+  config.measure_interval = 16;
+  Rng rng(8);
+  const auto results = metropolis_sweep(energy, temps, config, rng);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[0].temperature, 300.0);
+  EXPECT_DOUBLE_EQ(results[1].temperature, 1500.0);
+  EXPECT_DOUBLE_EQ(results[2].temperature, 800.0);
+  // Magnetization decreases with temperature.
+  EXPECT_GT(results[0].mean_magnetization, results[2].mean_magnetization);
+  EXPECT_GT(results[2].mean_magnetization, results[1].mean_magnetization);
+  // Energy increases with temperature.
+  EXPECT_LT(results[0].mean_energy, results[2].mean_energy);
+  EXPECT_LT(results[2].mean_energy, results[1].mean_energy);
+}
+
+TEST(Metropolis, CountsEnergyEvaluations) {
+  const wl::HeisenbergEnergy energy = single_bond_energy(1.0);
+  MetropolisConfig config;
+  config.temperature_k = 1000.0;
+  config.thermalization_steps = 100;
+  config.measurement_steps = 900;
+  Rng rng(9);
+  const MetropolisResult result = metropolis_run(
+      energy, spin::MomentConfiguration::random(2, rng), config, rng);
+  EXPECT_EQ(result.energy_evaluations, 1001u);  // initial + one per step
+}
+
+TEST(Metropolis, FinalStateHandedBack) {
+  const wl::HeisenbergEnergy energy = single_bond_energy(1.0);
+  MetropolisConfig config;
+  config.temperature_k = 500.0;
+  config.thermalization_steps = 1000;
+  config.measurement_steps = 1000;
+  Rng rng(10);
+  spin::MomentConfiguration final_state =
+      spin::MomentConfiguration::ferromagnetic(2);
+  metropolis_run(energy, spin::MomentConfiguration::random(2, rng), config,
+                 rng, &final_state);
+  EXPECT_EQ(final_state.size(), 2u);
+  EXPECT_NEAR(final_state[0].norm(), 1.0, 1e-12);
+}
+
+TEST(Metropolis, InvalidConfigThrows) {
+  const wl::HeisenbergEnergy energy = single_bond_energy(1.0);
+  Rng rng(11);
+  MetropolisConfig config;
+  config.temperature_k = -5.0;
+  EXPECT_THROW(metropolis_run(energy,
+                              spin::MomentConfiguration::random(2, rng),
+                              config, rng),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::mc

@@ -1,0 +1,70 @@
+// Tests for the flop-accounting layer and the wall-clock timer.
+#include "perf/flops.hpp"
+#include "perf/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wlsms::perf {
+namespace {
+
+TEST(Flops, ThreadCounterIsMonotonic) {
+  const std::uint64_t before = thread_flops();
+  add_flops(123);
+  EXPECT_EQ(thread_flops(), before + 123);
+  add_flops(1);
+  EXPECT_EQ(thread_flops(), before + 124);
+}
+
+TEST(Flops, WindowMeasuresDelta) {
+  FlopWindow window;
+  add_flops(1000);
+  EXPECT_GE(window.elapsed(), 1000u);
+}
+
+TEST(Flops, TotalAggregatesAcrossThreads) {
+  FlopWindow window;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1 << 21;  // exceeds drain threshold
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] { add_flops(kPerThread); });
+  for (std::thread& t : threads) t.join();
+  EXPECT_GE(window.elapsed(), kThreads * kPerThread);
+}
+
+TEST(FlopCosts, GemmCountsEightMNK) {
+  EXPECT_EQ(cost::zgemm(2, 3, 4), 8u * 2 * 3 * 4);
+  EXPECT_EQ(cost::zgemm(1, 1, 1), 8u);
+}
+
+TEST(FlopCosts, GetrfIsCubicOverThree) {
+  EXPECT_EQ(cost::zgetrf(3), 8u * 27 / 3);
+  // Monotone in n.
+  EXPECT_LT(cost::zgetrf(100), cost::zgetrf(101));
+}
+
+TEST(FlopCosts, GetrsIsQuadraticPerRhs) {
+  EXPECT_EQ(cost::zgetrs(10, 1), 800u);
+  EXPECT_EQ(cost::zgetrs(10, 3), 2400u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double t = timer.seconds();
+  EXPECT_GE(t, 0.015);
+  EXPECT_LT(t, 5.0);
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace wlsms::perf

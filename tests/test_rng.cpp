@@ -1,0 +1,145 @@
+// Tests for the xoshiro256** generator and its sampling helpers.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+#include <set>
+
+namespace wlsms {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMomentsMatchUniformDistribution) {
+  Rng rng(4);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 5e-3);
+  EXPECT_NEAR(sum2 / n, 1.0 / 3.0, 5e-3);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-2.5, 7.5);
+    ASSERT_GE(v, -2.5);
+    ASSERT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(6);
+  constexpr std::uint64_t n = 7;
+  std::array<int, n> counts{};
+  const int draws = 140000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(n)];
+  for (int c : counts) EXPECT_NEAR(c, draws / static_cast<int>(n), 800);
+}
+
+TEST(Rng, UniformIndexOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(8);
+  EXPECT_THROW(rng.uniform_index(0), ContractError);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, UnitVectorIsNormalized) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    const Vec3 e = rng.unit_vector();
+    ASSERT_NEAR(e.norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(Rng, UnitVectorIsIsotropic) {
+  // Marsaglia sampling: each component has mean 0 and variance 1/3.
+  Rng rng(11);
+  Vec3 mean;
+  Vec3 var;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const Vec3 e = rng.unit_vector();
+    mean += e;
+    var += Vec3{e.x * e.x, e.y * e.y, e.z * e.z};
+  }
+  EXPECT_NEAR(mean.x / n, 0.0, 5e-3);
+  EXPECT_NEAR(mean.y / n, 0.0, 5e-3);
+  EXPECT_NEAR(mean.z / n, 0.0, 5e-3);
+  EXPECT_NEAR(var.x / n, 1.0 / 3.0, 5e-3);
+  EXPECT_NEAR(var.y / n, 1.0 / 3.0, 5e-3);
+  EXPECT_NEAR(var.z / n, 1.0 / 3.0, 5e-3);
+}
+
+TEST(Rng, JumpProducesDisjointStream) {
+  Rng a(12);
+  Rng b(12);
+  b.jump();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(a.next());
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(seen.count(b.next()), 0u);
+}
+
+TEST(Rng, SplitStreamsAreDistinctAndDeterministic) {
+  const Rng base(13);
+  Rng s0 = base.split(0);
+  Rng s1 = base.split(1);
+  Rng s0_again = base.split(0);
+  EXPECT_NE(s0.next(), s1.next());
+  s0 = base.split(0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s0.next(), s0_again.next());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace wlsms

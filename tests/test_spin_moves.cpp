@@ -1,0 +1,115 @@
+// Tests for the Monte Carlo trial-move generators.
+#include "spin/moves.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace wlsms::spin {
+namespace {
+
+TEST(UniformSphereMove, ProposesValidSitesAndDirections) {
+  Rng rng(1);
+  const auto config = MomentConfiguration::ferromagnetic(12);
+  const UniformSphereMove move;
+  for (int k = 0; k < 1000; ++k) {
+    const TrialMove trial = move.propose(config, rng);
+    ASSERT_LT(trial.site, config.size());
+    ASSERT_NEAR(trial.new_direction.norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(UniformSphereMove, SiteSelectionIsUniform) {
+  Rng rng(2);
+  const auto config = MomentConfiguration::ferromagnetic(8);
+  const UniformSphereMove move;
+  std::vector<int> counts(8, 0);
+  const int draws = 80000;
+  for (int k = 0; k < draws; ++k) ++counts[move.propose(config, rng).site];
+  for (int c : counts) EXPECT_NEAR(c, draws / 8, 600);
+}
+
+TEST(UniformSphereMove, NewDirectionIndependentOfCurrent) {
+  // Mean projection of the proposal on the old direction is zero.
+  Rng rng(3);
+  const auto config = MomentConfiguration::ferromagnetic(4);
+  const UniformSphereMove move;
+  double mean_proj = 0.0;
+  const int draws = 100000;
+  for (int k = 0; k < draws; ++k)
+    mean_proj += move.propose(config, rng).new_direction.z;
+  EXPECT_NEAR(mean_proj / draws, 0.0, 0.01);
+}
+
+TEST(ConeMove, StaysWithinCone) {
+  Rng rng(4);
+  const double half_angle = 0.3;
+  const ConeMove move(half_angle);
+  auto config = MomentConfiguration::ferromagnetic(5);
+  config.set(2, {1.0, 1.0, 0.2});
+  for (int k = 0; k < 5000; ++k) {
+    const TrialMove trial = move.propose(config, rng);
+    const double cos_angle =
+        trial.new_direction.dot(config[trial.site]);
+    ASSERT_GE(cos_angle, std::cos(half_angle) - 1e-12);
+    ASSERT_NEAR(trial.new_direction.norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(ConeMove, CoversTheCone) {
+  // The proposal reaches angles near the cone boundary.
+  Rng rng(5);
+  const double half_angle = 0.5;
+  const ConeMove move(half_angle);
+  const auto config = MomentConfiguration::ferromagnetic(1);
+  double max_angle = 0.0;
+  for (int k = 0; k < 20000; ++k) {
+    const TrialMove trial = move.propose(config, rng);
+    max_angle = std::max(
+        max_angle, std::acos(std::min(1.0, trial.new_direction.z)));
+  }
+  EXPECT_GT(max_angle, 0.9 * half_angle);
+}
+
+TEST(ConeMove, AzimuthallySymmetric) {
+  Rng rng(6);
+  const ConeMove move(0.4);
+  const auto config = MomentConfiguration::ferromagnetic(1);
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  const int draws = 100000;
+  for (int k = 0; k < draws; ++k) {
+    const TrialMove trial = move.propose(config, rng);
+    mean_x += trial.new_direction.x;
+    mean_y += trial.new_direction.y;
+  }
+  EXPECT_NEAR(mean_x / draws, 0.0, 5e-3);
+  EXPECT_NEAR(mean_y / draws, 0.0, 5e-3);
+}
+
+TEST(ConeMove, WorksForAllOrientations) {
+  // The frame construction must not degenerate for moments near any axis.
+  Rng rng(7);
+  const ConeMove move(0.2);
+  for (const Vec3& dir : {Vec3{0, 0, 1}, Vec3{0, 0, -1}, Vec3{1, 0, 0},
+                          Vec3{0, 1, 0}, Vec3{0.577, 0.577, 0.577}}) {
+    auto config = MomentConfiguration::from_directions({dir});
+    for (int k = 0; k < 100; ++k) {
+      const TrialMove trial = move.propose(config, rng);
+      ASSERT_GE(trial.new_direction.dot(config[0]),
+                std::cos(0.2) - 1e-12);
+    }
+  }
+}
+
+TEST(ConeMove, InvalidAngleThrows) {
+  EXPECT_THROW(ConeMove(0.0), ContractError);
+  EXPECT_THROW(ConeMove(-0.5), ContractError);
+  EXPECT_THROW(ConeMove(4.0), ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::spin

@@ -1,0 +1,108 @@
+// Tests for the SU(2) rotation and Pauli algebra used by the frozen-
+// potential moment rotations (paper §II-B, Fig. 2).
+#include "spin/rotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace wlsms::spin {
+namespace {
+
+Spin2x2 identity2() {
+  return {Complex{1, 0}, Complex{0, 0}, Complex{0, 0}, Complex{1, 0}};
+}
+
+TEST(Pauli, SquaresAreIdentity) {
+  for (const Spin2x2& sigma : {pauli_x(), pauli_y(), pauli_z()})
+    EXPECT_LT(max_abs_diff(multiply2(sigma, sigma), identity2()), 1e-15);
+}
+
+TEST(Pauli, Anticommute) {
+  const Spin2x2 xy = multiply2(pauli_x(), pauli_y());
+  const Spin2x2 yx = multiply2(pauli_y(), pauli_x());
+  Spin2x2 sum;
+  for (int i = 0; i < 4; ++i) sum[i] = xy[i] + yx[i];
+  EXPECT_LT(max_abs_diff(sum, {Complex{0, 0}, {0, 0}, {0, 0}, {0, 0}}), 1e-15);
+}
+
+TEST(Pauli, ProductGivesIZ) {
+  // sigma_x sigma_y = i sigma_z
+  const Spin2x2 xy = multiply2(pauli_x(), pauli_y());
+  Spin2x2 iz = pauli_z();
+  for (Complex& v : iz) v *= Complex{0, 1};
+  EXPECT_LT(max_abs_diff(xy, iz), 1e-15);
+}
+
+TEST(Pauli, DotAlongAxesMatchesSingleMatrices) {
+  EXPECT_LT(max_abs_diff(pauli_dot({1, 0, 0}), pauli_x()), 1e-15);
+  EXPECT_LT(max_abs_diff(pauli_dot({0, 1, 0}), pauli_y()), 1e-15);
+  EXPECT_LT(max_abs_diff(pauli_dot({0, 0, 1}), pauli_z()), 1e-15);
+}
+
+class Su2Directions : public ::testing::TestWithParam<int> {};
+
+TEST_P(Su2Directions, RotatesSigmaZOntoDirection) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const Vec3 e = rng.unit_vector();
+  const Spin2x2 r = su2_from_direction(e);
+  const Spin2x2 rotated = conjugate(r, pauli_z());
+  EXPECT_LT(max_abs_diff(rotated, pauli_dot(e)), 1e-12);
+}
+
+TEST_P(Su2Directions, IsUnitary) {
+  Rng rng(static_cast<unsigned>(GetParam()) + 100);
+  const Spin2x2 r = su2_from_direction(rng.unit_vector());
+  EXPECT_LT(max_abs_diff(multiply2(r, dagger(r)), identity2()), 1e-13);
+  EXPECT_LT(max_abs_diff(multiply2(dagger(r), r), identity2()), 1e-13);
+}
+
+TEST_P(Su2Directions, RotatedTMatrixEqualsConjugation) {
+  // t(e) = R diag(t_up, t_dn) R^dagger must equal
+  // t_bar 1 + dt (sigma . e) (the closed form used in the hot path).
+  Rng rng(static_cast<unsigned>(GetParam()) + 200);
+  const Vec3 e = rng.unit_vector();
+  const Complex t_up{0.3, -0.4};
+  const Complex t_dn{-0.1, 0.2};
+  const Spin2x2 diag{t_up, Complex{0, 0}, Complex{0, 0}, t_dn};
+  const Spin2x2 via_rotation = conjugate(su2_from_direction(e), diag);
+  const Spin2x2 closed_form = rotated_t_matrix(t_up, t_dn, e);
+  EXPECT_LT(max_abs_diff(via_rotation, closed_form), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDirections, Su2Directions,
+                         ::testing::Range(0, 16));
+
+TEST(Su2, HandlesPolesOfParameterization) {
+  const Spin2x2 up = su2_from_direction({0, 0, 1});
+  EXPECT_LT(max_abs_diff(conjugate(up, pauli_z()), pauli_z()), 1e-14);
+  const Spin2x2 down = su2_from_direction({0, 0, -1});
+  Spin2x2 minus_z = pauli_z();
+  for (Complex& v : minus_z) v = -v;
+  EXPECT_LT(max_abs_diff(conjugate(down, pauli_z()), minus_z), 1e-14);
+}
+
+TEST(RotatedT, EqualSpinChannelsAreDirectionIndependent) {
+  // With t_up == t_dn the moment direction must drop out entirely.
+  Rng rng(7);
+  const Complex t{0.5, -0.25};
+  const Spin2x2 a = rotated_t_matrix(t, t, rng.unit_vector());
+  Spin2x2 expected{t, Complex{0, 0}, Complex{0, 0}, t};
+  EXPECT_LT(max_abs_diff(a, expected), 1e-15);
+}
+
+TEST(RotatedT, TraceIsInvariant) {
+  // Tr t(e) = t_up + t_dn for every direction.
+  Rng rng(8);
+  const Complex t_up{0.3, 0.1};
+  const Complex t_dn{-0.6, 0.4};
+  for (int k = 0; k < 8; ++k) {
+    const Spin2x2 t = rotated_t_matrix(t_up, t_dn, rng.unit_vector());
+    EXPECT_NEAR(std::abs(t[0] + t[3] - (t_up + t_dn)), 0.0, 1e-14);
+  }
+}
+
+}  // namespace
+}  // namespace wlsms::spin

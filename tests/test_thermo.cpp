@@ -1,0 +1,167 @@
+// Tests for the DOS -> thermodynamics layer (paper eqs. 9-16) on
+// analytically known densities of states.
+#include "thermo/observables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace wlsms::thermo {
+namespace {
+
+// Uniform DOS on [e_lo, e_hi]: Z ~ integral e^{-beta E} dE, so
+// U = <E> of a truncated exponential, computable in closed form.
+DosTable uniform_dos(double e_lo, double e_hi, std::size_t bins) {
+  DosTable table;
+  const double width = (e_hi - e_lo) / static_cast<double>(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    table.energy.push_back(e_lo + (static_cast<double>(b) + 0.5) * width);
+    table.ln_g.push_back(0.0);
+  }
+  return table;
+}
+
+double truncated_exp_mean(double beta, double a, double b) {
+  // mean of E with density ~ e^{-beta E} on [a, b]
+  const double w = b - a;
+  const double x = beta * w;
+  // <E> = a + w * (1/x - e^{-x}/(1 - e^{-x}))
+  return a + w * (1.0 / x - std::exp(-x) / (1.0 - std::exp(-x)));
+}
+
+TEST(Observables, UniformDosInternalEnergyMatchesClosedForm) {
+  const DosTable table = uniform_dos(-1.0, 1.0, 2000);
+  for (double t : {500.0, 2000.0, 20000.0, 200000.0}) {
+    const double beta = units::beta_from_kelvin(t);
+    const double expected = truncated_exp_mean(beta, -1.0, 1.0);
+    EXPECT_NEAR(observables_at(table, t).internal_energy, expected, 2e-3)
+        << "T=" << t;
+  }
+}
+
+TEST(Observables, InfiniteTemperatureLimitIsMidpoint) {
+  const DosTable table = uniform_dos(-2.0, 4.0, 1000);
+  const Observables obs = observables_at(table, 1e9);
+  EXPECT_NEAR(obs.internal_energy, 1.0, 1e-3);
+  // c -> Var(E)/ (k T^2) -> 0.
+  EXPECT_LT(obs.specific_heat, 1e-10);
+}
+
+TEST(Observables, ZeroTemperatureLimitIsGroundState) {
+  const DosTable table = uniform_dos(-1.0, 1.0, 500);
+  const Observables obs = observables_at(table, 1.0);  // k_B T = 6.3e-6 Ry
+  EXPECT_NEAR(obs.internal_energy, -1.0, 5e-3);
+  EXPECT_TRUE(std::isfinite(obs.free_energy));
+  EXPECT_TRUE(std::isfinite(obs.entropy));
+}
+
+TEST(Observables, SpecificHeatIsEnergyVarianceOverKT2) {
+  // Two-level system: g = {1, 1} at energies 0 and d.
+  DosTable table;
+  table.energy = {0.0, 1e-3};
+  table.ln_g = {0.0, 0.0};
+  const double t = 1e-3 / units::k_boltzmann_ry;  // beta d = 1
+  const Observables obs = observables_at(table, t);
+  const double p1 = std::exp(-1.0) / (1.0 + std::exp(-1.0));
+  const double mean = p1 * 1e-3;
+  const double var = p1 * (1.0 - p1) * 1e-6;
+  EXPECT_NEAR(obs.internal_energy, mean, 1e-9);
+  EXPECT_NEAR(obs.specific_heat, var / (units::k_boltzmann_ry * t * t), 1e-12);
+}
+
+TEST(Observables, ThermodynamicIdentityUMinusFEqualsTS) {
+  const DosTable table = uniform_dos(-1.0, 1.0, 300);
+  for (double t : {300.0, 3000.0, 30000.0}) {
+    const Observables obs = observables_at(table, t);
+    EXPECT_NEAR(obs.internal_energy - obs.free_energy, t * obs.entropy,
+                1e-12);
+  }
+}
+
+TEST(Observables, FreeEnergyDecreasesWithTemperature) {
+  // dF/dT = -S < 0 whenever more than one state is thermally accessible
+  // (the shape of the paper's Fig. 5).
+  const DosTable table = uniform_dos(-1.0, 1.0, 300);
+  const auto sweep = temperature_sweep(table, 200.0, 3000.0, 40);
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    EXPECT_LT(sweep[i].free_energy, sweep[i - 1].free_energy);
+}
+
+TEST(Observables, EntropyOfUnnormalizedDosIsShiftedNotBroken) {
+  // Shifting ln g by a constant (the unknown ln g0 of eq. 9) must leave U
+  // and c exactly invariant and shift F by -kT * ln g0 (paper eq. 10).
+  const DosTable base = uniform_dos(-1.0, 1.0, 300);
+  DosTable shifted = base;
+  for (double& v : shifted.ln_g) v += 7.5;
+  for (double t : {400.0, 4000.0}) {
+    const Observables a = observables_at(base, t);
+    const Observables b = observables_at(shifted, t);
+    EXPECT_NEAR(a.internal_energy, b.internal_energy, 1e-12);
+    EXPECT_NEAR(a.specific_heat, b.specific_heat, 1e-15);
+    EXPECT_NEAR(b.free_energy,
+                a.free_energy - units::k_boltzmann_ry * t * 7.5, 1e-12);
+  }
+}
+
+TEST(Observables, HugeLnGValuesAreStable) {
+  // ln g of large systems reaches thousands; log-sum-exp must not overflow.
+  DosTable table = uniform_dos(-3.0, 0.3, 200);
+  for (std::size_t i = 0; i < table.ln_g.size(); ++i)
+    table.ln_g[i] = 5000.0 * std::sin(0.01 * static_cast<double>(i)) + 20000.0;
+  const Observables obs = observables_at(table, 900.0);
+  EXPECT_TRUE(std::isfinite(obs.internal_energy));
+  EXPECT_TRUE(std::isfinite(obs.free_energy));
+  EXPECT_TRUE(std::isfinite(obs.specific_heat));
+  EXPECT_GE(obs.specific_heat, 0.0);
+}
+
+TEST(TemperatureSweep, CoversRangeInclusive) {
+  const DosTable table = uniform_dos(-1.0, 1.0, 100);
+  const auto sweep = temperature_sweep(table, 100.0, 1100.0, 11);
+  ASSERT_EQ(sweep.size(), 11u);
+  EXPECT_DOUBLE_EQ(sweep.front().temperature, 100.0);
+  EXPECT_DOUBLE_EQ(sweep.back().temperature, 1100.0);
+  EXPECT_NEAR(sweep[5].temperature, 600.0, 1e-9);
+}
+
+TEST(CurieEstimate, FindsPeakOfSyntheticSchottkyAnomaly) {
+  // Two-level DOS: specific-heat (Schottky) peak at k_B T ~ 0.417 d.
+  DosTable table;
+  table.energy = {0.0, 1e-2};
+  table.ln_g = {0.0, 0.0};
+  const CurieEstimate estimate =
+      estimate_curie_temperature(table, 100.0, 20000.0, 400, 0.5);
+  const double expected_t = 0.4168 * 1e-2 / units::k_boltzmann_ry;
+  EXPECT_NEAR(estimate.tc, expected_t, 0.01 * expected_t);
+  EXPECT_GT(estimate.peak_height, 0.0);
+}
+
+TEST(CurieEstimate, RefinementBeatsCoarseGrid) {
+  DosTable table;
+  table.energy = {0.0, 1e-2};
+  table.ln_g = {0.0, 0.0};
+  // Deliberately coarse scan: golden-section refinement must still land on
+  // the peak to sub-Kelvin precision.
+  const CurieEstimate coarse =
+      estimate_curie_temperature(table, 100.0, 20000.0, 10, 0.1);
+  const CurieEstimate fine =
+      estimate_curie_temperature(table, 100.0, 20000.0, 1000, 0.1);
+  EXPECT_NEAR(coarse.tc, fine.tc, 30.0);
+}
+
+TEST(Observables, ContractViolations) {
+  const DosTable table = uniform_dos(-1.0, 1.0, 10);
+  EXPECT_THROW(observables_at(table, 0.0), ContractError);
+  EXPECT_THROW(observables_at(table, -5.0), ContractError);
+  EXPECT_THROW(temperature_sweep(table, 500.0, 100.0, 5), ContractError);
+  EXPECT_THROW(temperature_sweep(table, 100.0, 500.0, 1), ContractError);
+  DosTable empty;
+  EXPECT_THROW(observables_at(empty, 300.0), ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::thermo

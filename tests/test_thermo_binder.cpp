@@ -1,0 +1,127 @@
+// Tests for the Binder-cumulant finite-size analysis (paper §III: the
+// finite-size-scaling route to the bulk Curie temperature).
+#include "thermo/binder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "heisenberg/heisenberg.hpp"
+#include "lattice/structure.hpp"
+#include "lsms/fe_parameters.hpp"
+
+namespace wlsms::thermo {
+namespace {
+
+wl::HeisenbergEnergy fe_surrogate(std::size_t n_cells) {
+  std::vector<double> j = lsms::fe_reference_exchange();
+  for (double& v : j) v *= lsms::fe_exchange_energy_scale;
+  return wl::HeisenbergEnergy(
+      heisenberg::HeisenbergModel(lattice::make_fe_supercell(n_cells), j));
+}
+
+class BinderSweep16 : public ::testing::Test {
+ protected:
+  static const std::vector<CumulantPoint>& sweep() {
+    static const std::vector<CumulantPoint> cached = [] {
+      const wl::HeisenbergEnergy energy = fe_surrogate(2);
+      CumulantConfig config;
+      config.thermalization_steps = 100000;
+      config.measurement_steps = 400000;
+      config.measure_interval = 16;
+      Rng rng(3);
+      return binder_cumulant_sweep(
+          energy, {200.0, 600.0, 1000.0, 1600.0, 2400.0, 4000.0}, config,
+          rng);
+    }();
+    return cached;
+  }
+};
+
+TEST_F(BinderSweep16, MomentsAreOrderedAndBounded) {
+  for (const CumulantPoint& p : sweep()) {
+    EXPECT_GT(p.m2, 0.0);
+    EXPECT_LE(p.m2, 1.0);
+    EXPECT_GT(p.m4, 0.0);
+    EXPECT_LE(p.m4, 1.0);
+    EXPECT_GE(p.m4, p.m2 * p.m2);  // Jensen: <m^4> >= <m^2>^2
+  }
+}
+
+TEST_F(BinderSweep16, OrderedPhaseGivesTwoThirds) {
+  // Deep in the ferromagnetic phase m is sharply peaked: U4 -> 2/3.
+  EXPECT_NEAR(sweep().front().binder_u4, 2.0 / 3.0, 0.02);
+}
+
+TEST_F(BinderSweep16, CumulantDecreasesTowardDisorder) {
+  // U4 falls with temperature toward the disordered-phase value.
+  const auto& points = sweep();
+  EXPECT_GT(points[0].binder_u4, points[3].binder_u4);
+  EXPECT_GT(points[3].binder_u4, points.back().binder_u4);
+  // For a finite system <m> never vanishes, but U4 at 4000 K is well below
+  // the ordered-phase 2/3.
+  EXPECT_LT(points.back().binder_u4, 0.55);
+}
+
+TEST_F(BinderSweep16, ReturnsRequestedOrder) {
+  EXPECT_DOUBLE_EQ(sweep()[0].temperature, 200.0);
+  EXPECT_DOUBLE_EQ(sweep().back().temperature, 4000.0);
+}
+
+TEST(BinderCrossing, InterpolatesTheSignChange) {
+  // Synthetic curves: the small system has the larger U4 above the
+  // crossing and the smaller one below, crossing at T = 1000.
+  std::vector<CumulantPoint> small_sys;
+  std::vector<CumulantPoint> large_sys;
+  for (double t : {800.0, 900.0, 1100.0, 1200.0}) {
+    CumulantPoint s;
+    s.temperature = t;
+    s.binder_u4 = 0.6 - 0.5e-4 * (t - 1000.0);
+    CumulantPoint l;
+    l.temperature = t;
+    l.binder_u4 = 0.6 - 2.0e-4 * (t - 1000.0);
+    small_sys.push_back(s);
+    large_sys.push_back(l);
+  }
+  EXPECT_NEAR(binder_crossing(small_sys, large_sys), 1000.0, 1e-9);
+}
+
+TEST(BinderCrossing, NoCrossingReturnsNegative) {
+  std::vector<CumulantPoint> a(3);
+  std::vector<CumulantPoint> b(3);
+  for (int i = 0; i < 3; ++i) {
+    a[static_cast<std::size_t>(i)].temperature = 100.0 * (i + 1);
+    b[static_cast<std::size_t>(i)].temperature = 100.0 * (i + 1);
+    a[static_cast<std::size_t>(i)].binder_u4 = 0.6;
+    b[static_cast<std::size_t>(i)].binder_u4 = 0.5;  // always below
+  }
+  EXPECT_LT(binder_crossing(a, b), 0.0);
+}
+
+TEST(BinderCrossing, HandlesUnsortedTemperatureGrids) {
+  std::vector<CumulantPoint> small_sys(2);
+  std::vector<CumulantPoint> large_sys(2);
+  // Given in descending order; crossing at 550.
+  small_sys[0] = {600.0, 0, 0, 0.55};
+  small_sys[1] = {500.0, 0, 0, 0.65};
+  large_sys[0] = {600.0, 0, 0, 0.45};
+  large_sys[1] = {500.0, 0, 0, 0.75};
+  const double crossing = binder_crossing(small_sys, large_sys);
+  EXPECT_NEAR(crossing, 550.0, 1e-9);
+}
+
+TEST(BinderSweep, ContractViolations) {
+  const wl::HeisenbergEnergy energy = fe_surrogate(2);
+  CumulantConfig config;
+  Rng rng(1);
+  EXPECT_THROW(binder_cumulant_sweep(energy, {}, config, rng), ContractError);
+  EXPECT_THROW(binder_cumulant_sweep(energy, {-5.0}, config, rng),
+               ContractError);
+  std::vector<CumulantPoint> a(2), b(3);
+  EXPECT_THROW(binder_crossing(a, b), ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::thermo

@@ -1,0 +1,134 @@
+// Tests for joint-DOS thermodynamics: constrained free energies, switching
+// barriers, magnetization curves.
+#include "thermo/joint_observables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace wlsms::thermo {
+namespace {
+
+// Builds a synthetic joint DOS with ln g(E, M) = ln gE(E) + ln gM(M) where
+// ln gM has a double-well shape: high density at |M| ~ m0, low at M ~ 0.
+wl::JointDos synthetic_double_well(double well_depth) {
+  wl::JointDosConfig config;
+  config.e_min = 0.0;
+  config.e_max = 1.0;
+  config.e_bins = 20;
+  config.m_min = -1.0;
+  config.m_max = 1.0;
+  config.m_bins = 21;
+  wl::JointDos dos(config);
+  for (std::size_t be = 0; be < config.e_bins; ++be) {
+    for (std::size_t bm = 0; bm < config.m_bins; ++bm) {
+      const double m = dos.m_center(bm);
+      // One "visit" per cell with the desired ln g as gamma: many states at
+      // |M| ~ 1 (the wells), few near M = 0 (the barrier).
+      dos.visit(dos.e_center(be), m, well_depth * m * m);
+    }
+  }
+  return dos;
+}
+
+TEST(JointObservables, ProfileCoversVisitedMagnetizations) {
+  const wl::JointDos dos = synthetic_double_well(3.0);
+  const FreeEnergyProfile profile = free_energy_profile(dos, 1000.0);
+  EXPECT_EQ(profile.m.size(), 21u);
+  EXPECT_EQ(profile.f.size(), 21u);
+  // Normalized: the minimum is exactly zero.
+  double min_f = 1e300;
+  for (double f : profile.f) min_f = std::min(min_f, f);
+  EXPECT_NEAR(min_f, 0.0, 1e-15);
+}
+
+TEST(JointObservables, DoubleWellProfileHasCentralMaximum) {
+  const wl::JointDos dos = synthetic_double_well(4.0);
+  const FreeEnergyProfile profile = free_energy_profile(dos, 800.0);
+  // F(M=0) is higher than F at the outermost wells.
+  double f_center = 0.0;
+  double f_edge = 1e300;
+  for (std::size_t i = 0; i < profile.m.size(); ++i) {
+    if (std::abs(profile.m[i]) < 0.06) f_center = profile.f[i];
+    if (std::abs(profile.m[i]) > 0.9)
+      f_edge = std::min(f_edge, profile.f[i]);
+  }
+  EXPECT_GT(f_center, f_edge);
+}
+
+TEST(JointObservables, BarrierGrowsWithWellDepth) {
+  const double b_shallow = switching_barrier(synthetic_double_well(2.0), 700.0);
+  const double b_deep = switching_barrier(synthetic_double_well(6.0), 700.0);
+  EXPECT_GT(b_shallow, 0.0);
+  EXPECT_GT(b_deep, b_shallow);
+}
+
+TEST(JointObservables, BarrierScalesLinearlyInTForEntropicWell) {
+  // Our synthetic ln g is temperature-independent, so
+  // F(0) - F(m0) = kT * depth: the barrier is proportional to T.
+  const wl::JointDos dos = synthetic_double_well(4.0);
+  const double b1 = switching_barrier(dos, 400.0);
+  const double b2 = switching_barrier(dos, 800.0);
+  EXPECT_NEAR(b2 / b1, 2.0, 0.05);
+}
+
+TEST(JointObservables, MeanAbsMagnetizationWeightsWells) {
+  // Deep double well: thermal average sits near the well positions.
+  const wl::JointDos dos = synthetic_double_well(8.0);
+  const double m = mean_abs_magnetization(dos, 500.0);
+  EXPECT_GT(m, 0.7);
+  // A flat landscape averages |M| over the uniform measure (= 1/2 on the
+  // grid of bin centres).
+  const wl::JointDos flat = synthetic_double_well(0.0);
+  EXPECT_NEAR(mean_abs_magnetization(flat, 500.0), 0.5, 0.03);
+}
+
+TEST(JointObservables, MagnetizationCurveShape) {
+  const wl::JointDos dos = synthetic_double_well(5.0);
+  const auto curve = magnetization_curve(dos, 200.0, 2000.0, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 200.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 2000.0);
+  // With a T-independent ln g the weighting of M by the E-integral changes
+  // only weakly; every point stays in [0, 1].
+  for (const auto& [t, m] : curve) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+  }
+}
+
+TEST(JointObservables, EnergyDependenceWeightsColdProfile) {
+  // Put the low-M cells at *low energy*: cooling must favour them.
+  wl::JointDosConfig config;
+  config.e_min = 0.0;
+  config.e_max = 1.0;
+  config.e_bins = 20;
+  config.m_min = -1.0;
+  config.m_max = 1.0;
+  config.m_bins = 11;
+  wl::JointDos dos(config);
+  for (std::size_t be = 0; be < config.e_bins; ++be)
+    for (std::size_t bm = 0; bm < config.m_bins; ++bm) {
+      const double m = dos.m_center(bm);
+      // States with small |M| exist only at low E.
+      if (std::abs(m) < 0.3 && dos.e_center(be) > 0.3) continue;
+      dos.visit(dos.e_center(be), m, 1.0);
+    }
+  const double m_cold = mean_abs_magnetization(dos, 3000.0);
+  const double m_hot = mean_abs_magnetization(dos, 300000.0);
+  EXPECT_LT(m_cold, m_hot);
+}
+
+TEST(JointObservables, InvalidTemperatureThrows) {
+  const wl::JointDos dos = synthetic_double_well(1.0);
+  EXPECT_THROW(free_energy_profile(dos, 0.0), ContractError);
+  EXPECT_THROW(mean_abs_magnetization(dos, -1.0), ContractError);
+  EXPECT_THROW(magnetization_curve(dos, 500.0, 100.0, 5), ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::thermo

@@ -1,0 +1,82 @@
+// Tests for the 3-vector primitive.
+#include "common/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wlsms {
+namespace {
+
+TEST(Vec3, ArithmeticOperators) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  EXPECT_EQ(a + b, (Vec3{0.0, 2.5, 5.0}));
+  EXPECT_EQ(a - b, (Vec3{2.0, 1.5, 1.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1.0, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1.0, -2.0, -3.0}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += Vec3{1.0, 2.0, 3.0};
+  EXPECT_EQ(v, (Vec3{2.0, 3.0, 4.0}));
+  v -= Vec3{2.0, 2.0, 2.0};
+  EXPECT_EQ(v, (Vec3{0.0, 1.0, 2.0}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3{0.0, 3.0, 6.0}));
+}
+
+TEST(Vec3, DotProduct) {
+  EXPECT_DOUBLE_EQ((Vec3{1, 2, 3}).dot({4, -5, 6}), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ((Vec3{1, 0, 0}).dot({0, 1, 0}), 0.0);
+}
+
+TEST(Vec3, CrossProductRightHanded) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  const Vec3 z{0, 0, 1};
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  EXPECT_EQ(y.cross(x), -z);
+}
+
+TEST(Vec3, CrossIsPerpendicular) {
+  const Vec3 a{1.3, -0.2, 2.0};
+  const Vec3 b{0.4, 1.7, -0.8};
+  const Vec3 c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3, NormAndNorm2) {
+  const Vec3 v{3.0, 4.0, 12.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 169.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 13.0);
+}
+
+TEST(Vec3, NormalizedHasUnitLength) {
+  const Vec3 v{0.3, -2.0, 1.1};
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-14);
+  // Direction is preserved.
+  EXPECT_NEAR(v.normalized().dot(v), v.norm(), 1e-12);
+}
+
+TEST(Vec3, LagrangeIdentity) {
+  // |a x b|^2 + (a.b)^2 = |a|^2 |b|^2
+  const Vec3 a{1.1, -0.7, 0.3};
+  const Vec3 b{-2.0, 0.4, 1.6};
+  const double lhs = a.cross(b).norm2() + a.dot(b) * a.dot(b);
+  EXPECT_NEAR(lhs, a.norm2() * b.norm2(), 1e-12);
+}
+
+TEST(Vec3, DefaultIsZero) {
+  const Vec3 v;
+  EXPECT_EQ(v, (Vec3{0.0, 0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace wlsms

@@ -1,0 +1,113 @@
+// Tests for checkpoint/restart of Wang-Landau state.
+#include "wl/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace wlsms::wl {
+namespace {
+
+Checkpoint sample_checkpoint() {
+  DosGridConfig grid;
+  grid.e_min = -2.0;
+  grid.e_max = 1.0;
+  grid.bins = 50;
+  grid.kernel_width_fraction = 0.004;
+  DosGrid dos(grid);
+  Rng rng(3);
+  for (int k = 0; k < 500; ++k)
+    dos.visit(rng.uniform(grid.e_min, grid.e_max), 0.25);
+
+  std::vector<spin::MomentConfiguration> walkers;
+  for (unsigned w = 0; w < 3; ++w)
+    walkers.push_back(spin::MomentConfiguration::random(8, rng));
+  return make_checkpoint(dos, 0.125, 12345, std::move(walkers));
+}
+
+TEST(Checkpoint, StreamRoundTripPreservesEverything) {
+  const Checkpoint original = sample_checkpoint();
+  std::stringstream stream;
+  write_checkpoint(stream, original);
+  const Checkpoint loaded = read_checkpoint(stream);
+
+  EXPECT_EQ(loaded.grid.bins, original.grid.bins);
+  EXPECT_DOUBLE_EQ(loaded.grid.e_min, original.grid.e_min);
+  EXPECT_DOUBLE_EQ(loaded.grid.e_max, original.grid.e_max);
+  EXPECT_DOUBLE_EQ(loaded.grid.kernel_width_fraction,
+                   original.grid.kernel_width_fraction);
+  EXPECT_DOUBLE_EQ(loaded.gamma, original.gamma);
+  EXPECT_EQ(loaded.total_steps, original.total_steps);
+  EXPECT_EQ(loaded.ln_g, original.ln_g);
+  EXPECT_EQ(loaded.histogram, original.histogram);
+  EXPECT_EQ(loaded.visited, original.visited);
+  ASSERT_EQ(loaded.walkers.size(), original.walkers.size());
+  for (std::size_t w = 0; w < loaded.walkers.size(); ++w)
+    for (std::size_t i = 0; i < loaded.walkers[w].size(); ++i) {
+      EXPECT_NEAR(loaded.walkers[w][i].x, original.walkers[w][i].x, 1e-15);
+      EXPECT_NEAR(loaded.walkers[w][i].y, original.walkers[w][i].y, 1e-15);
+      EXPECT_NEAR(loaded.walkers[w][i].z, original.walkers[w][i].z, 1e-15);
+    }
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const Checkpoint original = sample_checkpoint();
+  const std::string path = ::testing::TempDir() + "wlsms_checkpoint_test.txt";
+  save_checkpoint(path, original);
+  const Checkpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.ln_g, original.ln_g);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RestoreDosRebuildsEstimate) {
+  const Checkpoint cp = sample_checkpoint();
+  DosGrid dos(cp.grid);
+  restore_dos(cp, dos);
+  EXPECT_EQ(dos.ln_g_values(), cp.ln_g);
+  EXPECT_EQ(dos.visited(), cp.visited);
+}
+
+TEST(Checkpoint, BadMagicRejected) {
+  std::stringstream stream("not-a-checkpoint 1\n");
+  EXPECT_THROW(read_checkpoint(stream), CheckpointError);
+}
+
+TEST(Checkpoint, WrongVersionRejected) {
+  std::stringstream stream("wlsms-checkpoint 999\n");
+  EXPECT_THROW(read_checkpoint(stream), CheckpointError);
+}
+
+TEST(Checkpoint, TruncationDetected) {
+  const Checkpoint original = sample_checkpoint();
+  std::stringstream stream;
+  write_checkpoint(stream, original);
+  std::string text = stream.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(read_checkpoint(truncated), CheckpointError);
+}
+
+TEST(Checkpoint, MissingFileRejected) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/path/cp.txt"), CheckpointError);
+}
+
+TEST(Checkpoint, EmptyStreamRejected) {
+  std::stringstream stream;
+  EXPECT_THROW(read_checkpoint(stream), CheckpointError);
+}
+
+TEST(Checkpoint, RestoreIntoMismatchedGridThrows) {
+  const Checkpoint cp = sample_checkpoint();
+  DosGridConfig other = cp.grid;
+  other.bins = cp.grid.bins + 1;
+  DosGrid dos(other);
+  EXPECT_THROW(restore_dos(cp, dos), ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::wl

@@ -1,0 +1,203 @@
+// Tests for the DOS grid: binning, kernel updates, flatness bookkeeping.
+#include "wl/dos_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wlsms::wl {
+namespace {
+
+DosGridConfig small_grid() {
+  DosGridConfig config;
+  config.e_min = 0.0;
+  config.e_max = 1.0;
+  config.bins = 100;
+  config.kernel_width_fraction = 0.005;  // half a bin
+  return config;
+}
+
+TEST(DosGrid, BinGeometry) {
+  const DosGrid dos(small_grid());
+  EXPECT_EQ(dos.bins(), 100u);
+  EXPECT_DOUBLE_EQ(dos.bin_width(), 0.01);
+  EXPECT_DOUBLE_EQ(dos.bin_center(0), 0.005);
+  EXPECT_DOUBLE_EQ(dos.bin_center(99), 0.995);
+}
+
+TEST(DosGrid, ContainsIsHalfOpen) {
+  const DosGrid dos(small_grid());
+  EXPECT_TRUE(dos.contains(0.0));
+  EXPECT_TRUE(dos.contains(0.999999));
+  EXPECT_FALSE(dos.contains(1.0));
+  EXPECT_FALSE(dos.contains(-1e-9));
+}
+
+TEST(DosGrid, BinIndexMapsEdgesCorrectly) {
+  const DosGrid dos(small_grid());
+  EXPECT_EQ(dos.bin_index(0.0), 0u);
+  EXPECT_EQ(dos.bin_index(0.0099), 0u);
+  EXPECT_EQ(dos.bin_index(0.01), 1u);
+  EXPECT_EQ(dos.bin_index(0.9999), 99u);
+}
+
+TEST(DosGrid, VisitUpdatesLnGAtKernelCenter) {
+  DosGrid dos(small_grid());
+  const double e = dos.bin_center(50);
+  dos.visit(e, 0.7);
+  EXPECT_NEAR(dos.ln_g_values()[50], 0.7, 1e-12);  // k(0) = 1
+  EXPECT_EQ(dos.histogram()[50], 1u);
+  EXPECT_EQ(dos.visited()[50], 1);
+  // Neighbours outside the (half-bin) kernel are untouched.
+  EXPECT_DOUBLE_EQ(dos.ln_g_values()[49], 0.0);
+  EXPECT_DOUBLE_EQ(dos.ln_g_values()[51], 0.0);
+}
+
+TEST(DosGrid, WideKernelSpreadsEpanechnikovWeights) {
+  DosGridConfig config = small_grid();
+  config.kernel_width_fraction = 0.025;  // 2.5 bins
+  DosGrid dos(config);
+  const double e = dos.bin_center(50);
+  dos.visit(e, 1.0);
+  EXPECT_NEAR(dos.ln_g_values()[50], 1.0, 1e-12);
+  // One bin away: x = 0.4 -> k = 1 - 0.16 = 0.84.
+  EXPECT_NEAR(dos.ln_g_values()[51], 0.84, 1e-12);
+  EXPECT_NEAR(dos.ln_g_values()[49], 0.84, 1e-12);
+  // Two bins away: x = 0.8 -> k = 0.36.
+  EXPECT_NEAR(dos.ln_g_values()[52], 0.36, 1e-12);
+  // Three bins away: outside support.
+  EXPECT_DOUBLE_EQ(dos.ln_g_values()[53], 0.0);
+  // Only the hit bin's histogram moves.
+  EXPECT_EQ(dos.histogram()[51], 0u);
+}
+
+TEST(DosGrid, VisitReportsFirstTimeOnly) {
+  DosGrid dos(small_grid());
+  EXPECT_TRUE(dos.visit(0.205, 1.0));
+  EXPECT_FALSE(dos.visit(0.205, 1.0));
+  EXPECT_TRUE(dos.visit(0.305, 1.0));
+}
+
+TEST(DosGrid, LnGInterpolatesBetweenVisitedCenters) {
+  DosGrid dos(small_grid());
+  dos.visit(dos.bin_center(10), 2.0);
+  dos.visit(dos.bin_center(11), 4.0);
+  const double mid = 0.5 * (dos.bin_center(10) + dos.bin_center(11));
+  EXPECT_NEAR(dos.ln_g(mid), 3.0, 1e-12);
+  EXPECT_NEAR(dos.ln_g(dos.bin_center(10)), 2.0, 1e-12);
+}
+
+TEST(DosGrid, LnGNeverInterpolatesIntoUnvisitedBins) {
+  // At the support edge the unvisited neighbour (carrying only kernel
+  // spill) must not dilute the estimate: the walker would otherwise see an
+  // artificially low ln g at the outer half of the edge bin and freeze
+  // there (the instability fixed in test_wl_exact.cpp).
+  DosGrid dos(small_grid());
+  dos.visit(dos.bin_center(10), 2.0);
+  const double mid = 0.5 * (dos.bin_center(10) + dos.bin_center(11));
+  EXPECT_NEAR(dos.ln_g(mid), 2.0, 1e-12);  // nearest *visited* value
+  const double mid_low = 0.5 * (dos.bin_center(9) + dos.bin_center(10));
+  EXPECT_NEAR(dos.ln_g(mid_low), 2.0, 1e-12);
+}
+
+TEST(DosGrid, LnGClampsAtEnds) {
+  DosGrid dos(small_grid());
+  dos.visit(dos.bin_center(0), 3.0);
+  EXPECT_NEAR(dos.ln_g(0.0001), 3.0, 1e-9);
+}
+
+TEST(DosGrid, ResetHistogramKeepsLnG) {
+  DosGrid dos(small_grid());
+  const double e = dos.bin_center(50);
+  dos.visit(e, 1.0);
+  dos.reset_histogram();
+  EXPECT_EQ(dos.histogram_total(), 0u);
+  EXPECT_GT(dos.ln_g(e), 0.0);
+  EXPECT_EQ(dos.visited_bins(), 1u);  // visited mask survives
+}
+
+TEST(DosGrid, FlatnessRequiresStatistics) {
+  DosGrid dos(small_grid());
+  dos.visit(0.105, 1.0);
+  dos.visit(0.115, 1.0);
+  // Two visits only: mean below min_mean_visits.
+  EXPECT_FALSE(dos.is_flat(0.8));
+}
+
+TEST(DosGrid, UniformVisitsAreFlat) {
+  DosGrid dos(small_grid());
+  for (int round = 0; round < 20; ++round)
+    for (std::size_t b = 0; b < dos.bins(); ++b)
+      dos.visit(dos.bin_center(b), 0.01);
+  EXPECT_TRUE(dos.is_flat(0.9));
+}
+
+TEST(DosGrid, SkewedVisitsAreNotFlat) {
+  DosGrid dos(small_grid());
+  for (int round = 0; round < 20; ++round)
+    for (std::size_t b = 0; b < dos.bins(); ++b) {
+      dos.visit(dos.bin_center(b), 0.01);
+      if (b < 50) dos.visit(dos.bin_center(b), 0.01);  // double weight low half
+    }
+  EXPECT_FALSE(dos.is_flat(0.8));
+  // But a lax criterion accepts a 2:1 imbalance.
+  EXPECT_TRUE(dos.is_flat(0.3));
+}
+
+TEST(DosGrid, SmoothedHistogramCoversKernelNeighborhood) {
+  DosGridConfig config = small_grid();
+  config.kernel_width_fraction = 0.02;  // 2 bins
+  DosGrid dos(config);
+  // Mark three adjacent bins visited; hit only the middle one.
+  dos.visit(dos.bin_center(40), 0.0);
+  dos.visit(dos.bin_center(41), 0.0);
+  dos.visit(dos.bin_center(42), 0.0);
+  for (int k = 0; k < 50; ++k) dos.visit(dos.bin_center(41), 0.0);
+  const auto smoothed = dos.smoothed_histogram();
+  // The unhit flanks inherit the middle bin's visits through the kernel
+  // (normalized weighted average), so all three sit near the same level
+  // even though the raw counts are {1, 51, 1}.
+  EXPECT_GT(smoothed[40], 10.0);
+  EXPECT_GT(smoothed[41], 10.0);
+  EXPECT_GT(smoothed[42], 10.0);
+  EXPECT_DOUBLE_EQ(smoothed[60], 0.0);  // never-visited bins stay zero
+}
+
+TEST(DosGrid, VisitedSeriesIsShiftedToZeroMinimum) {
+  DosGrid dos(small_grid());
+  dos.visit(dos.bin_center(10), 5.0);
+  dos.visit(dos.bin_center(20), 2.0);
+  const auto series = dos.visited_series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(series[1].second, 0.0);
+}
+
+TEST(DosGrid, CheckpointAccessorsRoundTrip) {
+  DosGrid dos(small_grid());
+  dos.visit(0.25, 1.0);
+  std::vector<double> ln_g = dos.ln_g_values();
+  std::vector<std::uint8_t> visited = dos.visited();
+  DosGrid other(small_grid());
+  other.set_ln_g_values(ln_g);
+  other.set_visited(visited);
+  EXPECT_EQ(other.ln_g_values(), dos.ln_g_values());
+  EXPECT_EQ(other.visited(), dos.visited());
+}
+
+TEST(DosGrid, ContractViolations) {
+  DosGrid dos(small_grid());
+  EXPECT_THROW(dos.visit(2.0, 1.0), ContractError);
+  EXPECT_THROW(dos.ln_g(2.0), ContractError);
+  EXPECT_THROW(dos.bin_index(-0.1), ContractError);
+  EXPECT_THROW(dos.is_flat(0.0), ContractError);
+  EXPECT_THROW(dos.set_ln_g_values(std::vector<double>(3)), ContractError);
+  DosGridConfig bad = small_grid();
+  bad.e_max = bad.e_min;
+  EXPECT_THROW(DosGrid{bad}, ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::wl

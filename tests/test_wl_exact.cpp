@@ -1,0 +1,171 @@
+// Property tests of the Wang-Landau estimator against exactly solvable
+// systems. These pin down the *correctness* of the whole sampling stack:
+//
+//  1. a single Heisenberg bond has E = -J cos(theta) with cos(theta)
+//     uniform, so g(E) is exactly constant on [-J, J];
+//  2. two independent bonds convolve two uniforms: ln g is an exact
+//     triangle, and the canonical internal energy is twice the single-bond
+//     Langevin result U(T) = -J L(beta J), L(x) = coth x - 1/x.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "heisenberg/heisenberg.hpp"
+#include "lattice/cluster.hpp"
+#include "thermo/observables.hpp"
+#include "wl/wanglandau.hpp"
+
+namespace wlsms::wl {
+namespace {
+
+double langevin(double x) { return 1.0 / std::tanh(x) - 1.0 / x; }
+
+HeisenbergEnergy single_bond_energy(double j) {
+  return HeisenbergEnergy(heisenberg::HeisenbergModel(
+      lattice::make_cubic_cluster(lattice::CubicLattice::kSimpleCubic, 1.0, 2,
+                                  1, 1),
+      {j}));
+}
+
+HeisenbergEnergy two_bond_energy(double j) {
+  // 4 atoms in a row with open boundaries and nearest-neighbour J would make
+  // 3 bonds; two *independent* dimers need a 2x2x1 arrangement where only
+  // x-direction pairs are within the coupling shell.
+  const auto structure = lattice::Structure::finite(
+      {{0, 0, 0}, {1, 0, 0}, {0, 10, 0}, {1, 10, 0}});
+  return HeisenbergEnergy(heisenberg::HeisenbergModel(structure, {j}));
+}
+
+WangLandau converge(const EnergyFunction& energy, DosGridConfig grid,
+                    double gamma_final, std::uint64_t seed) {
+  WangLandauConfig config;
+  config.grid = grid;
+  config.n_walkers = 2;
+  config.check_interval = 2000;
+  config.flatness = 0.8;
+  config.max_iteration_steps = 400000;
+  config.max_steps = 80000000;
+  WangLandau sampler(energy, config,
+                     std::make_unique<HalvingSchedule>(1.0, gamma_final),
+                     Rng(seed));
+  sampler.run();
+  return sampler;
+}
+
+TEST(WlExact, SingleBondDosIsFlat) {
+  const HeisenbergEnergy energy = single_bond_energy(1.0);
+  const WangLandau sampler =
+      converge(energy, {-1.02, 1.02, 102, 0.005}, 1e-5, 11);
+
+  // Interior ln g must be constant to well under one ln-unit.
+  const auto series = sampler.dos().visited_series();
+  ASSERT_GT(series.size(), 90u);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (std::size_t i = 3; i + 3 < series.size(); ++i) {
+    lo = std::min(lo, series[i].second);
+    hi = std::max(hi, series[i].second);
+  }
+  EXPECT_LT(hi - lo, 0.8);
+}
+
+TEST(WlExact, SingleBondInternalEnergyMatchesLangevin) {
+  const double j = 1.0;  // Ry -- a huge bond; T ranges are scaled to match
+  const HeisenbergEnergy energy = single_bond_energy(j);
+  const WangLandau sampler =
+      converge(energy, {-1.02, 1.02, 102, 0.005}, 1e-5, 12);
+  const thermo::DosTable table = thermo::dos_table(sampler.dos());
+
+  for (double x : {0.5, 1.0, 2.0, 4.0}) {
+    // x = beta J -> T = J / (k_B x).
+    const double t = j / (units::k_boltzmann_ry * x);
+    const double u = thermo::observables_at(table, t).internal_energy;
+    EXPECT_NEAR(u, -j * langevin(x), 0.02) << "x=" << x;
+  }
+}
+
+TEST(WlExact, SingleBondSpecificHeatMatchesLangevinDerivative) {
+  // c = dU/dT = k_B x^2 L'(x), L'(x) = 1/x^2 - 1/sinh^2(x).
+  const double j = 1.0;
+  const HeisenbergEnergy energy = single_bond_energy(j);
+  const WangLandau sampler =
+      converge(energy, {-1.02, 1.02, 102, 0.005}, 1e-5, 13);
+  const thermo::DosTable table = thermo::dos_table(sampler.dos());
+
+  for (double x : {0.5, 1.0, 2.0}) {
+    const double t = j / (units::k_boltzmann_ry * x);
+    const double c = thermo::observables_at(table, t).specific_heat;
+    const double sinh_x = std::sinh(x);
+    const double exact =
+        units::k_boltzmann_ry * x * x * (1.0 / (x * x) - 1.0 / (sinh_x * sinh_x));
+    EXPECT_NEAR(c / units::k_boltzmann_ry, exact / units::k_boltzmann_ry, 0.05)
+        << "x=" << x;
+  }
+}
+
+TEST(WlExact, TwoIndependentBondsGiveTriangularLnG) {
+  // Convolution of two uniform densities on [-J, J]: g(E) = (2J - |E|)/(4J^2)
+  // for |E| <= 2J, so ln g(E) - ln g(0) = ln(1 - |E|/(2J)).
+  const double j = 1.0;
+  const HeisenbergEnergy energy = two_bond_energy(j);
+  const WangLandau sampler =
+      converge(energy, {-2.04, 2.04, 136, 0.0037}, 1e-5, 14);
+
+  const auto series = sampler.dos().visited_series();
+  ASSERT_GT(series.size(), 100u);
+  // Locate ln g at E ~ 0 for normalization.
+  double ln_g0 = 0.0;
+  double best = 1e300;
+  for (const auto& [e, lng] : series)
+    if (std::abs(e) < best) {
+      best = std::abs(e);
+      ln_g0 = lng;
+    }
+  double worst = 0.0;
+  for (const auto& [e, lng] : series) {
+    if (std::abs(e) > 1.6) continue;  // skip the singular tips
+    const double expected = std::log(1.0 - std::abs(e) / 2.0);
+    worst = std::max(worst, std::abs((lng - ln_g0) - expected));
+  }
+  EXPECT_LT(worst, 0.6);
+}
+
+TEST(WlExact, TwoBondEnergyIsTwiceSingleBondLangevin) {
+  const double j = 1.0;
+  const HeisenbergEnergy energy = two_bond_energy(j);
+  const WangLandau sampler =
+      converge(energy, {-2.04, 2.04, 136, 0.0037}, 1e-5, 15);
+  const thermo::DosTable table = thermo::dos_table(sampler.dos());
+  for (double x : {0.5, 1.0, 2.0}) {
+    const double t = j / (units::k_boltzmann_ry * x);
+    const double u = thermo::observables_at(table, t).internal_energy;
+    EXPECT_NEAR(u, -2.0 * j * langevin(x), 0.05) << "x=" << x;
+  }
+}
+
+TEST(WlExact, OneOverTScheduleReachesSameAnswer) {
+  const double j = 1.0;
+  const HeisenbergEnergy energy = single_bond_energy(j);
+  WangLandauConfig config;
+  config.grid = {-1.02, 1.02, 102, 0.005};
+  config.n_walkers = 2;
+  config.check_interval = 2000;
+  config.flatness = 0.8;
+  config.max_iteration_steps = 400000;
+  config.max_steps = 30000000;
+  WangLandau sampler(
+      energy, config,
+      std::make_unique<OneOverTSchedule>(config.grid.bins, 1.0, 3e-6),
+      Rng(16));
+  sampler.run();
+  const thermo::DosTable table = thermo::dos_table(sampler.dos());
+  const double t = j / (units::k_boltzmann_ry * 1.0);
+  EXPECT_NEAR(thermo::observables_at(table, t).internal_energy,
+              -j * langevin(1.0), 0.03);
+}
+
+}  // namespace
+}  // namespace wlsms::wl

@@ -1,0 +1,117 @@
+// Tests for the multiple-master extension (paper §V outlook).
+#include "wl/multimaster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "heisenberg/heisenberg.hpp"
+#include "lattice/cluster.hpp"
+#include "thermo/observables.hpp"
+
+namespace wlsms::wl {
+namespace {
+
+TEST(MergeDos, AveragesOverContributors) {
+  DosGridConfig grid{0.0, 1.0, 10, 0.05};
+  DosGrid a(grid);
+  DosGrid b(grid);
+  a.set_ln_g_values({2, 2, 2, 0, 0, 0, 0, 0, 0, 0});
+  a.set_visited({1, 1, 1, 0, 0, 0, 0, 0, 0, 0});
+  b.set_ln_g_values({4, 0, 4, 4, 0, 0, 0, 0, 0, 0});
+  b.set_visited({1, 0, 1, 1, 0, 0, 0, 0, 0, 0});
+
+  const DosGrid merged = merge_dos_estimates({&a, &b});
+  EXPECT_DOUBLE_EQ(merged.ln_g_values()[0], 3.0);  // both visited
+  EXPECT_DOUBLE_EQ(merged.ln_g_values()[1], 2.0);  // only a
+  EXPECT_DOUBLE_EQ(merged.ln_g_values()[3], 4.0);  // only b
+  EXPECT_DOUBLE_EQ(merged.ln_g_values()[5], 0.0);  // neither
+  EXPECT_EQ(merged.visited()[0], 1);
+  EXPECT_EQ(merged.visited()[5], 0);
+}
+
+TEST(MergeDos, SingleEstimateIsIdentity) {
+  DosGridConfig grid{0.0, 1.0, 5, 0.05};
+  DosGrid a(grid);
+  a.set_ln_g_values({1, 2, 3, 4, 5});
+  a.set_visited({1, 1, 1, 1, 1});
+  const DosGrid merged = merge_dos_estimates({&a});
+  EXPECT_EQ(merged.ln_g_values(), a.ln_g_values());
+}
+
+TEST(MergeDos, EmptyListThrows) {
+  EXPECT_THROW(merge_dos_estimates({}), ContractError);
+}
+
+double langevin(double x) { return 1.0 / std::tanh(x) - 1.0 / x; }
+
+TEST(MultiMaster, ConvergesToSingleBondExactResult) {
+  // Two masters with two walkers each on the exactly solvable single bond;
+  // the merged DOS must reproduce the Langevin internal energy.
+  const auto structure = lattice::make_cubic_cluster(
+      lattice::CubicLattice::kSimpleCubic, 1.0, 2, 1, 1);
+  const HeisenbergEnergy energy(
+      heisenberg::HeisenbergModel(structure, {1.0}));
+
+  WangLandauConfig per_master;
+  per_master.grid = {-1.02, 1.02, 102, 0.005};
+  per_master.n_walkers = 2;
+  per_master.check_interval = 2000;
+  per_master.flatness = 0.8;
+  per_master.max_iteration_steps = 300000;
+  per_master.max_steps = 40000000;
+
+  const MultiMasterResult result =
+      run_multimaster(energy, per_master, 2, 1e-4, Rng(17));
+
+  EXPECT_EQ(result.gamma_levels, 14u);  // 2^-14 <= 1e-4
+  ASSERT_EQ(result.per_master.size(), 2u);
+  for (const WangLandauStats& stats : result.per_master)
+    EXPECT_GT(stats.total_steps, 0u);
+
+  const thermo::DosTable table = thermo::dos_table(result.merged_dos);
+  const double t = 1.0 / (units::k_boltzmann_ry * 1.0);
+  EXPECT_NEAR(thermo::observables_at(table, t).internal_energy,
+              -langevin(1.0), 0.03);
+}
+
+TEST(MultiMaster, FourMastersStillConverge) {
+  const auto structure = lattice::make_cubic_cluster(
+      lattice::CubicLattice::kSimpleCubic, 1.0, 2, 1, 1);
+  const HeisenbergEnergy energy(
+      heisenberg::HeisenbergModel(structure, {1.0}));
+
+  WangLandauConfig per_master;
+  per_master.grid = {-1.02, 1.02, 102, 0.005};
+  per_master.n_walkers = 1;
+  per_master.check_interval = 2000;
+  per_master.flatness = 0.8;
+  per_master.max_iteration_steps = 200000;
+  per_master.max_steps = 40000000;
+
+  const MultiMasterResult result =
+      run_multimaster(energy, per_master, 4, 1e-3, Rng(18));
+  const thermo::DosTable table = thermo::dos_table(result.merged_dos);
+  const double t = 1.0 / (units::k_boltzmann_ry * 2.0);
+  EXPECT_NEAR(thermo::observables_at(table, t).internal_energy,
+              -langevin(2.0), 0.05);
+}
+
+TEST(MultiMaster, InvalidArgumentsThrow) {
+  const auto structure = lattice::make_cubic_cluster(
+      lattice::CubicLattice::kSimpleCubic, 1.0, 2, 1, 1);
+  const HeisenbergEnergy energy(
+      heisenberg::HeisenbergModel(structure, {1.0}));
+  WangLandauConfig per_master;
+  per_master.grid = {-1.02, 1.02, 20, 0.02};
+  EXPECT_THROW(run_multimaster(energy, per_master, 0, 1e-3, Rng(1)),
+               ContractError);
+  EXPECT_THROW(run_multimaster(energy, per_master, 2, 2.0, Rng(1)),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::wl

@@ -1,0 +1,128 @@
+// Integration tests: suspend a Wang-Landau run into a checkpoint, restore
+// it into a fresh sampler, and verify the resumed run completes to the same
+// physics — the job-boundary workflow of multi-week production campaigns
+// (paper Table I: millions of core-hours per DOS).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "lattice/structure.hpp"
+#include "lsms/fe_parameters.hpp"
+#include "thermo/observables.hpp"
+#include "wl/checkpoint.hpp"
+#include "wl/wanglandau.hpp"
+
+namespace wlsms::wl {
+namespace {
+
+HeisenbergEnergy fe16_energy() {
+  std::vector<double> j = lsms::fe_reference_exchange();
+  for (double& v : j) v *= lsms::fe_exchange_energy_scale;
+  return HeisenbergEnergy(
+      heisenberg::HeisenbergModel(lattice::make_fe_supercell(2), j));
+}
+
+WangLandauConfig base_config(const HeisenbergEnergy& energy) {
+  Rng rng(5);
+  WangLandauConfig config;
+  config.grid = thermal_window(
+      energy, energy.model().ferromagnetic_energy(), 150.0, rng);
+  config.n_walkers = 4;
+  config.check_interval = 5000;
+  config.max_iteration_steps = 1000000;
+  return config;
+}
+
+TEST(WlResume, SuspendedAndResumedRunReachesCorrectPhysics) {
+  HeisenbergEnergy energy = fe16_energy();
+  const WangLandauConfig config = base_config(energy);
+
+  // Phase 1: run partway (to gamma ~ 2^-6) and checkpoint.
+  WangLandau phase1(energy, config,
+                    std::make_unique<HalvingSchedule>(1.0, 1.2e-2), Rng(1));
+  phase1.run();
+  ASSERT_TRUE(phase1.converged());
+  std::vector<spin::MomentConfiguration> walkers;
+  for (std::size_t w = 0; w < phase1.n_walkers(); ++w)
+    walkers.push_back(phase1.walker_config(w));
+  const Checkpoint cp =
+      make_checkpoint(phase1.dos(), phase1.schedule().gamma(),
+                      phase1.stats().total_steps, std::move(walkers));
+
+  // Phase 2: fresh sampler seeded from the checkpoint, continuing the
+  // halving from the stored gamma down to 1e-5.
+  WangLandau phase2(energy, config,
+                    std::make_unique<HalvingSchedule>(cp.gamma, 1e-5),
+                    Rng(2));
+  restore_dos(cp, phase2.dos());
+  for (std::size_t w = 0; w < cp.walkers.size(); ++w)
+    phase2.set_walker(w, cp.walkers[w]);
+  phase2.run();
+  ASSERT_TRUE(phase2.converged());
+
+  // The resumed estimate carries correct thermodynamics (Metropolis
+  // reference band for this system at 900 K: U = -0.094 +- a few mRy).
+  const thermo::DosTable dos = thermo::dos_table(phase2.dos());
+  const double u900 = thermo::observables_at(dos, 900.0).internal_energy;
+  EXPECT_NEAR(u900, -0.094, 0.012);
+}
+
+TEST(WlResume, ResumeSkipsRepeatedEarlyIterations) {
+  // Starting from the checkpointed gamma, the resumed run performs only the
+  // remaining halvings.
+  HeisenbergEnergy energy = fe16_energy();
+  const WangLandauConfig config = base_config(energy);
+
+  WangLandau phase1(energy, config,
+                    std::make_unique<HalvingSchedule>(1.0, 1.2e-2), Rng(3));
+  phase1.run();
+  const double gamma_at_suspend = phase1.schedule().gamma();
+
+  WangLandau phase2(energy, config,
+                    std::make_unique<HalvingSchedule>(gamma_at_suspend, 1e-4),
+                    Rng(4));
+  restore_dos(make_checkpoint(phase1.dos(), gamma_at_suspend,
+                              phase1.stats().total_steps, {}),
+              phase2.dos());
+  phase2.run();
+
+  // gamma_at_suspend ~ 2^-7 = 0.0078; reaching 1e-4 needs 7 more halvings.
+  EXPECT_EQ(phase2.stats().iterations, 7u);
+}
+
+TEST(WlResume, CheckpointRoundTripThroughDiskPreservesState) {
+  HeisenbergEnergy energy = fe16_energy();
+  const WangLandauConfig config = base_config(energy);
+  WangLandau sampler(energy, config,
+                     std::make_unique<HalvingSchedule>(1.0, 0.2), Rng(5));
+  sampler.run();
+
+  std::vector<spin::MomentConfiguration> walkers;
+  for (std::size_t w = 0; w < sampler.n_walkers(); ++w)
+    walkers.push_back(sampler.walker_config(w));
+  const Checkpoint original =
+      make_checkpoint(sampler.dos(), sampler.schedule().gamma(),
+                      sampler.stats().total_steps, std::move(walkers));
+
+  const std::string path = ::testing::TempDir() + "wlsms_resume_test.txt";
+  save_checkpoint(path, original);
+  const Checkpoint loaded = load_checkpoint(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.ln_g, original.ln_g);
+  EXPECT_EQ(loaded.visited, original.visited);
+  EXPECT_DOUBLE_EQ(loaded.gamma, original.gamma);
+  ASSERT_EQ(loaded.walkers.size(), original.walkers.size());
+  // Restored walker energies are in-window, so set_walker accepts them.
+  WangLandau resumed(energy, config,
+                     std::make_unique<HalvingSchedule>(loaded.gamma, 1e-3),
+                     Rng(6));
+  for (std::size_t w = 0; w < loaded.walkers.size(); ++w)
+    EXPECT_NO_THROW(resumed.set_walker(w, loaded.walkers[w]));
+}
+
+}  // namespace
+}  // namespace wlsms::wl

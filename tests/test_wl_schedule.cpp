@@ -1,0 +1,122 @@
+// Tests for the modification-factor schedules.
+#include "wl/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wlsms::wl {
+namespace {
+
+TEST(HalvingSchedule, StartsAtInitialGamma) {
+  const HalvingSchedule s(1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(s.gamma(), 1.0);
+  EXPECT_FALSE(s.converged());
+}
+
+TEST(HalvingSchedule, HalvesOnFlatHistogram) {
+  HalvingSchedule s(1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(s.on_flat_histogram(100), 0.5);
+  EXPECT_DOUBLE_EQ(s.on_flat_histogram(200), 0.25);
+  EXPECT_EQ(s.iterations(), 2u);
+}
+
+TEST(HalvingSchedule, StepsDoNotChangeGamma) {
+  HalvingSchedule s(1.0, 1e-6);
+  for (std::uint64_t t = 1; t < 1000; ++t) EXPECT_DOUBLE_EQ(s.on_step(t), 1.0);
+}
+
+TEST(HalvingSchedule, ConvergesAtFloor) {
+  HalvingSchedule s(1.0, 1e-6);
+  int halvings = 0;
+  while (!s.converged()) {
+    s.on_flat_histogram(halvings * 100);
+    ++halvings;
+    ASSERT_LT(halvings, 64);
+  }
+  // 2^-20 ~ 9.5e-7 <= 1e-6.
+  EXPECT_EQ(halvings, 20);
+}
+
+TEST(HalvingSchedule, CloneIsIndependent) {
+  HalvingSchedule s(1.0, 1e-6);
+  s.on_flat_histogram(10);
+  auto clone = s.clone();
+  s.on_flat_histogram(20);
+  EXPECT_DOUBLE_EQ(clone->gamma(), 0.5);
+  EXPECT_DOUBLE_EQ(s.gamma(), 0.25);
+}
+
+TEST(HalvingSchedule, InvalidBoundsThrow) {
+  EXPECT_THROW(HalvingSchedule(1e-7, 1e-6), ContractError);
+  EXPECT_THROW(HalvingSchedule(1.0, 0.0), ContractError);
+}
+
+TEST(OneOverTSchedule, BehavesLikeHalvingInitially) {
+  OneOverTSchedule s(100, 1.0, 1e-8);
+  EXPECT_FALSE(s.in_one_over_t_phase());
+  // First flat event at t = 5000 steps: bins/t = 0.02 < gamma = 0.5, so the
+  // schedule stays in the halving phase (1/t would be *larger* noise
+  // reduction than the halving provides only much later).
+  EXPECT_DOUBLE_EQ(s.on_flat_histogram(5000), 0.5);
+  EXPECT_FALSE(s.in_one_over_t_phase());
+}
+
+TEST(OneOverTSchedule, SwitchesWhenHalvingCrossesOneOverT) {
+  OneOverTSchedule s(100, 1.0, 1e-8);
+  // At t = 1000, bins/t = 0.1; halving to 0.5 then 0.25... crosses when
+  // gamma < 0.1.
+  s.on_flat_histogram(1000);  // 0.5
+  s.on_flat_histogram(1000);  // 0.25
+  s.on_flat_histogram(1000);  // 0.125
+  EXPECT_FALSE(s.in_one_over_t_phase());
+  s.on_flat_histogram(2000);  // 0.0625 < 100/2000 = 0.05? no: 0.0625 > 0.05
+  EXPECT_FALSE(s.in_one_over_t_phase());
+  s.on_flat_histogram(10000);  // 0.03125 < 100/10000 = 0.01? no: 0.031 > 0.01
+  EXPECT_FALSE(s.in_one_over_t_phase());
+  s.on_flat_histogram(1000);  // 0.015625 < 100/1000 = 0.1: switches
+  EXPECT_TRUE(s.in_one_over_t_phase());
+}
+
+TEST(OneOverTSchedule, DecaysAsOneOverTAfterSwitch) {
+  OneOverTSchedule s(100, 1.0, 1e-8);
+  // Halve until gamma = 2^-20 < bins/t = 1e-4: the switch fires.
+  for (int k = 0; k < 20; ++k) s.on_flat_histogram(1000000);
+  ASSERT_TRUE(s.in_one_over_t_phase());
+  const double g1 = s.on_step(10000000);
+  const double g2 = s.on_step(20000000);
+  EXPECT_NEAR(g1, 100.0 / 1e7, 1e-12);
+  EXPECT_NEAR(g2, 100.0 / 2e7, 1e-12);
+}
+
+TEST(OneOverTSchedule, GammaNeverIncreases) {
+  OneOverTSchedule s(50, 1.0, 1e-10);
+  double previous = s.gamma();
+  for (std::uint64_t t = 1; t < 100000; t += 997) {
+    const double g = s.on_step(t);
+    EXPECT_LE(g, previous + 1e-15);
+    previous = g;
+    if (t % 5 == 0) {
+      s.on_flat_histogram(t);
+      EXPECT_LE(s.gamma(), previous + 1e-15);
+      previous = s.gamma();
+    }
+  }
+}
+
+TEST(OneOverTSchedule, ConvergesAtFloor) {
+  OneOverTSchedule s(10, 1.0, 1e-4);
+  for (int k = 0; k < 20; ++k) s.on_flat_histogram(100);
+  s.on_step(200000);  // 10/2e5 = 5e-5 <= 1e-4
+  EXPECT_TRUE(s.converged());
+}
+
+TEST(OneOverTSchedule, InvalidArgumentsThrow) {
+  EXPECT_THROW(OneOverTSchedule(0, 1.0, 1e-6), ContractError);
+  EXPECT_THROW(OneOverTSchedule(10, 1e-8, 1e-6), ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::wl

@@ -1,0 +1,202 @@
+// Integration tests of the sequential Wang-Landau sampler on the iron
+// surrogate, cross-validated against Metropolis importance sampling.
+#include "wl/wanglandau.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "lattice/structure.hpp"
+#include "lsms/fe_parameters.hpp"
+#include "mc/metropolis.hpp"
+#include "thermo/observables.hpp"
+
+namespace wlsms::wl {
+namespace {
+
+HeisenbergEnergy fe16_energy() {
+  std::vector<double> j = lsms::fe_reference_exchange();
+  for (double& v : j) v *= lsms::fe_exchange_energy_scale;
+  return HeisenbergEnergy(
+      heisenberg::HeisenbergModel(lattice::make_fe_supercell(2), j));
+}
+
+WangLandauConfig fe16_config(const HeisenbergEnergy& energy, Rng& rng) {
+  WangLandauConfig config;
+  config.grid = thermal_window(
+      energy, energy.model().ferromagnetic_energy(), 150.0, rng);
+  config.n_walkers = 8;
+  config.check_interval = 5000;
+  config.flatness = 0.8;
+  config.max_iteration_steps = 2000000;
+  config.max_steps = 200000000;
+  return config;
+}
+
+class ConvergedFe16 : public ::testing::Test {
+ protected:
+  struct State {
+    HeisenbergEnergy energy;
+    WangLandauStats stats;
+    thermo::DosTable table;
+  };
+  static const State& state() {
+    static const State cached = [] {
+      HeisenbergEnergy energy = fe16_energy();
+      Rng window_rng(5);
+      const WangLandauConfig config = fe16_config(energy, window_rng);
+      WangLandau sampler(energy, config,
+                         std::make_unique<HalvingSchedule>(1.0, 1e-6),
+                         Rng(123));
+      sampler.run();
+      return State{std::move(energy), sampler.stats(),
+                   thermo::dos_table(sampler.dos())};
+    }();
+    return cached;
+  }
+};
+
+TEST_F(ConvergedFe16, RunConvergesWithinBudget) {
+  EXPECT_EQ(state().stats.iterations, 20u);  // 2^-20 <= 1e-6
+  EXPECT_LT(state().stats.total_steps, 100000000u);
+  EXPECT_GT(state().stats.accepted_steps, 0u);
+}
+
+TEST_F(ConvergedFe16, MostIterationsEndByGenuineFlatness) {
+  EXPECT_LT(state().stats.forced_iterations, state().stats.iterations / 2);
+}
+
+TEST_F(ConvergedFe16, InternalEnergyMatchesMetropolis) {
+  // Independent Metropolis chains at three temperatures (the conventional
+  // method of §II-A) must agree with the single WL density of states.
+  Rng rng(99);
+  for (double t : {400.0, 900.0, 1600.0}) {
+    mc::MetropolisConfig config;
+    config.temperature_k = t;
+    config.thermalization_steps = 200000;
+    config.measurement_steps = 600000;
+    config.measure_interval = 16;
+    const mc::MetropolisResult reference = mc::metropolis_run(
+        state().energy, spin::MomentConfiguration::random(16, rng), config,
+        rng);
+    const double u_wl =
+        thermo::observables_at(state().table, t).internal_energy;
+    EXPECT_NEAR(u_wl, reference.mean_energy,
+                0.04 * std::abs(reference.mean_energy))
+        << "T=" << t;
+  }
+}
+
+TEST_F(ConvergedFe16, CuriePeakInPhysicalRange) {
+  const auto tc = thermo::estimate_curie_temperature(state().table, 250, 3000);
+  EXPECT_GT(tc.tc, 600.0);
+  EXPECT_LT(tc.tc, 1300.0);
+  EXPECT_GT(tc.peak_height, 0.0);
+}
+
+TEST_F(ConvergedFe16, DosIsSmoothDome) {
+  // ln g rises from the low-energy edge to a maximum near the window top.
+  const thermo::DosTable& table = state().table;
+  ASSERT_GT(table.energy.size(), 100u);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < table.ln_g.size(); ++i)
+    if (table.ln_g[i] > table.ln_g[argmax]) argmax = i;
+  EXPECT_GT(argmax, table.ln_g.size() / 2);
+  // Monotone rise (allowing small statistical wiggles) below the maximum.
+  int violations = 0;
+  for (std::size_t i = 5; i < argmax; ++i)
+    if (table.ln_g[i] < table.ln_g[i - 5] - 1.5) ++violations;
+  EXPECT_LT(violations, static_cast<int>(argmax) / 20 + 1);
+}
+
+TEST(WangLandau, WalkerCountPreservesPhysics) {
+  // 1 walker and 8 walkers sharing the DOS estimate converge to compatible
+  // answers (the paper's walker parallelization is physics-neutral).
+  HeisenbergEnergy energy = fe16_energy();
+  Rng window_rng(5);
+  WangLandauConfig config = fe16_config(energy, window_rng);
+  config.max_steps = 60000000;
+
+  std::vector<double> u_values;
+  for (std::size_t walkers : {1u, 8u}) {
+    config.n_walkers = walkers;
+    WangLandau sampler(energy, config,
+                       std::make_unique<HalvingSchedule>(1.0, 1e-5),
+                       Rng(77 + walkers));
+    sampler.run();
+    const thermo::DosTable table = thermo::dos_table(sampler.dos());
+    u_values.push_back(thermo::observables_at(table, 900.0).internal_energy);
+  }
+  EXPECT_NEAR(u_values[0], u_values[1], 0.05 * std::abs(u_values[0]));
+}
+
+TEST(WangLandau, MaxStepsCapsTheRun) {
+  HeisenbergEnergy energy = fe16_energy();
+  Rng window_rng(5);
+  WangLandauConfig config = fe16_config(energy, window_rng);
+  config.max_steps = 50000;
+  WangLandau sampler(energy, config,
+                     std::make_unique<HalvingSchedule>(1.0, 1e-8), Rng(1));
+  sampler.run();
+  EXPECT_FALSE(sampler.converged());
+  EXPECT_LE(sampler.stats().total_steps, 50000u + config.n_walkers);
+}
+
+TEST(WangLandau, OutOfRangeProposalsAreCountedAndRejected) {
+  HeisenbergEnergy energy = fe16_energy();
+  // A deliberately narrow window around the random-configuration band.
+  WangLandauConfig config;
+  config.grid = {-0.35, -0.1, 100, 0.005};
+  config.n_walkers = 2;
+  config.max_steps = 100000;
+  Rng rng(42);
+  // Find a seed whose random initial configurations land inside the window:
+  // energies of random configs concentrate near -0.08..0; widen instead.
+  config.grid = {-0.30, 0.10, 100, 0.005};
+  WangLandau sampler(energy, config,
+                     std::make_unique<HalvingSchedule>(1.0, 1e-8), rng);
+  sampler.run();
+  EXPECT_GT(sampler.stats().out_of_range, 0u);
+  // Walker energies remain inside the window throughout.
+  for (std::size_t w = 0; w < sampler.n_walkers(); ++w)
+    EXPECT_TRUE(sampler.dos().contains(sampler.walker_energy(w)));
+}
+
+TEST(WangLandau, SetWalkerSeedsConfiguration) {
+  HeisenbergEnergy energy = fe16_energy();
+  Rng window_rng(5);
+  const WangLandauConfig config = fe16_config(energy, window_rng);
+  WangLandau sampler(energy, config,
+                     std::make_unique<HalvingSchedule>(1.0, 1e-6), Rng(3));
+  Rng rng(4);
+  const auto config16 = spin::MomentConfiguration::random(16, rng);
+  sampler.set_walker(0, config16);
+  EXPECT_NEAR(sampler.walker_energy(0), energy.total_energy(config16), 1e-12);
+}
+
+TEST(WangLandau, ThermalWindowBracketsThermalEnergies) {
+  HeisenbergEnergy energy = fe16_energy();
+  Rng rng(5);
+  const DosGridConfig grid = thermal_window(
+      energy, energy.model().ferromagnetic_energy(), 150.0, rng);
+  const double e_fm = energy.model().ferromagnetic_energy();
+  EXPECT_GT(grid.e_min, e_fm);
+  EXPECT_LT(grid.e_min, 0.9 * e_fm);
+  EXPECT_GT(grid.e_max, 0.0);  // above the infinite-T mean
+}
+
+TEST(WangLandau, InitialConfigurationOutsideWindowThrows) {
+  HeisenbergEnergy energy = fe16_energy();
+  WangLandauConfig config;
+  config.grid = {5.0, 6.0, 50, 0.005};  // unreachable energies
+  EXPECT_THROW(WangLandau(energy, config,
+                          std::make_unique<HalvingSchedule>(1.0, 1e-6),
+                          Rng(1)),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace wlsms::wl

@@ -1,0 +1,30 @@
+// Development tool: scans the substrate's Fermi energy and reports the
+// extracted exchange constants, used to fix the defaults in
+// fe_parameters.hpp. Not part of the shipped build; compile by hand.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "lattice/structure.hpp"
+#include "lsms/exchange.hpp"
+#include "lsms/fe_parameters.hpp"
+#include "lsms/solver.hpp"
+
+using namespace wlsms;
+
+int main() {
+  const lattice::Structure cell = lattice::make_fe_supercell(2);
+  std::printf("cell atoms: %zu\n", cell.size());
+  std::printf("LIZ(11.5) size: %zu\n",
+              cell.neighbors_within(0, 11.5).size() + 1);
+
+  for (double ef : {0.25, 0.30, 0.35, 0.40, 0.42, 0.45, 0.50, 0.55, 0.60}) {
+    lsms::LsmsParameters params = lsms::fe_lsms_parameters_fast();
+    params.scattering.fermi_energy = ef;
+    lsms::LsmsSolver solver(cell, params);
+    Rng rng(42);
+    const lsms::ExtractedExchange ex = lsms::extract_exchange(solver, 2, 24, rng);
+    std::printf("EF=%.2f  J1=%+.4e  J2=%+.4e  rms=%.2e  e0=%+.4f\n", ef,
+                ex.shells[0].j, ex.shells[1].j, ex.fit_rms, ex.e0);
+  }
+  return 0;
+}
