@@ -14,6 +14,7 @@
 //   wlsms thermo --dos fe250.csv --tmin 300 --tmax 1500 --points 13
 //   wlsms extract --liz 5.6 --contour 8 --shells 2
 //   wlsms scaling --walkers 144 --steps 20
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <memory>
@@ -29,6 +30,7 @@
 #include "lsms/fe_parameters.hpp"
 #include "lsms/solver.hpp"
 #include "thermo/observables.hpp"
+#include "wl/rewl.hpp"
 #include "wl/wanglandau.hpp"
 
 namespace {
@@ -42,6 +44,8 @@ int usage() {
       "commands:\n"
       "  curie    --cells N [--gamma-final G] [--walkers W] [--flatness A]\n"
       "           [--seed S] [--tmin K] [--dos out.csv]\n"
+      "           [--rewl-windows N] [--rewl-overlap F]\n"
+      "           [--rewl-exchange-interval STEPS]\n"
       "  thermo   --dos in.csv [--tmin K] [--tmax K] [--points N]\n"
       "  extract  [--liz R_a0] [--contour N] [--shells S] [--samples M]\n"
       "           [--cells N]\n"
@@ -64,6 +68,11 @@ int cmd_curie(const cli::Options& options) {
   const auto seed = static_cast<std::uint64_t>(options.get_long("seed", 123));
   const double t_min = options.get_double("tmin", 150.0);
   const std::string dos_path = options.get_string("dos", "");
+  const auto rewl_windows =
+      static_cast<std::size_t>(options.get_long("rewl-windows", 1));
+  const double rewl_overlap = options.get_double("rewl-overlap", 0.75);
+  const auto rewl_interval = static_cast<std::uint64_t>(
+      options.get_long("rewl-exchange-interval", 2000));
 
   wl::HeisenbergEnergy energy = surrogate(cells);
   std::printf("system: %zu bcc Fe atoms (%zu^3 cells)\n", energy.n_sites(),
@@ -78,15 +87,40 @@ int cmd_curie(const cli::Options& options) {
   config.check_interval = 5000;
   config.max_iteration_steps = 2000000;
 
-  wl::WangLandau sampler(
-      energy, config,
-      std::make_unique<wl::HalvingSchedule>(1.0, gamma_final), Rng(seed));
-  sampler.run();
-  std::printf("converged: %llu WL steps, %zu gamma levels (%zu forced)\n",
-              static_cast<unsigned long long>(sampler.stats().total_steps),
-              sampler.stats().iterations, sampler.stats().forced_iterations);
-
-  const thermo::DosTable dos = thermo::dos_table(sampler.dos());
+  thermo::DosTable dos;
+  if (rewl_windows > 1) {
+    // Replica-exchange windowed decomposition (rewl.hpp).
+    wl::RewlConfig rewl;
+    rewl.base = config;
+    rewl.n_windows = rewl_windows;
+    rewl.overlap = rewl_overlap;
+    rewl.exchange_interval = rewl_interval;
+    const wl::RewlResult result = wl::run_rewl(
+        energy, rewl, wl::HalvingSchedule(1.0, gamma_final), Rng(seed));
+    std::uint64_t total_steps = 0;
+    std::size_t iterations = 0;
+    for (const wl::WangLandauStats& stats : result.per_window) {
+      total_steps += stats.total_steps;
+      iterations = std::max(iterations, stats.iterations);
+    }
+    std::printf(
+        "converged: %llu WL steps over %zu windows (overlap %.0f %%), "
+        "%zu gamma levels; %llu/%llu exchanges accepted\n",
+        static_cast<unsigned long long>(total_steps), result.windows.size(),
+        100.0 * rewl_overlap, iterations,
+        static_cast<unsigned long long>(result.exchange_accepts),
+        static_cast<unsigned long long>(result.exchange_attempts));
+    dos = thermo::dos_table(result.stitched);
+  } else {
+    wl::WangLandau sampler(
+        energy, config,
+        std::make_unique<wl::HalvingSchedule>(1.0, gamma_final), Rng(seed));
+    sampler.run();
+    std::printf("converged: %llu WL steps, %zu gamma levels (%zu forced)\n",
+                static_cast<unsigned long long>(sampler.stats().total_steps),
+                sampler.stats().iterations, sampler.stats().forced_iterations);
+    dos = thermo::dos_table(sampler.dos());
+  }
   if (!dos_path.empty()) {
     io::save_dos(dos_path, dos);
     std::printf("DOS written to %s (%zu bins)\n", dos_path.c_str(),

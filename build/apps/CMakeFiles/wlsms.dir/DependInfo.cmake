@@ -27,6 +27,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/perf/CMakeFiles/wlsms_perf.dir/DependInfo.cmake"
   "/root/repo/build/src/io/CMakeFiles/wlsms_io.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/wlsms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/wlsms_threads.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

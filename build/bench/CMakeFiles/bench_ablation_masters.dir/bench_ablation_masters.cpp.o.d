@@ -247,4 +247,5 @@ bench/CMakeFiles/bench_ablation_masters.dir/bench_ablation_masters.cpp.o: \
  /root/repo/src/lsms/exchange.hpp /root/repo/src/wl/schedule.hpp \
  /root/repo/src/cluster/des.hpp /root/repo/src/cluster/machine.hpp \
  /root/repo/src/lsms/cost_model.hpp /root/repo/src/io/table.hpp \
- /root/repo/src/lattice/cluster.hpp /root/repo/src/wl/multimaster.hpp
+ /root/repo/src/lattice/cluster.hpp /root/repo/src/wl/multimaster.hpp \
+ /root/repo/src/wl/rewl.hpp

@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/linalg/CMakeFiles/wlsms_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/lattice/CMakeFiles/wlsms_lattice.dir/DependInfo.cmake"
   "/root/repo/build/src/perf/CMakeFiles/wlsms_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/wlsms_threads.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

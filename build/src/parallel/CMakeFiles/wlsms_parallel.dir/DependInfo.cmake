@@ -10,13 +10,13 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/parallel/async_service.cpp" "src/parallel/CMakeFiles/wlsms_parallel.dir/async_service.cpp.o" "gcc" "src/parallel/CMakeFiles/wlsms_parallel.dir/async_service.cpp.o.d"
   "/root/repo/src/parallel/failure.cpp" "src/parallel/CMakeFiles/wlsms_parallel.dir/failure.cpp.o" "gcc" "src/parallel/CMakeFiles/wlsms_parallel.dir/failure.cpp.o.d"
-  "/root/repo/src/parallel/thread_pool.cpp" "src/parallel/CMakeFiles/wlsms_parallel.dir/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/wlsms_parallel.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/wlsms_common.dir/DependInfo.cmake"
   "/root/repo/build/src/wl/CMakeFiles/wlsms_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/wlsms_threads.dir/DependInfo.cmake"
   "/root/repo/build/src/heisenberg/CMakeFiles/wlsms_heisenberg.dir/DependInfo.cmake"
   "/root/repo/build/src/lsms/CMakeFiles/wlsms_lsms.dir/DependInfo.cmake"
   "/root/repo/build/src/spin/CMakeFiles/wlsms_spin.dir/DependInfo.cmake"

@@ -3,8 +3,6 @@ file(REMOVE_RECURSE
   "CMakeFiles/wlsms_parallel.dir/async_service.cpp.o.d"
   "CMakeFiles/wlsms_parallel.dir/failure.cpp.o"
   "CMakeFiles/wlsms_parallel.dir/failure.cpp.o.d"
-  "CMakeFiles/wlsms_parallel.dir/thread_pool.cpp.o"
-  "CMakeFiles/wlsms_parallel.dir/thread_pool.cpp.o.d"
   "libwlsms_parallel.a"
   "libwlsms_parallel.pdb"
 )

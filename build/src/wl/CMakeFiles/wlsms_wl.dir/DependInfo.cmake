@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/wl/joint_dos.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/joint_dos.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/joint_dos.cpp.o.d"
   "/root/repo/src/wl/joint_wl.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/joint_wl.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/joint_wl.cpp.o.d"
   "/root/repo/src/wl/multimaster.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/multimaster.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/multimaster.cpp.o.d"
+  "/root/repo/src/wl/rewl.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/rewl.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/rewl.cpp.o.d"
   "/root/repo/src/wl/schedule.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/schedule.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/schedule.cpp.o.d"
   "/root/repo/src/wl/wanglandau.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/wanglandau.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/wanglandau.cpp.o.d"
   )
@@ -26,6 +27,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/spin/CMakeFiles/wlsms_spin.dir/DependInfo.cmake"
   "/root/repo/build/src/heisenberg/CMakeFiles/wlsms_heisenberg.dir/DependInfo.cmake"
   "/root/repo/build/src/lsms/CMakeFiles/wlsms_lsms.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/wlsms_threads.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/wlsms_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/lattice/CMakeFiles/wlsms_lattice.dir/DependInfo.cmake"
   "/root/repo/build/src/perf/CMakeFiles/wlsms_perf.dir/DependInfo.cmake"

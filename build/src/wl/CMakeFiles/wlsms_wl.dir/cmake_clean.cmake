@@ -15,6 +15,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/wlsms_wl.dir/joint_wl.cpp.o.d"
   "CMakeFiles/wlsms_wl.dir/multimaster.cpp.o"
   "CMakeFiles/wlsms_wl.dir/multimaster.cpp.o.d"
+  "CMakeFiles/wlsms_wl.dir/rewl.cpp.o"
+  "CMakeFiles/wlsms_wl.dir/rewl.cpp.o.d"
   "CMakeFiles/wlsms_wl.dir/schedule.cpp.o"
   "CMakeFiles/wlsms_wl.dir/schedule.cpp.o.d"
   "CMakeFiles/wlsms_wl.dir/wanglandau.cpp.o"

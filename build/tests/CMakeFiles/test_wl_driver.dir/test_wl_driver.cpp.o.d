@@ -328,6 +328,7 @@ tests/CMakeFiles/test_wl_driver.dir/test_wl_driver.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/units.hpp /root/repo/src/lsms/fe_parameters.hpp \
+ /root/repo/src/common/units.hpp /root/repo/src/lattice/cluster.hpp \
+ /root/repo/src/lsms/fe_parameters.hpp \
  /root/repo/src/parallel/failure.hpp \
  /root/repo/src/thermo/observables.hpp

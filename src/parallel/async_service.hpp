@@ -30,11 +30,14 @@ class AsyncEnergyService final : public wl::EnergyService {
 
  private:
   const wl::EnergyFunction& energy_;
-  ThreadPool pool_;
   mutable std::mutex mutex_;
   std::condition_variable results_ready_;
   std::deque<wl::EnergyResult> results_;
   std::size_t in_flight_ = 0;
+  // Declared last so it is destroyed *first*: ~ThreadPool joins the workers,
+  // guaranteeing no task is still touching the mutex / condition variable /
+  // queue above when they are destroyed.
+  ThreadPool pool_;
 };
 
 }  // namespace wlsms::parallel

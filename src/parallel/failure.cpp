@@ -12,17 +12,24 @@ FailureInjectingService::FailureInjectingService(wl::EnergyService& inner,
 }
 
 void FailureInjectingService::submit(wl::EnergyRequest request) {
+  if (rng_.uniform() < failure_probability_) {
+    // The instance assigned this request dies: the configuration is never
+    // evaluated, and the master eventually learns via a failure notice.
+    ++injected_;
+    failed_.push_back({request.walker, request.ticket, 0.0, true});
+    return;
+  }
   inner_.submit(std::move(request));
 }
 
 wl::EnergyResult FailureInjectingService::retrieve() {
-  wl::EnergyResult result = inner_.retrieve();
-  if (!result.failed && rng_.uniform() < failure_probability_) {
-    result.failed = true;
-    result.energy = 0.0;
-    ++injected_;
+  WLSMS_EXPECTS(outstanding() > 0);
+  if (!failed_.empty()) {
+    const wl::EnergyResult result = failed_.front();
+    failed_.pop_front();
+    return result;
   }
-  return result;
+  return inner_.retrieve();
 }
 
 }  // namespace wlsms::parallel

@@ -31,6 +31,33 @@ WangLandau::WangLandau(const EnergyFunction& energy,
   }
 }
 
+WangLandau::WangLandau(const EnergyFunction& energy,
+                       const WangLandauConfig& config,
+                       std::unique_ptr<ModificationSchedule> schedule, Rng rng,
+                       const std::vector<spin::MomentConfiguration>&
+                           initial_walkers)
+    : energy_(energy),
+      config_(config),
+      dos_(config.grid),
+      schedule_(std::move(schedule)),
+      rng_(rng) {
+  WLSMS_EXPECTS(config.n_walkers >= 1);
+  WLSMS_EXPECTS(config.flatness > 0.0 && config.flatness < 1.0);
+  WLSMS_EXPECTS(config.check_interval >= 1);
+  WLSMS_EXPECTS(schedule_ != nullptr);
+  WLSMS_EXPECTS(initial_walkers.size() == config.n_walkers);
+
+  walkers_.reserve(config.n_walkers);
+  for (const spin::MomentConfiguration& initial : initial_walkers) {
+    WLSMS_EXPECTS(initial.size() == energy_.n_sites());
+    Walker walker;
+    walker.config = initial;
+    walker.energy = energy_.total_energy(walker.config);
+    WLSMS_EXPECTS(dos_.contains(walker.energy));
+    walkers_.push_back(std::move(walker));
+  }
+}
+
 void WangLandau::set_walker(std::size_t w,
                             const spin::MomentConfiguration& config) {
   WLSMS_EXPECTS(w < walkers_.size());

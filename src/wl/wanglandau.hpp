@@ -65,6 +65,14 @@ class WangLandau {
   WangLandau(const EnergyFunction& energy, const WangLandauConfig& config,
              std::unique_ptr<ModificationSchedule> schedule, Rng rng);
 
+  /// As above, but walkers start from the supplied configurations instead
+  /// of random draws — required for narrow energy windows (REWL), where a
+  /// random configuration almost never lands inside the grid. Supplies one
+  /// configuration per walker; each must have its energy inside the window.
+  WangLandau(const EnergyFunction& energy, const WangLandauConfig& config,
+             std::unique_ptr<ModificationSchedule> schedule, Rng rng,
+             const std::vector<spin::MomentConfiguration>& initial_walkers);
+
   /// Replaces walker w's configuration (e.g. to seed from a checkpoint).
   void set_walker(std::size_t w, const spin::MomentConfiguration& config);
 

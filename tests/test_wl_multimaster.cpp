@@ -46,6 +46,85 @@ TEST(MergeDos, EmptyListThrows) {
   EXPECT_THROW(merge_dos_estimates({}), ContractError);
 }
 
+// Property: merging K identical copies of an estimate returns that estimate.
+TEST(MergeDos, KIdenticalCopiesAreIdentity) {
+  const DosGridConfig grid{-1.0, 2.0, 24, 0.01};
+  Rng rng(101);
+  DosGrid a(grid);
+  std::vector<double> values(grid.bins, 0.0);
+  std::vector<std::uint8_t> visited(grid.bins, 0);
+  for (std::size_t b = 0; b < grid.bins; ++b) {
+    visited[b] = rng.uniform() < 0.7 ? 1 : 0;
+    if (visited[b]) values[b] = 10.0 * rng.uniform();
+  }
+  a.set_ln_g_values(values);
+  a.set_visited(visited);
+
+  for (std::size_t k : {2u, 3u, 7u}) {
+    const std::vector<const DosGrid*> copies(k, &a);
+    const DosGrid merged = merge_dos_estimates(copies);
+    // The k-fold mean of identical values is identical up to summation
+    // rounding (exact for powers of two, ~1 ulp otherwise).
+    for (std::size_t b = 0; b < grid.bins; ++b)
+      EXPECT_NEAR(merged.ln_g_values()[b], a.ln_g_values()[b], 1e-13)
+          << "k=" << k << " bin=" << b;
+    EXPECT_EQ(merged.visited(), a.visited()) << "k=" << k;
+  }
+}
+
+// Property: the merge is invariant under permutations of the estimate list.
+TEST(MergeDos, PermutationInvariant) {
+  const DosGridConfig grid{0.0, 1.0, 16, 0.02};
+  Rng rng(102);
+  std::vector<DosGrid> masters;
+  for (int m = 0; m < 4; ++m) {
+    DosGrid dos(grid);
+    std::vector<double> values(grid.bins, 0.0);
+    std::vector<std::uint8_t> visited(grid.bins, 0);
+    for (std::size_t b = 0; b < grid.bins; ++b) {
+      visited[b] = rng.uniform() < 0.6 ? 1 : 0;
+      if (visited[b]) values[b] = 5.0 * rng.uniform();
+    }
+    dos.set_ln_g_values(values);
+    dos.set_visited(visited);
+    masters.push_back(std::move(dos));
+  }
+
+  const DosGrid reference =
+      merge_dos_estimates({&masters[0], &masters[1], &masters[2], &masters[3]});
+  const std::vector<std::vector<std::size_t>> permutations = {
+      {1, 0, 2, 3}, {3, 2, 1, 0}, {2, 3, 0, 1}, {1, 3, 0, 2}};
+  for (const auto& permutation : permutations) {
+    std::vector<const DosGrid*> order;
+    for (std::size_t index : permutation) order.push_back(&masters[index]);
+    const DosGrid merged = merge_dos_estimates(order);
+    for (std::size_t b = 0; b < grid.bins; ++b)
+      EXPECT_NEAR(merged.ln_g_values()[b], reference.ln_g_values()[b], 1e-12);
+    EXPECT_EQ(merged.visited(), reference.visited());
+  }
+}
+
+// Property: a bin visited by no master stays exactly zero and unvisited —
+// the merge must not invent density where no walk has been.
+TEST(MergeDos, BinsVisitedByNoMasterStayZero) {
+  const DosGridConfig grid{0.0, 1.0, 12, 0.02};
+  DosGrid a(grid);
+  DosGrid b(grid);
+  // Both masters leave bins 4..7 untouched.
+  a.set_ln_g_values({1, 2, 3, 4, 0, 0, 0, 0, 9, 9, 0, 0});
+  a.set_visited({1, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 0});
+  b.set_ln_g_values({2, 3, 0, 0, 0, 0, 0, 0, 7, 7, 5, 5});
+  b.set_visited({1, 1, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1});
+  const DosGrid merged = merge_dos_estimates({&a, &b});
+  for (std::size_t bin = 4; bin < 8; ++bin) {
+    EXPECT_EQ(merged.visited()[bin], 0) << "bin " << bin;
+    EXPECT_DOUBLE_EQ(merged.ln_g_values()[bin], 0.0) << "bin " << bin;
+  }
+  // ...while union coverage is preserved everywhere else.
+  for (std::size_t bin : {0u, 1u, 2u, 3u, 8u, 9u, 10u, 11u})
+    EXPECT_EQ(merged.visited()[bin], 1) << "bin " << bin;
+}
+
 double langevin(double x) { return 1.0 / std::tanh(x) - 1.0 / x; }
 
 TEST(MultiMaster, ConvergesToSingleBondExactResult) {
