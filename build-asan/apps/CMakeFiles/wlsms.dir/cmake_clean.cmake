@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms.dir/wlsms_main.cpp.o"
+  "CMakeFiles/wlsms.dir/wlsms_main.cpp.o.d"
+  "wlsms"
+  "wlsms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_cli_lib.dir/cli.cpp.o"
+  "CMakeFiles/wlsms_cli_lib.dir/cli.cpp.o.d"
+  "libwlsms_cli_lib.a"
+  "libwlsms_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dynamics.dir/bench_ablation_dynamics.cpp.o"
+  "CMakeFiles/bench_ablation_dynamics.dir/bench_ablation_dynamics.cpp.o.d"
+  "bench_ablation_dynamics"
+  "bench_ablation_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flatness.dir/bench_ablation_flatness.cpp.o"
+  "CMakeFiles/bench_ablation_flatness.dir/bench_ablation_flatness.cpp.o.d"
+  "bench_ablation_flatness"
+  "bench_ablation_flatness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flatness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_liz.dir/bench_ablation_liz.cpp.o"
+  "CMakeFiles/bench_ablation_liz.dir/bench_ablation_liz.cpp.o.d"
+  "bench_ablation_liz"
+  "bench_ablation_liz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_liz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

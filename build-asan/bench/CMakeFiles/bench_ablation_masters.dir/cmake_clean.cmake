@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_masters.dir/bench_ablation_masters.cpp.o"
+  "CMakeFiles/bench_ablation_masters.dir/bench_ablation_masters.cpp.o.d"
+  "bench_ablation_masters"
+  "bench_ablation_masters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_masters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_metropolis.dir/bench_ablation_metropolis.cpp.o"
+  "CMakeFiles/bench_ablation_metropolis.dir/bench_ablation_metropolis.cpp.o.d"
+  "bench_ablation_metropolis"
+  "bench_ablation_metropolis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_metropolis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

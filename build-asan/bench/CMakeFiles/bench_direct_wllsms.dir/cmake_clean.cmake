@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_direct_wllsms.dir/bench_direct_wllsms.cpp.o"
+  "CMakeFiles/bench_direct_wllsms.dir/bench_direct_wllsms.cpp.o.d"
+  "bench_direct_wllsms"
+  "bench_direct_wllsms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_direct_wllsms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

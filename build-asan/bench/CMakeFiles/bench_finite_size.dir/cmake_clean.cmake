@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_finite_size.dir/bench_finite_size.cpp.o"
+  "CMakeFiles/bench_finite_size.dir/bench_finite_size.cpp.o.d"
+  "bench_finite_size"
+  "bench_finite_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_finite_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

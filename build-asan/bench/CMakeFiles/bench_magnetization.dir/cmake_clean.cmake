@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_magnetization.dir/bench_magnetization.cpp.o"
+  "CMakeFiles/bench_magnetization.dir/bench_magnetization.cpp.o.d"
+  "bench_magnetization"
+  "bench_magnetization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_magnetization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lsms.dir/bench_micro_lsms.cpp.o"
+  "CMakeFiles/bench_micro_lsms.dir/bench_micro_lsms.cpp.o.d"
+  "bench_micro_lsms"
+  "bench_micro_lsms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lsms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_wl.dir/bench_micro_wl.cpp.o"
+  "CMakeFiles/bench_micro_wl.dir/bench_micro_wl.cpp.o.d"
+  "bench_micro_wl"
+  "bench_micro_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewl_scaling.dir/bench_rewl_scaling.cpp.o"
+  "CMakeFiles/bench_rewl_scaling.dir/bench_rewl_scaling.cpp.o.d"
+  "bench_rewl_scaling"
+  "bench_rewl_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewl_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fe_curie.dir/fe_curie.cpp.o"
+  "CMakeFiles/fe_curie.dir/fe_curie.cpp.o.d"
+  "fe_curie"
+  "fe_curie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fe_curie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fe_curie.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fe_curie.
+# This may be replaced when dependencies are built.

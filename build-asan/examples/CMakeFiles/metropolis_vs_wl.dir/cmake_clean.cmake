@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metropolis_vs_wl.dir/metropolis_vs_wl.cpp.o"
+  "CMakeFiles/metropolis_vs_wl.dir/metropolis_vs_wl.cpp.o.d"
+  "metropolis_vs_wl"
+  "metropolis_vs_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metropolis_vs_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanoparticle_switching.dir/nanoparticle_switching.cpp.o"
+  "CMakeFiles/nanoparticle_switching.dir/nanoparticle_switching.cpp.o.d"
+  "nanoparticle_switching"
+  "nanoparticle_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanoparticle_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

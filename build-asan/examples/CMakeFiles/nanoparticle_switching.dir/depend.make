@@ -1,0 +1,2 @@
+# Empty dependencies file for nanoparticle_switching.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_cluster.dir/des.cpp.o"
+  "CMakeFiles/wlsms_cluster.dir/des.cpp.o.d"
+  "libwlsms_cluster.a"
+  "libwlsms_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_common.dir/logging.cpp.o"
+  "CMakeFiles/wlsms_common.dir/logging.cpp.o.d"
+  "CMakeFiles/wlsms_common.dir/rng.cpp.o"
+  "CMakeFiles/wlsms_common.dir/rng.cpp.o.d"
+  "libwlsms_common.a"
+  "libwlsms_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_dynamics.dir/llg.cpp.o"
+  "CMakeFiles/wlsms_dynamics.dir/llg.cpp.o.d"
+  "libwlsms_dynamics.a"
+  "libwlsms_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

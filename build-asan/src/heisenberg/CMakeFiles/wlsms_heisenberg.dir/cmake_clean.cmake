@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_heisenberg.dir/heisenberg.cpp.o"
+  "CMakeFiles/wlsms_heisenberg.dir/heisenberg.cpp.o.d"
+  "libwlsms_heisenberg.a"
+  "libwlsms_heisenberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_heisenberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

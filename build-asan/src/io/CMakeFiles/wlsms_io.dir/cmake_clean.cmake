@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_io.dir/csv.cpp.o"
+  "CMakeFiles/wlsms_io.dir/csv.cpp.o.d"
+  "CMakeFiles/wlsms_io.dir/dos_io.cpp.o"
+  "CMakeFiles/wlsms_io.dir/dos_io.cpp.o.d"
+  "CMakeFiles/wlsms_io.dir/table.cpp.o"
+  "CMakeFiles/wlsms_io.dir/table.cpp.o.d"
+  "libwlsms_io.a"
+  "libwlsms_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

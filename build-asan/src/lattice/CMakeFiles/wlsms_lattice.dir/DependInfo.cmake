@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/cluster.cpp" "src/lattice/CMakeFiles/wlsms_lattice.dir/cluster.cpp.o" "gcc" "src/lattice/CMakeFiles/wlsms_lattice.dir/cluster.cpp.o.d"
+  "/root/repo/src/lattice/shells.cpp" "src/lattice/CMakeFiles/wlsms_lattice.dir/shells.cpp.o" "gcc" "src/lattice/CMakeFiles/wlsms_lattice.dir/shells.cpp.o.d"
+  "/root/repo/src/lattice/structure.cpp" "src/lattice/CMakeFiles/wlsms_lattice.dir/structure.cpp.o" "gcc" "src/lattice/CMakeFiles/wlsms_lattice.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/wlsms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

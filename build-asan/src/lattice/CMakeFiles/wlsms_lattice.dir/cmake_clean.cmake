@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_lattice.dir/cluster.cpp.o"
+  "CMakeFiles/wlsms_lattice.dir/cluster.cpp.o.d"
+  "CMakeFiles/wlsms_lattice.dir/shells.cpp.o"
+  "CMakeFiles/wlsms_lattice.dir/shells.cpp.o.d"
+  "CMakeFiles/wlsms_lattice.dir/structure.cpp.o"
+  "CMakeFiles/wlsms_lattice.dir/structure.cpp.o.d"
+  "libwlsms_lattice.a"
+  "libwlsms_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

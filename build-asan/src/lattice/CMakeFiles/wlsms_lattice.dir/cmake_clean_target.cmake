@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwlsms_lattice.a"
+)

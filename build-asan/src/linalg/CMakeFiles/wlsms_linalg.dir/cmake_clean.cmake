@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_linalg.dir/blas.cpp.o"
+  "CMakeFiles/wlsms_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/wlsms_linalg.dir/lu.cpp.o"
+  "CMakeFiles/wlsms_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/wlsms_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/wlsms_linalg.dir/matrix.cpp.o.d"
+  "libwlsms_linalg.a"
+  "libwlsms_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

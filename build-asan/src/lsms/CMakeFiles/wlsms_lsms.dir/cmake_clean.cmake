@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_lsms.dir/contour.cpp.o"
+  "CMakeFiles/wlsms_lsms.dir/contour.cpp.o.d"
+  "CMakeFiles/wlsms_lsms.dir/cost_model.cpp.o"
+  "CMakeFiles/wlsms_lsms.dir/cost_model.cpp.o.d"
+  "CMakeFiles/wlsms_lsms.dir/exchange.cpp.o"
+  "CMakeFiles/wlsms_lsms.dir/exchange.cpp.o.d"
+  "CMakeFiles/wlsms_lsms.dir/kkr.cpp.o"
+  "CMakeFiles/wlsms_lsms.dir/kkr.cpp.o.d"
+  "CMakeFiles/wlsms_lsms.dir/scattering.cpp.o"
+  "CMakeFiles/wlsms_lsms.dir/scattering.cpp.o.d"
+  "CMakeFiles/wlsms_lsms.dir/solver.cpp.o"
+  "CMakeFiles/wlsms_lsms.dir/solver.cpp.o.d"
+  "libwlsms_lsms.a"
+  "libwlsms_lsms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_lsms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

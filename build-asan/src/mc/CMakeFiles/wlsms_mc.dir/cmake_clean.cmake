@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_mc.dir/metropolis.cpp.o"
+  "CMakeFiles/wlsms_mc.dir/metropolis.cpp.o.d"
+  "libwlsms_mc.a"
+  "libwlsms_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

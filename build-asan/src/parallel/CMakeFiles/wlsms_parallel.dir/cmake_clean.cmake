@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_parallel.dir/async_service.cpp.o"
+  "CMakeFiles/wlsms_parallel.dir/async_service.cpp.o.d"
+  "CMakeFiles/wlsms_parallel.dir/failure.cpp.o"
+  "CMakeFiles/wlsms_parallel.dir/failure.cpp.o.d"
+  "libwlsms_parallel.a"
+  "libwlsms_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

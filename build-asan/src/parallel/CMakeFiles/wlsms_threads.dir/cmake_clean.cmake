@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_threads.dir/thread_pool.cpp.o"
+  "CMakeFiles/wlsms_threads.dir/thread_pool.cpp.o.d"
+  "libwlsms_threads.a"
+  "libwlsms_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_perf.dir/flops.cpp.o"
+  "CMakeFiles/wlsms_perf.dir/flops.cpp.o.d"
+  "libwlsms_perf.a"
+  "libwlsms_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

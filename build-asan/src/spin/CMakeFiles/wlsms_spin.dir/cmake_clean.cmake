@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_spin.dir/moments.cpp.o"
+  "CMakeFiles/wlsms_spin.dir/moments.cpp.o.d"
+  "CMakeFiles/wlsms_spin.dir/moves.cpp.o"
+  "CMakeFiles/wlsms_spin.dir/moves.cpp.o.d"
+  "CMakeFiles/wlsms_spin.dir/rotation.cpp.o"
+  "CMakeFiles/wlsms_spin.dir/rotation.cpp.o.d"
+  "libwlsms_spin.a"
+  "libwlsms_spin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_spin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

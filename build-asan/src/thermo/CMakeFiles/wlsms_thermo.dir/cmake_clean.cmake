@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_thermo.dir/binder.cpp.o"
+  "CMakeFiles/wlsms_thermo.dir/binder.cpp.o.d"
+  "CMakeFiles/wlsms_thermo.dir/joint_observables.cpp.o"
+  "CMakeFiles/wlsms_thermo.dir/joint_observables.cpp.o.d"
+  "CMakeFiles/wlsms_thermo.dir/observables.cpp.o"
+  "CMakeFiles/wlsms_thermo.dir/observables.cpp.o.d"
+  "libwlsms_thermo.a"
+  "libwlsms_thermo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_thermo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wl/checkpoint.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/checkpoint.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/wl/dos_grid.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/dos_grid.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/dos_grid.cpp.o.d"
+  "/root/repo/src/wl/driver.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/driver.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/driver.cpp.o.d"
+  "/root/repo/src/wl/energy_function.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/energy_function.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/energy_function.cpp.o.d"
+  "/root/repo/src/wl/energy_service.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/energy_service.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/energy_service.cpp.o.d"
+  "/root/repo/src/wl/joint_dos.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/joint_dos.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/joint_dos.cpp.o.d"
+  "/root/repo/src/wl/joint_wl.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/joint_wl.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/joint_wl.cpp.o.d"
+  "/root/repo/src/wl/multimaster.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/multimaster.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/multimaster.cpp.o.d"
+  "/root/repo/src/wl/rewl.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/rewl.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/rewl.cpp.o.d"
+  "/root/repo/src/wl/schedule.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/schedule.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/schedule.cpp.o.d"
+  "/root/repo/src/wl/wanglandau.cpp" "src/wl/CMakeFiles/wlsms_wl.dir/wanglandau.cpp.o" "gcc" "src/wl/CMakeFiles/wlsms_wl.dir/wanglandau.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/wlsms_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/spin/CMakeFiles/wlsms_spin.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/heisenberg/CMakeFiles/wlsms_heisenberg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lsms/CMakeFiles/wlsms_lsms.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/parallel/CMakeFiles/wlsms_threads.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/wlsms_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lattice/CMakeFiles/wlsms_lattice.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/perf/CMakeFiles/wlsms_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlsms_wl.dir/checkpoint.cpp.o"
+  "CMakeFiles/wlsms_wl.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/wlsms_wl.dir/dos_grid.cpp.o"
+  "CMakeFiles/wlsms_wl.dir/dos_grid.cpp.o.d"
+  "CMakeFiles/wlsms_wl.dir/driver.cpp.o"
+  "CMakeFiles/wlsms_wl.dir/driver.cpp.o.d"
+  "CMakeFiles/wlsms_wl.dir/energy_function.cpp.o"
+  "CMakeFiles/wlsms_wl.dir/energy_function.cpp.o.d"
+  "CMakeFiles/wlsms_wl.dir/energy_service.cpp.o"
+  "CMakeFiles/wlsms_wl.dir/energy_service.cpp.o.d"
+  "CMakeFiles/wlsms_wl.dir/joint_dos.cpp.o"
+  "CMakeFiles/wlsms_wl.dir/joint_dos.cpp.o.d"
+  "CMakeFiles/wlsms_wl.dir/joint_wl.cpp.o"
+  "CMakeFiles/wlsms_wl.dir/joint_wl.cpp.o.d"
+  "CMakeFiles/wlsms_wl.dir/multimaster.cpp.o"
+  "CMakeFiles/wlsms_wl.dir/multimaster.cpp.o.d"
+  "CMakeFiles/wlsms_wl.dir/rewl.cpp.o"
+  "CMakeFiles/wlsms_wl.dir/rewl.cpp.o.d"
+  "CMakeFiles/wlsms_wl.dir/schedule.cpp.o"
+  "CMakeFiles/wlsms_wl.dir/schedule.cpp.o.d"
+  "CMakeFiles/wlsms_wl.dir/wanglandau.cpp.o"
+  "CMakeFiles/wlsms_wl.dir/wanglandau.cpp.o.d"
+  "libwlsms_wl.a"
+  "libwlsms_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlsms_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_des.dir/test_cluster_des.cpp.o"
+  "CMakeFiles/test_cluster_des.dir/test_cluster_des.cpp.o.d"
+  "test_cluster_des"
+  "test_cluster_des.pdb"
+  "test_cluster_des[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

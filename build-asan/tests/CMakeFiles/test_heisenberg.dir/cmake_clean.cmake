@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heisenberg.dir/test_heisenberg.cpp.o"
+  "CMakeFiles/test_heisenberg.dir/test_heisenberg.cpp.o.d"
+  "test_heisenberg"
+  "test_heisenberg.pdb"
+  "test_heisenberg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heisenberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_dos.dir/test_io_dos.cpp.o"
+  "CMakeFiles/test_io_dos.dir/test_io_dos.cpp.o.d"
+  "test_io_dos"
+  "test_io_dos.pdb"
+  "test_io_dos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lattice_cluster.dir/test_lattice_cluster.cpp.o"
+  "CMakeFiles/test_lattice_cluster.dir/test_lattice_cluster.cpp.o.d"
+  "test_lattice_cluster"
+  "test_lattice_cluster.pdb"
+  "test_lattice_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lattice_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

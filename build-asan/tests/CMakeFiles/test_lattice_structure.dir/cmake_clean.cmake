@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lattice_structure.dir/test_lattice_structure.cpp.o"
+  "CMakeFiles/test_lattice_structure.dir/test_lattice_structure.cpp.o.d"
+  "test_lattice_structure"
+  "test_lattice_structure.pdb"
+  "test_lattice_structure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lattice_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

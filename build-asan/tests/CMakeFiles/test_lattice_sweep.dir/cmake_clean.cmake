@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lattice_sweep.dir/test_lattice_sweep.cpp.o"
+  "CMakeFiles/test_lattice_sweep.dir/test_lattice_sweep.cpp.o.d"
+  "test_lattice_sweep"
+  "test_lattice_sweep.pdb"
+  "test_lattice_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lattice_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_blas.dir/test_linalg_blas.cpp.o"
+  "CMakeFiles/test_linalg_blas.dir/test_linalg_blas.cpp.o.d"
+  "test_linalg_blas"
+  "test_linalg_blas.pdb"
+  "test_linalg_blas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_lu.dir/test_linalg_lu.cpp.o"
+  "CMakeFiles/test_linalg_lu.dir/test_linalg_lu.cpp.o.d"
+  "test_linalg_lu"
+  "test_linalg_lu.pdb"
+  "test_linalg_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

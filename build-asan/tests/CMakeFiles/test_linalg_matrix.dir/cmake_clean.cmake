@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_matrix.dir/test_linalg_matrix.cpp.o"
+  "CMakeFiles/test_linalg_matrix.dir/test_linalg_matrix.cpp.o.d"
+  "test_linalg_matrix"
+  "test_linalg_matrix.pdb"
+  "test_linalg_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsms_contour.dir/test_lsms_contour.cpp.o"
+  "CMakeFiles/test_lsms_contour.dir/test_lsms_contour.cpp.o.d"
+  "test_lsms_contour"
+  "test_lsms_contour.pdb"
+  "test_lsms_contour[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsms_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

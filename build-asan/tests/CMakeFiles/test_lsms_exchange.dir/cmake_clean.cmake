@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsms_exchange.dir/test_lsms_exchange.cpp.o"
+  "CMakeFiles/test_lsms_exchange.dir/test_lsms_exchange.cpp.o.d"
+  "test_lsms_exchange"
+  "test_lsms_exchange.pdb"
+  "test_lsms_exchange[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsms_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsms_kkr.dir/test_lsms_kkr.cpp.o"
+  "CMakeFiles/test_lsms_kkr.dir/test_lsms_kkr.cpp.o.d"
+  "test_lsms_kkr"
+  "test_lsms_kkr.pdb"
+  "test_lsms_kkr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsms_kkr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_lsms_kkr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsms_properties.dir/test_lsms_properties.cpp.o"
+  "CMakeFiles/test_lsms_properties.dir/test_lsms_properties.cpp.o.d"
+  "test_lsms_properties"
+  "test_lsms_properties.pdb"
+  "test_lsms_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsms_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

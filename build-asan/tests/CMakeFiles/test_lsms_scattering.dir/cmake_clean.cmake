@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsms_scattering.dir/test_lsms_scattering.cpp.o"
+  "CMakeFiles/test_lsms_scattering.dir/test_lsms_scattering.cpp.o.d"
+  "test_lsms_scattering"
+  "test_lsms_scattering.pdb"
+  "test_lsms_scattering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsms_scattering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lsms_scattering.
+# This may be replaced when dependencies are built.

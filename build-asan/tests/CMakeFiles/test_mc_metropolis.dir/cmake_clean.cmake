@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_metropolis.dir/test_mc_metropolis.cpp.o"
+  "CMakeFiles/test_mc_metropolis.dir/test_mc_metropolis.cpp.o.d"
+  "test_mc_metropolis"
+  "test_mc_metropolis.pdb"
+  "test_mc_metropolis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_metropolis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spin_moments.dir/test_spin_moments.cpp.o"
+  "CMakeFiles/test_spin_moments.dir/test_spin_moments.cpp.o.d"
+  "test_spin_moments"
+  "test_spin_moments.pdb"
+  "test_spin_moments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spin_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spin_moves.dir/test_spin_moves.cpp.o"
+  "CMakeFiles/test_spin_moves.dir/test_spin_moves.cpp.o.d"
+  "test_spin_moves"
+  "test_spin_moves.pdb"
+  "test_spin_moves[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spin_moves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

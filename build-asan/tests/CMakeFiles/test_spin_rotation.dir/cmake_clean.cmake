@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spin_rotation.dir/test_spin_rotation.cpp.o"
+  "CMakeFiles/test_spin_rotation.dir/test_spin_rotation.cpp.o.d"
+  "test_spin_rotation"
+  "test_spin_rotation.pdb"
+  "test_spin_rotation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spin_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermo_binder.dir/test_thermo_binder.cpp.o"
+  "CMakeFiles/test_thermo_binder.dir/test_thermo_binder.cpp.o.d"
+  "test_thermo_binder"
+  "test_thermo_binder.pdb"
+  "test_thermo_binder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermo_binder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

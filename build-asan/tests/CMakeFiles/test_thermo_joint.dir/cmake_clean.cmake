@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermo_joint.dir/test_thermo_joint.cpp.o"
+  "CMakeFiles/test_thermo_joint.dir/test_thermo_joint.cpp.o.d"
+  "test_thermo_joint"
+  "test_thermo_joint.pdb"
+  "test_thermo_joint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermo_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

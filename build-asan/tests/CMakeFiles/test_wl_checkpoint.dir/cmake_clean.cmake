@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wl_checkpoint.dir/test_wl_checkpoint.cpp.o"
+  "CMakeFiles/test_wl_checkpoint.dir/test_wl_checkpoint.cpp.o.d"
+  "test_wl_checkpoint"
+  "test_wl_checkpoint.pdb"
+  "test_wl_checkpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wl_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

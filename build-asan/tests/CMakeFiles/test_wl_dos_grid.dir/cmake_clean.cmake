@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wl_dos_grid.dir/test_wl_dos_grid.cpp.o"
+  "CMakeFiles/test_wl_dos_grid.dir/test_wl_dos_grid.cpp.o.d"
+  "test_wl_dos_grid"
+  "test_wl_dos_grid.pdb"
+  "test_wl_dos_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wl_dos_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

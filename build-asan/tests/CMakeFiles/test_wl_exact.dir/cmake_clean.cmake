@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wl_exact.dir/test_wl_exact.cpp.o"
+  "CMakeFiles/test_wl_exact.dir/test_wl_exact.cpp.o.d"
+  "test_wl_exact"
+  "test_wl_exact.pdb"
+  "test_wl_exact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wl_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

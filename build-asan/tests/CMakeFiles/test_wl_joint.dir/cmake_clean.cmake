@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wl_joint.dir/test_wl_joint.cpp.o"
+  "CMakeFiles/test_wl_joint.dir/test_wl_joint.cpp.o.d"
+  "test_wl_joint"
+  "test_wl_joint.pdb"
+  "test_wl_joint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wl_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wl_multimaster.dir/test_wl_multimaster.cpp.o"
+  "CMakeFiles/test_wl_multimaster.dir/test_wl_multimaster.cpp.o.d"
+  "test_wl_multimaster"
+  "test_wl_multimaster.pdb"
+  "test_wl_multimaster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wl_multimaster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

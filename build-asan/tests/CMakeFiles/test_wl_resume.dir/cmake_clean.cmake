@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wl_resume.dir/test_wl_resume.cpp.o"
+  "CMakeFiles/test_wl_resume.dir/test_wl_resume.cpp.o.d"
+  "test_wl_resume"
+  "test_wl_resume.pdb"
+  "test_wl_resume[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wl_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

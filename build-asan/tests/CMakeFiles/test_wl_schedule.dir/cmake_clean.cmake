@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wl_schedule.dir/test_wl_schedule.cpp.o"
+  "CMakeFiles/test_wl_schedule.dir/test_wl_schedule.cpp.o.d"
+  "test_wl_schedule"
+  "test_wl_schedule.pdb"
+  "test_wl_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wl_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

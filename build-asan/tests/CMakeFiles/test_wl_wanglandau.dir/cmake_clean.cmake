@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wl_wanglandau.dir/test_wl_wanglandau.cpp.o"
+  "CMakeFiles/test_wl_wanglandau.dir/test_wl_wanglandau.cpp.o.d"
+  "test_wl_wanglandau"
+  "test_wl_wanglandau.pdb"
+  "test_wl_wanglandau[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wl_wanglandau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

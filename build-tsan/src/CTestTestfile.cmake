@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("perf")
+subdirs("linalg")
+subdirs("lattice")
+subdirs("spin")
+subdirs("lsms")
+subdirs("heisenberg")
+subdirs("dynamics")
+subdirs("wl")
+subdirs("mc")
+subdirs("thermo")
+subdirs("parallel")
+subdirs("cluster")
+subdirs("io")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/des.cpp" "src/cluster/CMakeFiles/wlsms_cluster.dir/des.cpp.o" "gcc" "src/cluster/CMakeFiles/wlsms_cluster.dir/des.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/wlsms_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lsms/CMakeFiles/wlsms_lsms.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lattice/CMakeFiles/wlsms_lattice.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/spin/CMakeFiles/wlsms_spin.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/wlsms_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/perf/CMakeFiles/wlsms_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_lsms_scattering.cpp" "tests/CMakeFiles/test_lsms_scattering.dir/test_lsms_scattering.cpp.o" "gcc" "tests/CMakeFiles/test_lsms_scattering.dir/test_lsms_scattering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/wlsms_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/parallel/CMakeFiles/wlsms_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mc/CMakeFiles/wlsms_mc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/thermo/CMakeFiles/wlsms_thermo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wl/CMakeFiles/wlsms_wl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dynamics/CMakeFiles/wlsms_dynamics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/heisenberg/CMakeFiles/wlsms_heisenberg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lsms/CMakeFiles/wlsms_lsms.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/spin/CMakeFiles/wlsms_spin.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lattice/CMakeFiles/wlsms_lattice.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/wlsms_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/perf/CMakeFiles/wlsms_perf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/wlsms_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/wlsms_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/parallel/CMakeFiles/wlsms_threads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
