@@ -23,6 +23,7 @@ linalg::ZMatrix random_matrix(std::size_t n, Rng& rng) {
   return m;
 }
 
+// Packed, register-blocked production kernel.
 void BM_Zgemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
@@ -40,20 +41,62 @@ void BM_Zgemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Zgemm)->Arg(30)->Arg(65)->Arg(130)->Arg(192);
 
+// Cache-tiled triple-loop reference, for the packed-vs-naive headline.
+void BM_ZgemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const linalg::ZMatrix a = random_matrix(n, rng);
+  const linalg::ZMatrix b = random_matrix(n, rng);
+  linalg::ZMatrix c(n, n);
+  for (auto _ : state) {
+    linalg::zgemm_naive({1.0, 0.0}, a, b, {0.0, 0.0}, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      static_cast<double>(perf::cost::zgemm(n, n, n)) * state.iterations() /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ZgemmNaive)->Arg(30)->Arg(65)->Arg(130)->Arg(192);
+
+// Blocked right-looking factorization (panel + TRSM + GEMM trailing
+// update); gemm_frac is the measured share of flops the trailing ZGEMMs
+// retire.
 void BM_Zgetrf(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(2);
   const linalg::ZMatrix a = random_matrix(n, rng);
+  perf::FlopWindow window;
   for (auto _ : state) {
-    linalg::LuFactorization lu(a);
+    linalg::LuFactorization lu(a, linalg::LuAlgorithm::kBlocked);
     benchmark::DoNotOptimize(lu.packed().data());
   }
   state.counters["GFlop/s"] = benchmark::Counter(
-      static_cast<double>(perf::cost::zgetrf(n)) * state.iterations() / 1e9,
+      static_cast<double>(
+          linalg::zgetrf_flops(n, linalg::LuAlgorithm::kBlocked)) *
+          state.iterations() / 1e9,
       benchmark::Counter::kIsRate);
+  state.counters["gemm_frac"] = window.gemm_fraction();
 }
 // 130 = the 65-atom-LIZ s-channel matrix; 30 = the fast-test zone.
 BENCHMARK(BM_Zgetrf)->Arg(30)->Arg(65)->Arg(130)->Arg(192);
+
+// Reference rank-1-update loop, for the blocked-vs-unblocked headline.
+void BM_ZgetrfUnblocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const linalg::ZMatrix a = random_matrix(n, rng);
+  for (auto _ : state) {
+    linalg::LuFactorization lu(a, linalg::LuAlgorithm::kUnblocked);
+    benchmark::DoNotOptimize(lu.packed().data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      static_cast<double>(
+          linalg::zgetrf_flops(n, linalg::LuAlgorithm::kUnblocked)) *
+          state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ZgetrfUnblocked)->Arg(30)->Arg(65)->Arg(130)->Arg(192);
 
 void BM_CentralColumnsSolve(benchmark::State& state) {
   // Factor once, then the two central-column solves of the tau block.

@@ -9,6 +9,7 @@
 #include "lsms/exchange.hpp"
 #include "lsms/fe_parameters.hpp"
 #include "lsms/solver.hpp"
+#include "perf/flops.hpp"
 
 namespace {
 
@@ -27,6 +28,28 @@ void BM_LsmsEnergy_LizRadius(benchmark::State& state) {
       static_cast<double>(solver.flops_per_energy()) / 1e9;
 }
 BENCHMARK(BM_LsmsEnergy_LizRadius)->Arg(50)->Arg(56)->Arg(77)->MinTime(0.2);
+
+// The paper's production geometry: 11.5 a0 LIZ (65-atom zones, 130 x 130
+// zone matrices) and the 16-point contour. One iteration = one full energy
+// evaluation of the 16-atom cell; gemm_frac is the measured share of flops
+// retired by the packed ZGEMM (acceptance bar: >= 0.6).
+void BM_LsmsEnergy_PaperGeometry(benchmark::State& state) {
+  const lsms::LsmsSolver solver(lattice::make_fe_supercell(2),
+                                lsms::fe_lsms_parameters());
+  Rng rng(4);
+  const auto config = spin::MomentConfiguration::random(16, rng);
+  perf::FlopWindow window;
+  for (auto _ : state) benchmark::DoNotOptimize(solver.energy(config));
+  state.counters["zone_atoms"] = static_cast<double>(solver.liz_size(0));
+  state.counters["GFlop/eval"] =
+      static_cast<double>(solver.flops_per_energy()) / 1e9;
+  state.counters["GFlop/s"] = benchmark::Counter(
+      static_cast<double>(solver.flops_per_energy()) * state.iterations() /
+          1e9,
+      benchmark::Counter::kIsRate);
+  state.counters["gemm_frac"] = window.gemm_fraction();
+}
+BENCHMARK(BM_LsmsEnergy_PaperGeometry)->MinTime(0.5);
 
 void BM_LsmsEnergy_ContourPoints(benchmark::State& state) {
   lsms::LsmsParameters params = lsms::fe_lsms_parameters_fast();

@@ -7,8 +7,13 @@
 #include "bench_common.hpp"
 
 #include "cluster/des.hpp"
+#include "common/rng.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
+#include "lattice/structure.hpp"
+#include "lsms/fe_parameters.hpp"
+#include "lsms/solver.hpp"
+#include "perf/flops.hpp"
 
 int main() {
   using namespace wlsms;
@@ -57,5 +62,22 @@ int main() {
       "PFlop/s on 147,464 cores (75.8%%)\n",
       io::format_flops(headline.sustained_flops).c_str(), headline.cores,
       100.0 * headline.fraction_of_peak);
+
+  // Measured on this host rather than modeled: the share of retired flops
+  // flowing through ZGEMM in one paper-geometry (65-atom LIZ) zone solve.
+  // The paper attributes "the bulk of the calculation" to ZGEMM; the blocked
+  // Schur path keeps that true of this reproduction.
+  {
+    const lsms::LsmsSolver solver(lattice::make_fe_supercell(2),
+                                  lsms::fe_lsms_parameters());
+    Rng rng(1);
+    const auto config = spin::MomentConfiguration::random(16, rng);
+    perf::FlopWindow window;
+    solver.local_energy(0, config);
+    std::printf(
+        "measured on this host: %.1f%% of retired flops in ZGEMM for one "
+        "65-atom LIZ solve\n",
+        100.0 * window.gemm_fraction());
+  }
   return 0;
 }

@@ -1,77 +1,173 @@
 #include "linalg/lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
+#include "linalg/blas.hpp"
 #include "perf/flops.hpp"
 
 namespace wlsms::linalg {
 
-LuFactorization::LuFactorization(ZMatrix a) : lu_(std::move(a)) {
-  WLSMS_EXPECTS(lu_.square());
-  const std::size_t n = lu_.rows();
-  pivots_.resize(n);
+namespace {
 
-  for (std::size_t k = 0; k < n; ++k) {
-    // Partial pivoting: largest |.| in column k at or below the diagonal.
-    std::size_t pivot_row = k;
-    double pivot_mag = std::abs(lu_(k, k));
-    for (std::size_t i = k + 1; i < n; ++i) {
-      const double mag = std::abs(lu_(i, k));
+// Unblocked partial-pivoting factorization of the panel occupying columns
+// [k0, k0+width) of an n x n matrix, rows k0..n-1. Row swaps are applied to
+// the *full* rows immediately (equivalent to LAPACK's deferred ZLASWP), so
+// the packed factors are laid out exactly as the unblocked algorithm leaves
+// them. Rank-1 updates stay inside the panel columns; the trailing matrix
+// is updated by the caller via TRSM + GEMM. Returns the swap parity
+// contribution of this panel.
+// Pivot magnitude |re| + |im| (LAPACK's CABS1): order-equivalent to the
+// modulus for pivot selection at a fraction of the cost of a hypot call.
+double cabs1(Complex z) { return std::abs(z.real()) + std::abs(z.imag()); }
+
+int factor_panel(ZMatrix& a, std::vector<std::size_t>& pivots, std::size_t k0,
+                 std::size_t width) {
+  const std::size_t n = a.rows();
+  int parity = 1;
+  for (std::size_t j = k0; j < k0 + width; ++j) {
+    std::size_t pivot_row = j;
+    double pivot_mag = cabs1(a(j, j));
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double mag = cabs1(a(i, j));
       if (mag > pivot_mag) {
         pivot_mag = mag;
         pivot_row = i;
       }
     }
-    if (pivot_mag == 0.0) throw SingularMatrixError(k);
-    pivots_[k] = pivot_row;
-    if (pivot_row != k) {
-      swap_parity_ = -swap_parity_;
-      for (std::size_t j = 0; j < n; ++j)
-        std::swap(lu_(k, j), lu_(pivot_row, j));
+    if (pivot_mag == 0.0) throw SingularMatrixError(j);
+    pivots[j] = pivot_row;
+    if (pivot_row != j) {
+      parity = -parity;
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(j, c), a(pivot_row, c));
     }
 
-    const Complex inv_pivot = Complex{1.0, 0.0} / lu_(k, k);
-    for (std::size_t i = k + 1; i < n; ++i) lu_(i, k) *= inv_pivot;
+    const Complex inv_pivot = Complex{1.0, 0.0} / a(j, j);
+    Complex* colj = a.col(j);
+    for (std::size_t i = j + 1; i < n; ++i) colj[i] *= inv_pivot;
 
-    // Rank-1 trailing update, column-wise for unit stride.
-    for (std::size_t j = k + 1; j < n; ++j) {
-      const Complex ukj = lu_(k, j);
-      if (ukj == Complex{0.0, 0.0}) continue;
-      Complex* colj = lu_.col(j);
-      const Complex* colk = lu_.col(k);
-      for (std::size_t i = k + 1; i < n; ++i) colj[i] -= colk[i] * ukj;
+    for (std::size_t c = j + 1; c < k0 + width; ++c) {
+      const Complex ujc = a(j, c);
+      if (ujc == Complex{0.0, 0.0}) continue;
+      Complex* colc = a.col(c);
+      for (std::size_t i = j + 1; i < n; ++i) colc[i] -= colj[i] * ujc;
     }
   }
-  perf::add_flops(perf::cost::zgetrf(n));
+  perf::add_flops(perf::Kernel::kPanel,
+                  perf::cost::zgetrf_panel(n - k0, width));
+  return parity;
+}
+
+// B (width x nrhs columns starting at `b`, leading dimension ldb) :=
+// L11^{-1} B with L11 the unit-lower panel block a[k0.., k0..].
+void trsm_unit_lower(const ZMatrix& a, std::size_t k0, std::size_t width,
+                     Complex* b, std::size_t nrhs, std::size_t ldb) {
+  for (std::size_t r = 0; r < nrhs; ++r) {
+    Complex* col = b + r * ldb;
+    for (std::size_t kk = 0; kk < width; ++kk) {
+      const Complex bk = col[kk];
+      if (bk == Complex{0.0, 0.0}) continue;
+      const Complex* lk = a.col(k0 + kk) + k0;
+      for (std::size_t i = kk + 1; i < width; ++i) col[i] -= lk[i] * bk;
+    }
+  }
+  perf::add_flops(perf::Kernel::kTrsm,
+                  perf::cost::ztrsm_unit_lower(width, nrhs));
+}
+
+int zgetrf_unblocked(ZMatrix& a, std::vector<std::size_t>& pivots) {
+  return factor_panel(a, pivots, 0, a.rows());
+}
+
+int zgetrf_blocked(ZMatrix& a, std::vector<std::size_t>& pivots) {
+  const std::size_t n = a.rows();
+  int parity = 1;
+  for (std::size_t k0 = 0; k0 < n; k0 += kLuBlockSize) {
+    const std::size_t w = std::min(kLuBlockSize, n - k0);
+    parity *= factor_panel(a, pivots, k0, w);
+    const std::size_t rem = n - k0 - w;
+    if (rem == 0) continue;
+    // Row panel: U12 = L11^{-1} A12.
+    trsm_unit_lower(a, k0, w, a.col(k0 + w) + k0, rem, n);
+    // Trailing update: A22 -= L21 * U12 — the GEMM that dominates.
+    zgemm_view(rem, rem, w, Complex{-1.0, 0.0}, a.col(k0) + k0 + w, n,
+               a.col(k0 + w) + k0, n, Complex{1.0, 0.0},
+               a.col(k0 + w) + k0 + w, n);
+  }
+  return parity;
+}
+
+bool use_blocked(std::size_t n, LuAlgorithm algorithm) {
+  switch (algorithm) {
+    case LuAlgorithm::kUnblocked:
+      return false;
+    case LuAlgorithm::kBlocked:
+      return true;
+    case LuAlgorithm::kAuto:
+    default:
+      return n >= kLuBlockedThreshold;
+  }
+}
+
+}  // namespace
+
+int zgetrf_in_place(ZMatrix& a, std::vector<std::size_t>& pivots,
+                    LuAlgorithm algorithm) {
+  WLSMS_EXPECTS(a.square());
+  const std::size_t n = a.rows();
+  pivots.resize(n);
+  if (n == 0) return 1;
+  return use_blocked(n, algorithm) ? zgetrf_blocked(a, pivots)
+                                   : zgetrf_unblocked(a, pivots);
+}
+
+void zgetrs_in_place(const ZMatrix& lu, const std::vector<std::size_t>& pivots,
+                     Complex* b, std::size_t nrhs, std::size_t ldb) {
+  const std::size_t n = lu.rows();
+  WLSMS_EXPECTS(pivots.size() == n && ldb >= n);
+  for (std::size_t r = 0; r < nrhs; ++r) {
+    Complex* col = b + r * ldb;
+    // Apply row interchanges.
+    for (std::size_t k = 0; k < n; ++k)
+      if (pivots[k] != k) std::swap(col[k], col[pivots[k]]);
+    // Forward substitution with unit-lower L.
+    for (std::size_t k = 0; k < n; ++k) {
+      const Complex bk = col[k];
+      if (bk == Complex{0.0, 0.0}) continue;
+      const Complex* colk = lu.col(k);
+      for (std::size_t i = k + 1; i < n; ++i) col[i] -= colk[i] * bk;
+    }
+    // Backward substitution with U.
+    for (std::size_t k = n; k-- > 0;) {
+      col[k] /= lu(k, k);
+      const Complex bk = col[k];
+      const Complex* colk = lu.col(k);
+      for (std::size_t i = 0; i < k; ++i) col[i] -= colk[i] * bk;
+    }
+  }
+  perf::add_flops(perf::Kernel::kTrsm, perf::cost::zgetrs(n, nrhs));
+}
+
+std::uint64_t zgetrf_flops(std::size_t n, LuAlgorithm algorithm) {
+  return use_blocked(n, algorithm)
+             ? perf::cost::zgetrf_blocked(n, kLuBlockSize)
+             : perf::cost::zgetrf_panel(n, n);
+}
+
+LuFactorization::LuFactorization(ZMatrix a, LuAlgorithm algorithm)
+    : lu_(std::move(a)) {
+  swap_parity_ = zgetrf_in_place(lu_, pivots_, algorithm);
 }
 
 void LuFactorization::solve_in_place(Complex* b) const {
-  const std::size_t n = order();
-  // Apply row interchanges.
-  for (std::size_t k = 0; k < n; ++k)
-    if (pivots_[k] != k) std::swap(b[k], b[pivots_[k]]);
-  // Forward substitution with unit-lower L.
-  for (std::size_t k = 0; k < n; ++k) {
-    const Complex bk = b[k];
-    if (bk == Complex{0.0, 0.0}) continue;
-    const Complex* colk = lu_.col(k);
-    for (std::size_t i = k + 1; i < n; ++i) b[i] -= colk[i] * bk;
-  }
-  // Backward substitution with U.
-  for (std::size_t k = n; k-- > 0;) {
-    b[k] /= lu_(k, k);
-    const Complex bk = b[k];
-    const Complex* colk = lu_.col(k);
-    for (std::size_t i = 0; i < k; ++i) b[i] -= colk[i] * bk;
-  }
-  perf::add_flops(perf::cost::zgetrs(n, 1));
+  zgetrs_in_place(lu_, pivots_, b, 1, order());
 }
 
 ZMatrix LuFactorization::solve(const ZMatrix& b) const {
   WLSMS_EXPECTS(b.rows() == order());
   ZMatrix x = b;
-  for (std::size_t j = 0; j < x.cols(); ++j) solve_in_place(x.col(j));
+  zgetrs_in_place(lu_, pivots_, x.data(), x.cols(), order());
   return x;
 }
 

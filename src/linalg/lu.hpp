@@ -4,11 +4,19 @@
 /// LU factorization (ZGETRF/ZGETRS equivalents) and the derived operations
 /// the multiple-scattering solver needs: matrix inverse and log-determinant.
 ///
+/// Two factorization algorithms are provided behind one interface: the
+/// original unblocked rank-1-update loop (reference) and a blocked
+/// right-looking variant (panel factorization + unit-lower TRSM on the row
+/// panel + ZGEMM trailing update) that retires the bulk of its flops in the
+/// packed ZGEMM — the level-3-rich structure the paper's LSMS relies on
+/// (§II-B). `kAuto` picks blocked at and above `kLuBlockedThreshold`.
+///
 /// Lloyd's formula evaluates ln det M(z) of the LIZ scattering matrix on a
 /// complex-energy contour; the determinant's logarithm is accumulated from
 /// the U diagonal of the pivoted LU factorization, tracking the branch
 /// explicitly so d/dz ln det stays continuous along the contour.
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -16,13 +24,49 @@
 
 namespace wlsms::linalg {
 
+/// Factorization algorithm selector.
+enum class LuAlgorithm {
+  kAuto,       ///< blocked for order >= kLuBlockedThreshold, else unblocked
+  kUnblocked,  ///< reference rank-1-update loop
+  kBlocked,    ///< right-looking blocked (panel + TRSM + GEMM)
+};
+
+/// Panel width of the blocked factorization. Narrow enough that the GEMM
+/// trailing updates dominate the flop count already at LIZ-sized matrices
+/// (n ~ 130: ~80 % of the factorization flops are ZGEMM).
+inline constexpr std::size_t kLuBlockSize = 16;
+
+/// Matrix order at and above which kAuto picks the blocked algorithm.
+inline constexpr std::size_t kLuBlockedThreshold = 64;
+
+/// In-place pivoted LU factorization A = P L U; on return `a` holds the
+/// packed L (unit lower) and U factors and `pivots[k]` is the row swapped
+/// with row k at step k. Returns the pivot-swap parity (+1/-1). Throws
+/// SingularMatrixError on an exactly zero pivot. Flops are booked per
+/// kernel (panel / TRSM / GEMM); `zgetrf_flops(n)` returns the exact total
+/// the chosen algorithm will report.
+int zgetrf_in_place(ZMatrix& a, std::vector<std::size_t>& pivots,
+                    LuAlgorithm algorithm = LuAlgorithm::kAuto);
+
+/// Solves A X = B in place given the packed factors and pivots from
+/// zgetrf_in_place. `b` points to `nrhs` column-major columns with leading
+/// dimension `ldb` (>= order).
+void zgetrs_in_place(const ZMatrix& lu, const std::vector<std::size_t>& pivots,
+                     Complex* b, std::size_t nrhs, std::size_t ldb);
+
+/// Exact instrumented flop count of zgetrf_in_place for an n x n matrix
+/// under the given algorithm (the analytic side of the perf assertion).
+std::uint64_t zgetrf_flops(std::size_t n,
+                           LuAlgorithm algorithm = LuAlgorithm::kAuto);
+
 /// Pivoted LU factorization of a square matrix, A = P L U.
 /// Holds the packed factors plus the pivot sequence.
 class LuFactorization {
  public:
   /// Factorizes `a` (copied). Throws SingularMatrixError if a zero pivot is
   /// encountered (exactly singular input).
-  explicit LuFactorization(ZMatrix a);
+  explicit LuFactorization(ZMatrix a,
+                           LuAlgorithm algorithm = LuAlgorithm::kAuto);
 
   std::size_t order() const { return lu_.rows(); }
 

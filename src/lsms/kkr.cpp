@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/error.hpp"
+#include "linalg/blas.hpp"
 
 namespace wlsms::lsms {
 
@@ -106,6 +107,65 @@ spin::Spin2x2 central_tau_block(const linalg::ZMatrix& kkr) {
   lu.solve_in_place(col1.data());
 
   return {col0[0], col1[0], col0[1], col1[1]};
+}
+
+SchurTemplates make_schur_templates(const linalg::ZMatrix& scalar_propagator,
+                                    double strength) {
+  WLSMS_EXPECTS(scalar_propagator.square() && scalar_propagator.rows() >= 1);
+  const std::size_t l = scalar_propagator.rows() - 1;  // member count
+  SchurTemplates t;
+  t.a0 = linalg::ZMatrix(2 * l, 2 * l);
+  t.b0 = linalg::ZMatrix(2 * l, 2);
+  t.c0 = linalg::ZMatrix(2, 2 * l);
+  for (std::size_t k = 0; k < l; ++k) {
+    for (std::size_t j = 0; j < l; ++j) {
+      if (j == k) continue;
+      const Complex g = -strength * scalar_propagator(j + 1, k + 1);
+      t.a0(2 * j, 2 * k) = g;
+      t.a0(2 * j + 1, 2 * k + 1) = g;
+    }
+    const Complex gb = -strength * scalar_propagator(k + 1, 0);
+    t.b0(2 * k, 0) = gb;
+    t.b0(2 * k + 1, 1) = gb;
+    const Complex gc = -strength * scalar_propagator(0, k + 1);
+    t.c0(0, 2 * k) = gc;
+    t.c0(1, 2 * k + 1) = gc;
+  }
+  return t;
+}
+
+spin::Spin2x2 central_tau_schur(const SchurTemplates& templates,
+                                const spin::Spin2x2& center_t_inverse,
+                                const spin::Spin2x2* member_t_inverse,
+                                SchurWorkspace& ws) {
+  const std::size_t n = templates.a0.rows();  // 2L
+  const std::size_t l = n / 2;
+  // Schur complement S = D - C A^{-1} B, stored column-major in s
+  // ({s00, s10, s01, s11}); starts as D = the center's t^-1 block.
+  std::array<Complex, 4> s = {center_t_inverse[0], center_t_inverse[2],
+                              center_t_inverse[1], center_t_inverse[3]};
+  if (l > 0) {
+    // A = hopping template + t^-1 site diagonals; the template's diagonal
+    // blocks are zero, so overwriting them places the moment dependence.
+    ws.a = templates.a0;
+    for (std::size_t j = 0; j < l; ++j) {
+      const spin::Spin2x2& ti = member_t_inverse[j];
+      ws.a(2 * j, 2 * j) = ti[0];
+      ws.a(2 * j, 2 * j + 1) = ti[1];
+      ws.a(2 * j + 1, 2 * j) = ti[2];
+      ws.a(2 * j + 1, 2 * j + 1) = ti[3];
+    }
+    ws.bx = templates.b0;
+    linalg::zgetrf_in_place(ws.a, ws.pivots);
+    linalg::zgetrs_in_place(ws.a, ws.pivots, ws.bx.data(), 2, n);
+    // S -= C * X with X = A^{-1} B.
+    linalg::zgemm_view(2, 2, n, Complex{-1.0, 0.0}, templates.c0.data(), 2,
+                       ws.bx.data(), n, Complex{1.0, 0.0}, s.data(), 2);
+  }
+  // tau_00 = S^{-1}, closed form for the 2x2 block.
+  const Complex det = s[0] * s[3] - s[2] * s[1];
+  const Complex inv_det = Complex{1.0, 0.0} / det;
+  return {s[3] * inv_det, -s[2] * inv_det, -s[1] * inv_det, s[0] * inv_det};
 }
 
 }  // namespace wlsms::lsms

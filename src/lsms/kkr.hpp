@@ -16,6 +16,16 @@
 /// local electronic structure needs only the central 2x2 block tau_00(z) --
 /// this is LSMS's "local sub-block of the inverse of the real space KKR
 /// matrix" whose evaluation dominates the paper's runtime (§II-B).
+///
+/// Two evaluation paths are provided:
+///  - `central_tau_block`: factorize the full zone matrix (center ordered
+///    first) and solve for the two central columns. Reference path.
+///  - `central_tau_schur`: order the center *last* and eliminate the
+///    member block A by blocked LU, so tau_00 = (D - C A^{-1} B)^{-1} --
+///    the Schur complement of the member block. The elimination is the
+///    GEMM-rich blocked factorization and the full back-substitution for
+///    zone columns is skipped entirely; only geometry-independent 2x2
+///    algebra remains. This is the production hot path.
 
 #include <cstddef>
 #include <vector>
@@ -63,7 +73,49 @@ linalg::ZMatrix assemble_kkr_matrix(const Scatterer& scatterer,
                                     const linalg::ZMatrix& scalar_propagator);
 
 /// Central 2x2 block of M^-1, computed by factorizing M once and solving for
-/// the two central columns (not by forming the full inverse).
+/// the two central columns (not by forming the full inverse). Reference.
 spin::Spin2x2 central_tau_block(const linalg::ZMatrix& kkr);
+
+/// Configuration-independent blocks of the center-last zone matrix
+///
+///   M' = [ A  B ]    A: 2L x 2L member-member,  B: 2L x 2 member-center,
+///        [ C  D ]    C: 2 x 2L center-member,   D: 2 x 2 center t^-1,
+///
+/// with only the site-diagonal 2x2 t^-1 blocks of A and all of D depending
+/// on the moments. `a0`/`b0`/`c0` hold the -strength * g0 hopping terms
+/// (diagonal blocks of a0 zero); one instance per distinct geometry per
+/// contour point, shared between congruent zones and reused by every
+/// energy evaluation.
+struct SchurTemplates {
+  linalg::ZMatrix a0;  ///< 2L x 2L member block, t^-1 diagonals left zero
+  linalg::ZMatrix b0;  ///< 2L x 2 member-center coupling
+  linalg::ZMatrix c0;  ///< 2 x 2L center-member coupling
+};
+
+/// Builds the hopping templates of a zone from its scalar propagator matrix
+/// (index 0 = center) and the calibrated hybridization strength.
+SchurTemplates make_schur_templates(const linalg::ZMatrix& scalar_propagator,
+                                    double strength);
+
+/// Reusable workspace for central_tau_schur: the member matrix the blocked
+/// LU destroys, the B panel the solve overwrites, and the pivot sequence.
+/// Sized on first use per zone order and reused across contour points and
+/// energy evaluations (one instance per thread), so the hot path performs
+/// no allocation in steady state.
+struct SchurWorkspace {
+  linalg::ZMatrix a;
+  linalg::ZMatrix bx;
+  std::vector<std::size_t> pivots;
+};
+
+/// Central 2x2 block of the zone's M^-1 via block elimination of the member
+/// block: tau_00 = (D - C A^{-1} B)^{-1}. `member_t_inverse[j]` is the
+/// inverse t-matrix of LIZ member j (zone order), `center_t_inverse` that
+/// of the central atom (= D). Agrees with central_tau_block to roundoff;
+/// the member elimination runs the blocked, GEMM-dominated LU.
+spin::Spin2x2 central_tau_schur(const SchurTemplates& templates,
+                                const spin::Spin2x2& center_t_inverse,
+                                const spin::Spin2x2* member_t_inverse,
+                                SchurWorkspace& workspace);
 
 }  // namespace wlsms::lsms

@@ -14,6 +14,15 @@
 /// Wang-Landau walk samples; differences between configurations are the
 /// frozen-potential (magnetic force theorem) energy differences of §II-B.
 ///
+/// Hot-path structure (the paper's "bulk of the calculation is done by
+/// ZGEMM"): per zone and contour point the center's tau block is obtained
+/// by Schur complement of the member block (center ordered last), whose
+/// elimination is a blocked, GEMM-dominated LU. Configuration-independent
+/// hopping blocks are precomputed per distinct geometry per contour point;
+/// the inverse single-site t-matrices are cached per (site, contour point)
+/// and refreshed incrementally — after a single-moment trial move only the
+/// moved site's entries are recomputed.
+///
 /// Domain decomposition follows the paper: each atom's solve is independent
 /// given the t-matrices of its LIZ ("one atom per processor"); here the atom
 /// loop is OpenMP-parallel and, in the distributed harness (src/parallel,
@@ -22,6 +31,7 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "lattice/structure.hpp"
@@ -48,10 +58,10 @@ struct LocalEnergies {
 
 /// Frozen-potential multiple-scattering energy engine for one structure.
 ///
-/// Geometry-dependent data (LIZ membership and the scalar propagator
-/// matrices at every contour point) is precomputed at construction and
-/// shared between congruent zones, so per-energy-evaluation work is exactly
-/// the dense linear algebra the paper profiles.
+/// Geometry-dependent data (LIZ membership and the center-last hopping
+/// blocks at every contour point) is precomputed at construction and shared
+/// between congruent zones, so per-energy-evaluation work is exactly the
+/// dense linear algebra the paper profiles.
 class LsmsSolver {
  public:
   LsmsSolver(lattice::Structure structure, LsmsParameters params);
@@ -60,6 +70,9 @@ class LsmsSolver {
   const LsmsParameters& params() const { return params_; }
   const Scatterer& scatterer() const { return scatterer_; }
   std::size_t n_atoms() const { return structure_.size(); }
+
+  /// The complex-energy integration contour (shared by every zone).
+  const std::vector<ContourPoint>& contour() const { return contour_; }
 
   /// Atoms per LIZ (zone size, centre included) of site i.
   std::size_t liz_size(std::size_t i) const { return lizs_[i].zone_size(); }
@@ -87,23 +100,40 @@ class LsmsSolver {
                                   const LocalEnergies& current) const;
 
   /// Analytic count of real flops one full energy evaluation retires
-  /// (assembly excluded; factorization + solves, summed over atoms and
-  /// contour points).
+  /// (assembly and closed-form 2x2 algebra excluded; member-block
+  /// factorization + panel solve + Schur GEMM, summed over atoms and
+  /// contour points). Matches the instrumented perf counters exactly.
   std::uint64_t flops_per_energy() const;
+
+  /// Analytic flops of atom i's zone solve across the contour (the
+  /// per-zone term of flops_per_energy).
+  std::uint64_t flops_per_zone_energy(std::size_t i) const;
 
  private:
   double zone_energy(const LizGeometry& liz,
-                     const spin::MomentConfiguration& moments) const;
+                     const std::vector<spin::Spin2x2>& t_table) const;
+
+  /// Copies the t^-1 table for `moments` into `out` (site-major, one
+  /// Spin2x2 per site per contour point), refreshing the shared cache
+  /// incrementally: only sites whose direction changed since the last call
+  /// are recomputed. Thread-safe; the copy decouples concurrent callers.
+  void refresh_t_table(const spin::MomentConfiguration& moments,
+                       std::vector<spin::Spin2x2>& out) const;
 
   lattice::Structure structure_;
   LsmsParameters params_;
   Scatterer scatterer_;
   std::vector<ContourPoint> contour_;
   std::vector<LizGeometry> lizs_;
-  /// lizs_[i] -> its propagator set (one matrix per contour point), shared
-  /// between congruent zones.
-  std::vector<std::shared_ptr<const std::vector<linalg::ZMatrix>>> propagators_;
+  /// lizs_[i] -> its center-last hopping templates (one per contour point),
+  /// shared between congruent zones.
+  std::vector<std::shared_ptr<const std::vector<SchurTemplates>>> templates_;
   std::vector<std::vector<std::size_t>> affected_;
+
+  /// Incremental per-(site, contour point) t^-1 cache (see refresh_t_table).
+  mutable std::mutex t_cache_mutex_;
+  mutable std::vector<Vec3> t_cache_directions_;
+  mutable std::vector<spin::Spin2x2> t_cache_table_;
 };
 
 }  // namespace wlsms::lsms

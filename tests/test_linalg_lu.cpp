@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "linalg/blas.hpp"
+#include "perf/flops.hpp"
 
 namespace wlsms::linalg {
 namespace {
@@ -72,6 +74,155 @@ TEST_P(LuSizes, LogDetMatchesProductOfEigenvaluesForTriangular) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, LuSizes,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 64, 130));
+
+// ---------------------------------------------------------------------------
+// Blocked vs unblocked factorization. The two algorithms make identical
+// pivot choices (same column search order), so they must agree on pivots and
+// parity exactly and on the factors to roundoff.
+
+ZMatrix reconstruct_plu(const LuFactorization& f) {
+  const std::size_t n = f.order();
+  ZMatrix l = ZMatrix::identity(n);
+  ZMatrix u(n, n);
+  for (std::size_t c = 0; c < n; ++c)
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r > c)
+        l(r, c) = f.packed()(r, c);
+      else
+        u(r, c) = f.packed()(r, c);
+    }
+  ZMatrix lu = multiply(l, u);
+  // Undo the row interchanges in reverse: P^T (L U) should equal A.
+  for (std::size_t k = n; k-- > 0;) {
+    const std::size_t p = f.pivots()[k];
+    if (p == k) continue;
+    for (std::size_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(p, c));
+  }
+  return lu;
+}
+
+TEST(LuBlocked, MatchesUnblockedOnRandomMatrix) {
+  const std::size_t n = 130;  // the paper-geometry zone order
+  Rng rng(1301);
+  const ZMatrix a = random_matrix(n, rng);
+  const LuFactorization blocked(a, LuAlgorithm::kBlocked);
+  const LuFactorization unblocked(a, LuAlgorithm::kUnblocked);
+  EXPECT_EQ(blocked.pivots(), unblocked.pivots());
+  EXPECT_LT(blocked.packed().max_abs_diff(unblocked.packed()), 1e-10);
+  const Complex ld_b = blocked.log_det();
+  const Complex ld_u = unblocked.log_det();
+  EXPECT_NEAR(ld_b.real(), ld_u.real(), 1e-10);
+  EXPECT_NEAR(ld_b.imag(), ld_u.imag(), 1e-10);
+}
+
+TEST(LuBlocked, ReconstructsMatrixThroughPlu) {
+  for (const std::size_t n : {64ul, 97ul, 130ul}) {
+    Rng rng(n);
+    const ZMatrix a = random_matrix(n, rng);
+    const LuFactorization f(a, LuAlgorithm::kBlocked);
+    EXPECT_LT(reconstruct_plu(f).max_abs_diff(a), 1e-10 * static_cast<double>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(LuBlocked, FactorizesPermutationMatrixExactly) {
+  // Every pivot search must walk past zeros to the single 1 in the column;
+  // a pure permutation stresses the row-interchange bookkeeping.
+  const std::size_t n = 130;
+  ZMatrix p(n, n);
+  for (std::size_t c = 0; c < n; ++c) p((c + 37) % n, c) = {1.0, 0.0};
+  const LuFactorization f(p, LuAlgorithm::kBlocked);
+  EXPECT_LT(multiply(p, f.inverse()).max_abs_diff(ZMatrix::identity(n)),
+            1e-13);
+  EXPECT_NEAR(f.log_det().real(), 0.0, 1e-13);
+}
+
+TEST(LuBlocked, HandlesNearSingularMatrix) {
+  // One row nearly linearly dependent on another: the factorization must
+  // pivot through the tiny remaining entries and still solve accurately
+  // (residual-wise) in both algorithms.
+  const std::size_t n = 96;
+  Rng rng(961);
+  ZMatrix a = random_matrix(n, rng);
+  for (std::size_t c = 0; c < n; ++c)
+    a(1, c) = a(0, c) * Complex{2.0, 0.0} + a(1, c) * Complex{1e-10, 0.0};
+  ZMatrix x_true(n, 1);
+  for (std::size_t r = 0; r < n; ++r)
+    x_true(r, 0) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const ZMatrix b = multiply(a, x_true);
+  for (const LuAlgorithm alg :
+       {LuAlgorithm::kBlocked, LuAlgorithm::kUnblocked}) {
+    const ZMatrix x = LuFactorization(a, alg).solve(b);
+    const ZMatrix residual = multiply(a, x);
+    EXPECT_LT(residual.max_abs_diff(b), 1e-7)
+        << "alg=" << static_cast<int>(alg);
+  }
+}
+
+TEST(LuBlocked, SingularMatrixThrowsAtBlockedSize) {
+  ZMatrix m(70, 70);  // all zeros, above the kAuto blocked threshold
+  EXPECT_THROW(LuFactorization(m, LuAlgorithm::kBlocked), SingularMatrixError);
+  std::vector<std::size_t> pivots;
+  ZMatrix m2(70, 70);
+  EXPECT_THROW(zgetrf_in_place(m2, pivots, LuAlgorithm::kBlocked),
+               SingularMatrixError);
+}
+
+TEST(LuBlocked, AutoSelectsByOrder) {
+  // kAuto must agree with whichever algorithm it picks; spot-check both
+  // sides of the threshold by comparing against the explicit selections.
+  Rng rng(77);
+  const ZMatrix small = random_matrix(kLuBlockedThreshold - 1, rng);
+  const ZMatrix large = random_matrix(kLuBlockedThreshold + 1, rng);
+  EXPECT_EQ(zgetrf_flops(small.rows()),
+            zgetrf_flops(small.rows(), LuAlgorithm::kUnblocked));
+  EXPECT_EQ(zgetrf_flops(large.rows()),
+            zgetrf_flops(large.rows(), LuAlgorithm::kBlocked));
+}
+
+TEST(LuBlocked, InstrumentedFlopsMatchAnalyticCount) {
+  // The per-kernel counters booked by the panel/TRSM/GEMM pieces must sum
+  // to exactly what zgetrf_flops predicts, for both algorithms.
+  for (const LuAlgorithm alg :
+       {LuAlgorithm::kBlocked, LuAlgorithm::kUnblocked}) {
+    const std::size_t n = 130;
+    Rng rng(n + static_cast<std::size_t>(alg));
+    ZMatrix a = random_matrix(n, rng);
+    std::vector<std::size_t> pivots;
+    perf::FlopWindow window;
+    zgetrf_in_place(a, pivots, alg);
+    EXPECT_EQ(window.elapsed(), zgetrf_flops(n, alg))
+        << "alg=" << static_cast<int>(alg);
+  }
+}
+
+TEST(LuBlocked, GemmCarriesMostBlockedFlops) {
+  // The point of the blocked factorization: at LIZ-sized orders the GEMM
+  // trailing updates retire the bulk of the flops.
+  const std::size_t n = 128;
+  Rng rng(1281);
+  ZMatrix a = random_matrix(n, rng);
+  std::vector<std::size_t> pivots;
+  perf::FlopWindow window;
+  zgetrf_in_place(a, pivots, LuAlgorithm::kBlocked);
+  EXPECT_GE(window.gemm_fraction(), 0.6);
+}
+
+TEST(Lu, SolveMultipleRhsInPlace) {
+  Rng rng(93);
+  const std::size_t n = 40;
+  const ZMatrix a = random_matrix(n, rng);
+  ZMatrix x_true(n, 3);
+  for (std::size_t c = 0; c < 3; ++c)
+    for (std::size_t r = 0; r < n; ++r)
+      x_true(r, c) = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  ZMatrix b = multiply(a, x_true);
+  std::vector<std::size_t> pivots;
+  ZMatrix lu = a;
+  zgetrf_in_place(lu, pivots);
+  zgetrs_in_place(lu, pivots, b.data(), 3, n);
+  EXPECT_LT(b.max_abs_diff(x_true), 1e-10);
+}
 
 TEST(Lu, DetOfKnownTwoByTwo) {
   ZMatrix m(2, 2);

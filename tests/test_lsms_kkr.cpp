@@ -131,6 +131,95 @@ TEST(CentralTau, CollinearConfigurationStaysSpinDiagonal) {
   EXPECT_NEAR(std::abs(tau[2]), 0.0, 1e-12);
 }
 
+// Computes tau_00 through the Schur-complement production path for the same
+// inputs the reference path consumes.
+spin::Spin2x2 schur_tau(const Scatterer& scatterer, const LizGeometry& liz,
+                        const spin::MomentConfiguration& moments, Complex z,
+                        SchurWorkspace& ws) {
+  const linalg::ZMatrix p = scalar_propagator_matrix(liz, z);
+  const SchurTemplates templates =
+      make_schur_templates(p, scatterer.params().propagator_strength);
+  const spin::Spin2x2 center = scatterer.t_inverse(moments[liz.center], z);
+  std::vector<spin::Spin2x2> members(liz.members.size());
+  for (std::size_t j = 0; j < liz.members.size(); ++j)
+    members[j] = scatterer.t_inverse(moments[liz.members[j].site], z);
+  return central_tau_schur(templates, center, members.data(), ws);
+}
+
+TEST(CentralTauSchur, MatchesReferencePathAtFastRadius) {
+  const Scatterer scatterer(fe_scattering_parameters());
+  const LizGeometry liz = build_liz(fe16(), 0, 5.6);
+  Rng rng(6);
+  const auto moments = spin::MomentConfiguration::random(16, rng);
+  SchurWorkspace ws;
+  for (const Complex z : {Complex{0.3, 0.08}, Complex{0.1, 0.25}}) {
+    const linalg::ZMatrix p = scalar_propagator_matrix(liz, z);
+    const spin::Spin2x2 reference = central_tau_block(
+        assemble_kkr_matrix(scatterer, liz, moments, z, p));
+    const spin::Spin2x2 schur = schur_tau(scatterer, liz, moments, z, ws);
+    for (int c = 0; c < 4; ++c)
+      EXPECT_NEAR(std::abs(schur[c] - reference[c]), 0.0, 1e-12)
+          << "component " << c;
+  }
+}
+
+TEST(CentralTauSchur, MatchesReferencePathAtPaperRadius) {
+  // 65-atom zone: the member block is 128 x 128, so this exercises the
+  // blocked LU + TRSM panel + Schur GEMM exactly as the production solver
+  // runs them.
+  const Scatterer scatterer(fe_scattering_parameters());
+  const LizGeometry liz = build_liz(fe16(), 0, units::fe_liz_radius_a0);
+  ASSERT_EQ(liz.zone_size(), 65u);
+  Rng rng(7);
+  const auto moments = spin::MomentConfiguration::random(16, rng);
+  const Complex z{0.25, 0.12};
+  const linalg::ZMatrix p = scalar_propagator_matrix(liz, z);
+  const spin::Spin2x2 reference = central_tau_block(
+      assemble_kkr_matrix(scatterer, liz, moments, z, p));
+  SchurWorkspace ws;
+  const spin::Spin2x2 schur = schur_tau(scatterer, liz, moments, z, ws);
+  for (int c = 0; c < 4; ++c)
+    EXPECT_NEAR(std::abs(schur[c] - reference[c]), 0.0, 1e-12)
+        << "component " << c;
+}
+
+TEST(CentralTauSchur, IsolatedAtomInvertsCenterBlock) {
+  // No members: tau = D^{-1} = t, with no linear algebra at all.
+  const Scatterer scatterer(fe_scattering_parameters());
+  LizGeometry lone;
+  lone.center = 0;
+  const auto moments = spin::MomentConfiguration::ferromagnetic(1);
+  const Complex z{0.3, 0.08};
+  const SchurTemplates templates =
+      make_schur_templates(scalar_propagator_matrix(lone, z),
+                           scatterer.params().propagator_strength);
+  SchurWorkspace ws;
+  const spin::Spin2x2 tau = central_tau_schur(
+      templates, scatterer.t_inverse(moments[0], z), nullptr, ws);
+  EXPECT_NEAR(std::abs(tau[0] - scatterer.t_up(z)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(tau[3] - scatterer.t_down(z)), 0.0, 1e-12);
+}
+
+TEST(CentralTauSchur, WorkspaceIsReusableAcrossZoneSizes) {
+  // The same workspace must serve zones of different orders back to back
+  // (the solver's thread-local scratch sees every zone of the walk).
+  const Scatterer scatterer(fe_scattering_parameters());
+  Rng rng(8);
+  const auto moments = spin::MomentConfiguration::random(16, rng);
+  const Complex z{0.3, 0.08};
+  SchurWorkspace ws;
+  const LizGeometry big = build_liz(fe16(), 0, units::fe_liz_radius_a0);
+  const LizGeometry small = build_liz(fe16(), 0, 5.6);
+  const spin::Spin2x2 first = schur_tau(scatterer, big, moments, z, ws);
+  (void)first;
+  const spin::Spin2x2 after_shrink = schur_tau(scatterer, small, moments, z, ws);
+  const linalg::ZMatrix p = scalar_propagator_matrix(small, z);
+  const spin::Spin2x2 reference = central_tau_block(
+      assemble_kkr_matrix(scatterer, small, moments, z, p));
+  for (int c = 0; c < 4; ++c)
+    EXPECT_NEAR(std::abs(after_shrink[c] - reference[c]), 0.0, 1e-12);
+}
+
 TEST(CentralTau, IsolatedAtomReducesToSingleSiteT) {
   // A LIZ with no members: tau = t (the free single scatterer).
   const Scatterer scatterer(fe_scattering_parameters());

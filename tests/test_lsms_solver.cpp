@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "linalg/lu.hpp"
 #include "lsms/fe_parameters.hpp"
 #include "perf/flops.hpp"
 #include "spin/rotation.hpp"
@@ -159,10 +160,68 @@ TEST(LsmsSolver, LizSizeMatchesGeometry) {
 
 TEST(LsmsSolver, FlopsPerEnergyMatchesAnalyticCount) {
   const LsmsSolver solver = fast_solver();
-  // 16 atoms x 8 contour points x (ZGETRF(30) + 2 ZGETRS(30, 1)).
-  const std::uint64_t per_point =
-      perf::cost::zgetrf(30) + 2 * perf::cost::zgetrs(30, 1);
+  // Fast parameters: 15-atom zones, so the Schur path factorizes the 28 x 28
+  // member block, solves the two coupling columns, and closes with a
+  // 2 x 2 x 28 GEMM -- per contour point (8 of them), per atom (16).
+  const std::uint64_t per_point = linalg::zgetrf_flops(28) +
+                                  perf::cost::zgetrs(28, 2) +
+                                  perf::cost::zgemm(2, 2, 28);
+  EXPECT_EQ(solver.flops_per_zone_energy(0), 8u * per_point);
   EXPECT_EQ(solver.flops_per_energy(), 16u * 8u * per_point);
+}
+
+TEST(LsmsSolver, InstrumentedFlopsMatchAnalyticCount) {
+  // The analytic model must agree with the perf counters to the flop, for
+  // both the unblocked (fast-radius) and blocked (paper-radius) zone orders.
+  Rng rng(11);
+  {
+    const LsmsSolver solver = fast_solver();
+    const auto config = spin::MomentConfiguration::random(16, rng);
+    perf::FlopWindow window;
+    solver.local_energy(0, config);
+    EXPECT_EQ(window.elapsed(), solver.flops_per_zone_energy(0));
+  }
+  {
+    const LsmsSolver solver(lattice::make_fe_supercell(2),
+                            fe_lsms_parameters());
+    ASSERT_EQ(solver.liz_size(0), 65u);
+    const auto config = spin::MomentConfiguration::random(16, rng);
+    perf::FlopWindow window;
+    solver.local_energy(0, config);
+    EXPECT_EQ(window.elapsed(), solver.flops_per_zone_energy(0));
+  }
+}
+
+TEST(LsmsSolver, GemmFractionDominatesAtPaperGeometry) {
+  // The acceptance bar of the GEMM-rich refactor: at the paper's LIZ the
+  // packed ZGEMM retires at least 60 % of the flops of an energy zone.
+  const LsmsSolver solver(lattice::make_fe_supercell(2), fe_lsms_parameters());
+  Rng rng(12);
+  const auto config = spin::MomentConfiguration::random(16, rng);
+  perf::FlopWindow window;
+  solver.local_energy(0, config);
+  EXPECT_GE(window.gemm_fraction(), 0.6);
+}
+
+TEST(LsmsSolver, SchurPathMatchesReferenceAssembly) {
+  // Reconstruct atom 0's local energy through the original path -- full
+  // zone-matrix assembly and center-first factorization -- and require the
+  // production Schur path to agree to 1e-10 Ry.
+  const LsmsSolver solver = fast_solver();
+  Rng rng(13);
+  const auto config = spin::MomentConfiguration::random(16, rng);
+
+  const LizGeometry liz =
+      build_liz(solver.structure(), 0, solver.params().liz_radius);
+  Complex accumulated{0.0, 0.0};
+  for (const ContourPoint& cp : solver.contour()) {
+    const linalg::ZMatrix p = scalar_propagator_matrix(liz, cp.z);
+    const spin::Spin2x2 tau = central_tau_block(
+        assemble_kkr_matrix(solver.scatterer(), liz, config, cp.z, p));
+    accumulated += cp.weight * cp.z * (tau[0] + tau[3]);
+  }
+  const double reference = -accumulated.imag() / std::acos(-1.0);
+  EXPECT_NEAR(solver.local_energy(0, config), reference, 1e-10);
 }
 
 TEST(LsmsSolver, EnergyScalesExtensively) {

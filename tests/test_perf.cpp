@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -49,6 +50,65 @@ TEST(FlopCosts, GetrfIsCubicOverThree) {
 TEST(FlopCosts, GetrsIsQuadraticPerRhs) {
   EXPECT_EQ(cost::zgetrs(10, 1), 800u);
   EXPECT_EQ(cost::zgetrs(10, 3), 2400u);
+}
+
+TEST(Flops, KernelAttributionIsSeparated) {
+  FlopWindow window;
+  add_flops(Kernel::kZgemm, 600);
+  add_flops(Kernel::kTrsm, 250);
+  add_flops(Kernel::kPanel, 100);
+  add_flops(50);  // legacy overload books under kOther
+  EXPECT_EQ(window.elapsed(Kernel::kZgemm), 600u);
+  EXPECT_EQ(window.elapsed(Kernel::kTrsm), 250u);
+  EXPECT_EQ(window.elapsed(Kernel::kPanel), 100u);
+  EXPECT_EQ(window.elapsed(Kernel::kOther), 50u);
+  EXPECT_EQ(window.elapsed(), 1000u);
+  EXPECT_DOUBLE_EQ(window.gemm_fraction(), 0.6);
+}
+
+TEST(Flops, GemmFractionOfEmptyWindowIsZero) {
+  const FlopWindow window;
+  EXPECT_DOUBLE_EQ(window.gemm_fraction(), 0.0);
+}
+
+TEST(FlopCosts, TrsmUnitLowerCountsFusedMultiplyAdds) {
+  // n(n-1)/2 complex FMAs (8 flops each) per right-hand side.
+  EXPECT_EQ(cost::ztrsm_unit_lower(3, 2), 8u * 3 * 2 / 2 * 2);
+  EXPECT_EQ(cost::ztrsm_unit_lower(1, 5), 0u);
+  EXPECT_EQ(cost::ztrsm_unit_lower(0, 5), 0u);
+}
+
+TEST(FlopCosts, PanelCountsByColumn) {
+  // One column: just the pivot reciprocal.
+  EXPECT_EQ(cost::zgetrf_panel(1, 1), 6u);
+  // Two columns of a 2 x 2: j=0 books 6 + 6 + 8, j=1 books 6.
+  EXPECT_EQ(cost::zgetrf_panel(2, 2), 26u);
+  // Tall panel, one column: reciprocal + (m-1) scalings.
+  EXPECT_EQ(cost::zgetrf_panel(4, 1), 6u + 6u * 3);
+}
+
+TEST(FlopCosts, BlockedDegeneratesToPanelForWideBlocks) {
+  // nb >= n: a single panel, no TRSM or GEMM terms.
+  EXPECT_EQ(cost::zgetrf_blocked(30, 64), cost::zgetrf_panel(30, 30));
+}
+
+TEST(FlopCosts, BlockedSumsPanelTrsmGemmTerms) {
+  // n=4, nb=2: panel(4,2) + trsm(2,2) + gemm(2,2,2) + panel(2,2).
+  const std::uint64_t expected = cost::zgetrf_panel(4, 2) +
+                                 cost::ztrsm_unit_lower(2, 2) +
+                                 cost::zgemm(2, 2, 2) + cost::zgetrf_panel(2, 2);
+  EXPECT_EQ(cost::zgetrf_blocked(4, 2), expected);
+}
+
+TEST(FlopCosts, BlockedApproachesDenseCountFromBelow) {
+  // Both count the same O(n^3) elimination; the panel/blocked forms carry
+  // the exact lower-order terms, the classical 8n^3/3 only the leading one.
+  const std::uint64_t classic = cost::zgetrf(128);
+  const std::uint64_t blocked = cost::zgetrf_blocked(128, 16);
+  const double rel = std::abs(static_cast<double>(classic) -
+                              static_cast<double>(blocked)) /
+                     static_cast<double>(classic);
+  EXPECT_LT(rel, 0.05);
 }
 
 TEST(Timer, MeasuresElapsedTime) {
