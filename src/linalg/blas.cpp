@@ -53,7 +53,7 @@ class GemmPool {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       job_ = &fn;
-      next_task_.store(1, std::memory_order_relaxed);
+      next_task_ = 1;
       n_tasks_ = n_tasks;
       remaining_ = n_tasks - 1;
       ++generation_;
@@ -87,7 +87,6 @@ class GemmPool {
     std::uint64_t seen_generation = 0;
     for (;;) {
       const std::function<void(std::size_t)>* job = nullptr;
-      std::size_t n_tasks = 0;
       {
         std::unique_lock<std::mutex> lock(mutex_);
         wake_.wait(lock, [&] {
@@ -96,26 +95,33 @@ class GemmPool {
         if (stopping_) return;
         seen_generation = generation_;
         job = job_;
-        n_tasks = n_tasks_;
       }
+      // job_ is nulled between runs; a worker that woke after the run it
+      // was signalled for already drained has nothing to do.
+      if (job == nullptr) continue;
+      // Claim tasks under the mutex, re-checking the generation on every
+      // claim: a worker preempted here while its run completes and a new
+      // run() installs fresh state must never claim the new run's tasks
+      // with the old (now dangling) job pointer, nor decrement the new
+      // run's remaining_. Tasks are whole GEMM row-panel chunks, so the
+      // per-claim lock is noise next to the work it hands out.
       std::size_t executed = 0;
       for (;;) {
-        const std::size_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
-        if (t >= n_tasks) break;
+        std::size_t t;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (generation_ != seen_generation || next_task_ >= n_tasks_) break;
+          t = next_task_++;
+        }
         (*job)(t);
         ++executed;
       }
-      // A worker that joined after all tasks were claimed still has to
-      // decrement nothing; account only claimed-task completions. The
-      // launcher seeded remaining_ with n_tasks - 1 claimable tasks.
+      // Every claimed task belongs to seen_generation, and run() cannot
+      // return (so the next run cannot start) until each one is accounted
+      // here — remaining_ still belongs to this generation.
       if (executed > 0) {
         std::lock_guard<std::mutex> lock(mutex_);
         remaining_ -= executed;
-        if (remaining_ == 0) done_.notify_all();
-      } else {
-        // Ensure the launcher is not left waiting when every task was
-        // claimed by other threads before this one woke up.
-        std::lock_guard<std::mutex> lock(mutex_);
         if (remaining_ == 0) done_.notify_all();
       }
     }
@@ -127,7 +133,7 @@ class GemmPool {
   std::condition_variable done_;
   std::vector<std::thread> workers_;
   const std::function<void(std::size_t)>* job_ = nullptr;
-  std::atomic<std::size_t> next_task_{0};
+  std::size_t next_task_ = 0;
   std::size_t n_tasks_ = 0;
   std::size_t remaining_ = 0;
   std::uint64_t generation_ = 0;
@@ -446,8 +452,10 @@ void zgemm_view(std::size_t m, std::size_t n, std::size_t k, Complex alpha,
       gemm_naive_view(m, n, k, alpha, a, lda, b, ldb, c, ldc);
     else
       gemm_packed_view(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    // Booked only when the multiply runs, so alpha == 0 quick returns do
+    // not inflate the instrumented counter (or the GEMM fraction).
+    perf::add_flops(perf::Kernel::kZgemm, perf::cost::zgemm(m, n, k));
   }
-  perf::add_flops(perf::Kernel::kZgemm, perf::cost::zgemm(m, n, k));
 }
 
 void zgemm(Complex alpha, const ZMatrix& a, const ZMatrix& b, Complex beta,
@@ -468,9 +476,10 @@ void zgemm_naive(Complex alpha, const ZMatrix& a, const ZMatrix& b,
   WLSMS_EXPECTS(b.rows() == k);
   WLSMS_EXPECTS(c.rows() == m && c.cols() == n);
   scale_c(m, n, beta, c.data(), m);
-  if (m != 0 && n != 0 && k != 0 && alpha != Complex{0.0, 0.0})
+  if (m != 0 && n != 0 && k != 0 && alpha != Complex{0.0, 0.0}) {
     gemm_naive_view(m, n, k, alpha, a.data(), m, b.data(), k, c.data(), m);
-  perf::add_flops(perf::Kernel::kZgemm, perf::cost::zgemm(m, n, k));
+    perf::add_flops(perf::Kernel::kZgemm, perf::cost::zgemm(m, n, k));
+  }
 }
 
 ZMatrix multiply(const ZMatrix& a, const ZMatrix& b) {

@@ -18,8 +18,13 @@ namespace {
 // them. Rank-1 updates stay inside the panel columns; the trailing matrix
 // is updated by the caller via TRSM + GEMM. Returns the swap parity
 // contribution of this panel.
-// Pivot magnitude |re| + |im| (LAPACK's CABS1): order-equivalent to the
-// modulus for pivot selection at a fraction of the cost of a hypot call.
+// Pivot magnitude |re| + |im| (LAPACK's CABS1, as in ZGETF2): a cheaper
+// magnitude proxy that is within sqrt(2) of the modulus but NOT
+// order-equivalent to it (cabs1(3+4i) = 7 > cabs1(6) = 6 while
+// |3+4i| = 5 < 6), so it can select different — equally valid — pivots
+// than the std::abs pivoting used before the blocked rewrite. Factors may
+// therefore differ from earlier releases in row ordering and rounding,
+// within normal partial-pivoting error bounds.
 double cabs1(Complex z) { return std::abs(z.real()) + std::abs(z.imag()); }
 
 int factor_panel(ZMatrix& a, std::vector<std::size_t>& pivots, std::size_t k0,

@@ -162,8 +162,11 @@ spin::Spin2x2 central_tau_schur(const SchurTemplates& templates,
     linalg::zgemm_view(2, 2, n, Complex{-1.0, 0.0}, templates.c0.data(), 2,
                        ws.bx.data(), n, Complex{1.0, 0.0}, s.data(), 2);
   }
-  // tau_00 = S^{-1}, closed form for the 2x2 block.
+  // tau_00 = S^{-1}, closed form for the 2x2 block. Match the reference
+  // full-LU path's failure mode (zgetrf throws on a zero pivot) instead of
+  // silently propagating Inf/NaN tau into the energies.
   const Complex det = s[0] * s[3] - s[2] * s[1];
+  if (det == Complex{0.0, 0.0}) throw linalg::SingularMatrixError(n);
   const Complex inv_det = Complex{1.0, 0.0} / det;
   return {s[3] * inv_det, -s[2] * inv_det, -s[1] * inv_det, s[0] * inv_det};
 }

@@ -141,6 +141,31 @@ TEST(Zgemm, MultithreadedMatchesSingleThreaded) {
   EXPECT_LT(c_parallel.max_abs_diff(c_serial), 1e-11);
 }
 
+TEST(Zgemm, BackToBackMultithreadedRunsStayIsolated) {
+  // Regression test for a pool-generation race: a worker that woke for run
+  // G but was preempted before claiming could, once run G+1 was installed,
+  // claim the new run's tasks through the old (destroyed) job closure and
+  // corrupt its completion count — silently skipping C row panels. Hammer
+  // back-to-back threaded GEMMs, checking every result, so a stale claim
+  // surfaces as a wrong panel (and as a use-after-free under sanitizers).
+  Rng rng(85);
+  const ZMatrix a = random_matrix(130, 96, rng);
+  const ZMatrix b = random_matrix(96, 70, rng);
+  const ZMatrix expected =
+      naive_gemm({1, 0}, a, b, {0, 0}, ZMatrix(130, 70));
+  ASSERT_EQ(zgemm_threads(), 1u);
+  set_zgemm_threads(4);
+  for (int iter = 0; iter < 50; ++iter) {
+    ZMatrix c(130, 70);
+    zgemm(Complex{1, 0}, a, b, Complex{0, 0}, c);
+    if (c.max_abs_diff(expected) > 1e-11) {
+      set_zgemm_threads(1);
+      FAIL() << "threaded GEMM diverged on iteration " << iter;
+    }
+  }
+  set_zgemm_threads(1);
+}
+
 TEST(ZgemmView, OperatesOnSubmatrixWithLeadingDimension) {
   // The raw seam an accelerator backend would implement: C views need not
   // be packed, so exercise lda/ldb/ldc larger than the logical extents.

@@ -200,6 +200,23 @@ TEST(CentralTauSchur, IsolatedAtomInvertsCenterBlock) {
   EXPECT_NEAR(std::abs(tau[3] - scatterer.t_down(z)), 0.0, 1e-12);
 }
 
+TEST(CentralTauSchur, SingularSchurComplementThrows) {
+  // A singular Schur block must fail loudly like the reference path's LU
+  // (zero pivot), not return Inf/NaN tau that poisons the energies.
+  const Scatterer scatterer(fe_scattering_parameters());
+  LizGeometry lone;
+  lone.center = 0;
+  const Complex z{0.3, 0.08};
+  const SchurTemplates templates =
+      make_schur_templates(scalar_propagator_matrix(lone, z),
+                           scatterer.params().propagator_strength);
+  SchurWorkspace ws;
+  const spin::Spin2x2 singular_center = {Complex{0.0, 0.0}, Complex{0.0, 0.0},
+                                         Complex{0.0, 0.0}, Complex{0.0, 0.0}};
+  EXPECT_THROW(central_tau_schur(templates, singular_center, nullptr, ws),
+               linalg::SingularMatrixError);
+}
+
 TEST(CentralTauSchur, WorkspaceIsReusableAcrossZoneSizes) {
   // The same workspace must serve zones of different orders back to back
   // (the solver's thread-local scratch sees every zone of the walk).
