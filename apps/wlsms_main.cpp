@@ -8,19 +8,26 @@
 //   extract  run the multiple-scattering substrate and print the extracted
 //            exchange constants
 //   scaling  simulate the paper's Cray XT5 runs (Fig. 7 / Table II)
+//   distributed  evaluate LSMS energies sharded over real worker ranks
+//            (threads or forked processes) and cross-check against the
+//            serial solver
 //
 // Examples:
 //   wlsms curie --cells 5 --gamma-final 1e-6 --dos fe250.csv
 //   wlsms thermo --dos fe250.csv --tmin 300 --tmax 1500 --points 13
 //   wlsms extract --liz 5.6 --contour 8 --shells 2
 //   wlsms scaling --walkers 144 --steps 20
+//   wlsms distributed --transport process --groups 2 --group-size 2
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <memory>
 
 #include "cli.hpp"
 #include "cluster/des.hpp"
+#include "comm/factory.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "heisenberg/heisenberg.hpp"
@@ -49,7 +56,10 @@ int usage() {
       "  thermo   --dos in.csv [--tmin K] [--tmax K] [--points N]\n"
       "  extract  [--liz R_a0] [--contour N] [--shells S] [--samples M]\n"
       "           [--cells N]\n"
-      "  scaling  [--walkers N] [--steps N] [--atoms N]\n");
+      "  scaling  [--walkers N] [--steps N] [--atoms N]\n"
+      "  distributed  [--transport inprocess|process] [--groups M]\n"
+      "           [--group-size N] [--cells C] [--evals K] [--seed S]\n"
+      "           [--check 0|1]\n");
   return 2;
 }
 
@@ -228,6 +238,73 @@ int cmd_scaling(const cli::Options& options) {
   return 0;
 }
 
+int cmd_distributed(const cli::Options& options) {
+  const std::string transport_str =
+      options.get_string("transport", "inprocess");
+  const auto groups = static_cast<std::size_t>(options.get_long("groups", 2));
+  const auto group_size =
+      static_cast<std::size_t>(options.get_long("group-size", 2));
+  const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
+  const auto evals = static_cast<std::size_t>(options.get_long("evals", 8));
+  const auto seed = static_cast<std::uint64_t>(options.get_long("seed", 7));
+  const bool check = options.get_long("check", 1) != 0;
+
+  const auto solver = std::make_shared<const lsms::LsmsSolver>(
+      lattice::make_fe_supercell(cells), lsms::fe_lsms_parameters_fast());
+  const wl::LsmsEnergy energy(solver);
+  std::printf("substrate: %zu atoms, %zu-atom LIZ, %zu contour points\n",
+              solver->n_atoms(), solver->liz_size(0),
+              solver->contour().size());
+
+  comm::EnergyServiceSpec spec;
+  spec.kind = comm::ServiceKind::kDistributed;
+  spec.energy = &energy;
+  spec.distributed.n_groups = groups;
+  spec.distributed.group_size = group_size;
+  spec.distributed.transport = comm::parse_transport(transport_str);
+  const std::unique_ptr<wl::EnergyService> service =
+      comm::make_energy_service(spec);
+
+  Rng rng(seed);
+  std::vector<spin::MomentConfiguration> configs;
+  configs.reserve(evals);
+  for (std::size_t k = 0; k < evals; ++k)
+    configs.push_back(spin::MomentConfiguration::random(solver->n_atoms(), rng));
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < evals; ++k)
+    service->submit({k % std::max<std::size_t>(groups, 1), k + 1, configs[k]});
+  std::vector<double> energies(evals, 0.0);
+  for (std::size_t k = 0; k < evals; ++k) {
+    const wl::EnergyResult result = service->retrieve();
+    energies[result.ticket - 1] = result.energy;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  io::TextTable table({"quantity", "value"});
+  table.row({"transport", comm::transport_name(spec.distributed.transport)});
+  table.row({"worker ranks",
+             std::to_string(groups) + " groups x " +
+                 std::to_string(group_size)});
+  table.row({"evaluations", std::to_string(evals)});
+  table.row({"wall time", io::format_double(seconds, 3) + " s"});
+  table.row({"evals/s", io::format_double(evals / std::max(seconds, 1e-9), 2)});
+  table.print();
+
+  if (check) {
+    double max_diff = 0.0;
+    for (std::size_t k = 0; k < evals; ++k)
+      max_diff = std::max(
+          max_diff, std::fabs(energies[k] - energy.total_energy(configs[k])));
+    std::printf("max |E_distributed - E_serial| = %.3e Ry%s\n", max_diff,
+                max_diff == 0.0 ? " (bit-identical)" : "");
+    if (max_diff != 0.0) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,6 +321,8 @@ int main(int argc, char** argv) {
       status = cmd_extract(options);
     else if (options.command() == "scaling")
       status = cmd_scaling(options);
+    else if (options.command() == "distributed")
+      status = cmd_distributed(options);
     else {
       std::fprintf(stderr, "unknown command '%s'\n\n",
                    options.command().c_str());

@@ -11,9 +11,9 @@
 // the Table II projection.
 #include "bench_common.hpp"
 
+#include "comm/factory.hpp"
 #include "io/table.hpp"
 #include "lsms/solver.hpp"
-#include "parallel/async_service.hpp"
 #include "perf/flops.hpp"
 #include "wl/driver.hpp"
 
@@ -56,11 +56,16 @@ int main() {
   config.n_walkers = kWalkers;
   config.max_steps = kWalkers * kStepsPerWalker;
 
-  parallel::AsyncEnergyService instances(energy, 2);
+  comm::EnergyServiceSpec spec;
+  spec.kind = comm::ServiceKind::kAsyncThreads;
+  spec.energy = &energy;
+  spec.n_instances = 2;
+  const std::unique_ptr<wl::EnergyService> instances =
+      comm::make_energy_service(spec);
 
   perf::FlopWindow flops;
   perf::Timer timer;
-  wl::WlDriver driver(16, instances, config,
+  wl::WlDriver driver(16, *instances, config,
                       std::make_unique<wl::HalvingSchedule>(1.0, 1e-8),
                       Rng(7));
   const wl::DriverStats& stats = driver.run();

@@ -10,9 +10,9 @@
 #include "bench_common.hpp"
 
 #include "cluster/des.hpp"
+#include "comm/factory.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
-#include "parallel/async_service.hpp"
 #include "wl/driver.hpp"
 
 namespace {
@@ -23,7 +23,11 @@ namespace {
 double measure_master_service_time() {
   using namespace wlsms;
   wl::HeisenbergEnergy energy = bench::fe_surrogate(2);
-  wl::SynchronousEnergyService service(energy);
+  comm::EnergyServiceSpec spec;
+  spec.kind = comm::ServiceKind::kSynchronous;
+  spec.energy = &energy;
+  const std::unique_ptr<wl::EnergyService> service =
+      comm::make_energy_service(spec);
 
   Rng window_rng(5);
   wl::WangLandauConfig config;
@@ -33,7 +37,7 @@ double measure_master_service_time() {
   config.max_steps = 200000;
 
   perf::Timer timer;
-  wl::WlDriver driver(16, service, config,
+  wl::WlDriver driver(16, *service, config,
                       std::make_unique<wl::HalvingSchedule>(1.0, 1e-8),
                       Rng(1));
   driver.run();

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "comm/factory.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "heisenberg/heisenberg.hpp"
@@ -14,8 +15,6 @@
 #include "lattice/structure.hpp"
 #include "lsms/fe_parameters.hpp"
 #include "mc/metropolis.hpp"
-#include "parallel/async_service.hpp"
-#include "parallel/failure.hpp"
 #include "perf/timer.hpp"
 #include "thermo/observables.hpp"
 #include "wl/driver.hpp"
@@ -39,11 +38,17 @@ int main() {
   config.check_interval = 5000;
   config.max_iteration_steps = 2000000;
 
-  parallel::AsyncEnergyService instances(energy, 4);
-  parallel::FailureInjectingService flaky(instances, 0.01, Rng(7));
+  comm::EnergyServiceSpec spec;
+  spec.kind = comm::ServiceKind::kAsyncThreads;
+  spec.energy = &energy;
+  spec.n_instances = 4;
+  spec.failure_probability = 0.01;
+  spec.failure_seed = 7;
+  const std::unique_ptr<wl::EnergyService> flaky =
+      comm::make_energy_service(spec);
 
   perf::Timer wl_timer;
-  wl::WlDriver driver(energy.n_sites(), flaky, config,
+  wl::WlDriver driver(energy.n_sites(), *flaky, config,
                       std::make_unique<wl::HalvingSchedule>(1.0, 1e-5),
                       Rng(123));
   const wl::DriverStats& wl_stats = driver.run();

@@ -1,0 +1,39 @@
+#include "comm/communicator.hpp"
+
+namespace wlsms::comm {
+
+std::size_t Communicator::n_alive() const {
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < n_ranks(); ++r)
+    if (alive(r)) ++count;
+  return count;
+}
+
+Transport parse_transport(const std::string& name) {
+  if (name == "inprocess" || name == "threads") return Transport::kInProcess;
+  if (name == "process" || name == "fork") return Transport::kProcess;
+  throw CommError("unknown transport '" + name +
+                  "' (expected 'inprocess' or 'process')");
+}
+
+const char* transport_name(Transport transport) {
+  switch (transport) {
+    case Transport::kInProcess: return "inprocess";
+    case Transport::kProcess: return "process";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Communicator> make_communicator(Transport transport,
+                                                std::size_t n_ranks,
+                                                WorkerMain worker_main) {
+  switch (transport) {
+    case Transport::kInProcess:
+      return make_in_process_communicator(n_ranks, std::move(worker_main));
+    case Transport::kProcess:
+      return make_process_communicator(n_ranks, std::move(worker_main));
+  }
+  throw CommError("unknown transport");
+}
+
+}  // namespace wlsms::comm

@@ -1,0 +1,299 @@
+#include "comm/distributed_service.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "comm/wire.hpp"
+#include "common/error.hpp"
+
+namespace wlsms::comm {
+
+namespace {
+
+constexpr std::size_t kNoGroup = ~std::size_t{0};
+
+/// Bitwise direction equality. Vec3::operator== would treat -0.0 == 0.0 and
+/// could miss a representation change; the delta scatter must be exact at
+/// the bit level because the worker reconstructs the configuration from it.
+bool same_bits(const Vec3& a, const Vec3& b) {
+  return std::memcmp(&a, &b, sizeof(Vec3)) == 0;
+}
+
+}  // namespace
+
+DistributedEnergyService::DistributedEnergyService(
+    std::shared_ptr<const lsms::LsmsSolver> solver, DistributedConfig config)
+    : solver_(std::move(solver)), config_(config) {
+  WLSMS_EXPECTS(solver_ != nullptr);
+  WLSMS_EXPECTS(config_.n_groups >= 1);
+  WLSMS_EXPECTS(config_.group_size >= 1);
+  WLSMS_EXPECTS(config_.poll_interval.count() > 0);
+  WLSMS_EXPECTS(config_.heartbeat_timeout.count() > 0);
+
+  const std::size_t n_ranks = config_.n_groups * config_.group_size;
+  groups_.resize(config_.n_groups);
+  rank_group_.resize(n_ranks);
+  sent_.resize(n_ranks);
+  for (std::size_t r = 0; r < n_ranks; ++r) {
+    const std::size_t g = r / config_.group_size;
+    rank_group_[r] = g;
+    groups_[g].ranks.push_back(r);
+  }
+
+  // The worker rank: a cache of the last configuration seen per walker
+  // (the basis delta scatters are applied to), the serial shard solve, and
+  // the gather reply. Anything malformed throws, and a throwing worker is
+  // a dying worker on both transports — the controller reroutes.
+  WorkerMain worker_main = [solver = solver_](WorkerChannel& channel) {
+    std::unordered_map<std::uint64_t, std::vector<Vec3>> cache;
+    while (std::optional<Message> message = channel.recv()) {
+      if (message->tag != kTagShardRequest) continue;
+      const ShardRequest request = decode_shard_request(message->payload);
+      std::vector<Vec3>& directions = cache[request.walker];
+      if (request.kind == ShardRequest::ConfigKind::kFull) {
+        directions = request.full.directions();
+      } else {
+        if (directions.size() != request.n_total_atoms)
+          throw CommError("delta scatter without matching base configuration");
+        for (const MovedSite& moved : request.moved_sites)
+          directions[moved.site] = moved.direction;
+      }
+      ShardResult result;
+      result.ticket = request.ticket;
+      result.attempt = request.attempt;
+      result.first_atom = request.first_atom;
+      result.energies = solver->shard_energies(
+          spin::MomentConfiguration::from_raw_directions(directions),
+          static_cast<std::size_t>(request.first_atom),
+          static_cast<std::size_t>(request.n_shard_atoms));
+      channel.send({kTagShardResult, encode_shard_result(result)});
+    }
+  };
+  comm_ = make_communicator(config_.transport, n_ranks, std::move(worker_main));
+}
+
+DistributedEnergyService::~DistributedEnergyService() {
+  if (comm_) comm_->shutdown();
+}
+
+void DistributedEnergyService::submit(wl::EnergyRequest request) {
+  WLSMS_EXPECTS(request.config.size() == solver_->n_atoms());
+  ++outstanding_;
+  waiting_.push_back(std::move(request));
+  pump_waiting();
+}
+
+wl::EnergyResult DistributedEnergyService::retrieve() {
+  if (outstanding_ == 0)
+    throw CommError("EnergyService::retrieve() with nothing outstanding");
+  while (done_.empty()) {
+    if (comm_->n_alive() == 0)
+      throw CommError("all worker ranks dead with requests outstanding");
+    if (std::optional<Incoming> incoming = comm_->recv(config_.poll_interval))
+      if (incoming->message.tag == kTagShardResult)
+        on_shard_result(incoming->rank, incoming->message.payload);
+    check_health();
+    pump_waiting();
+  }
+  wl::EnergyResult result = std::move(done_.front());
+  done_.pop_front();
+  --outstanding_;
+  return result;
+}
+
+std::size_t DistributedEnergyService::idle_group() const {
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (groups_[g].busy) continue;
+    for (std::size_t rank : groups_[g].ranks)
+      if (comm_->alive(rank)) return g;
+  }
+  return kNoGroup;
+}
+
+void DistributedEnergyService::pump_waiting() {
+  while (!waiting_.empty()) {
+    const std::size_t g = idle_group();
+    if (g == kNoGroup) return;
+    wl::EnergyRequest request = std::move(waiting_.front());
+    waiting_.pop_front();
+    if (!dispatch(g, request)) {
+      // The group's last ranks died under us; park the request and let the
+      // loop try the remaining groups (idle_group now skips this one).
+      waiting_.push_front(std::move(request));
+    }
+  }
+}
+
+bool DistributedEnergyService::dispatch(std::size_t g,
+                                        const wl::EnergyRequest& request) {
+  Group& group = groups_[g];
+  const std::size_t n_atoms = request.config.size();
+  const std::vector<Vec3>& directions = request.config.directions();
+
+  // A send failure mid-scatter means a rank died between the alive() check
+  // and the write: restart the whole scatter over the survivors with a
+  // fresh attempt number, so partial shards of the aborted scatter are
+  // recognizably stale.
+  while (true) {
+    std::vector<std::size_t> alive;
+    for (std::size_t rank : group.ranks)
+      if (comm_->alive(rank)) alive.push_back(rank);
+    if (alive.empty()) {
+      group.busy = false;
+      return false;
+    }
+    const std::size_t n_shards = std::min(alive.size(), n_atoms);
+    group.busy = true;
+    group.request = request;
+    group.attempt = next_attempt_++;
+    group.assigned.clear();
+    group.per_atom.assign(n_atoms, 0.0);
+    group.have_atom.assign(n_atoms, 0);
+    group.missing = n_atoms;
+
+    bool scatter_ok = true;
+    const std::size_t base = n_atoms / n_shards;
+    const std::size_t rem = n_atoms % n_shards;
+    std::size_t first = 0;
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      const std::size_t rank = alive[s];
+      const std::size_t count = base + (s < rem ? 1 : 0);
+
+      ShardRequest shard;
+      shard.ticket = request.ticket;
+      shard.attempt = group.attempt;
+      shard.walker = request.walker;
+      shard.first_atom = first;
+      shard.n_shard_atoms = count;
+      shard.n_total_atoms = n_atoms;
+
+      // Delta against what this rank last saw for this walker, when the
+      // delta is genuinely smaller than resending the configuration; a
+      // MovedSite costs a site index on top of the direction.
+      const auto cached = sent_[rank].find(request.walker);
+      if (cached != sent_[rank].end() && cached->second.size() == n_atoms) {
+        shard.kind = ShardRequest::ConfigKind::kDelta;
+        for (std::size_t i = 0; i < n_atoms; ++i)
+          if (!same_bits(cached->second[i], directions[i]))
+            shard.moved_sites.push_back({i, directions[i]});
+        if (shard.moved_sites.size() * 4 >= n_atoms * 3) {
+          shard.kind = ShardRequest::ConfigKind::kFull;
+          shard.moved_sites.clear();
+        }
+      }
+      if (shard.kind == ShardRequest::ConfigKind::kFull)
+        shard.full = request.config;
+
+      if (!comm_->send(rank, {kTagShardRequest, encode_shard_request(shard)})) {
+        sent_[rank].clear();
+        scatter_ok = false;
+        break;
+      }
+      sent_[rank][request.walker] = directions;
+      group.assigned.push_back({rank, first, count});
+      first += count;
+    }
+    if (scatter_ok) return true;
+  }
+}
+
+void DistributedEnergyService::on_shard_result(
+    std::size_t rank, const std::vector<std::byte>& payload) {
+  ShardResult result;
+  try {
+    result = decode_shard_result(payload);
+  } catch (const serial::SerializationError&) {
+    // A rank speaking a corrupt protocol is as good as dead.
+    comm_->kill(rank);
+    on_rank_death(rank);
+    return;
+  }
+
+  Group& group = groups_[rank_group_[rank]];
+  if (!group.busy || group.request.ticket != result.ticket ||
+      group.attempt != result.attempt)
+    return;  // stale gather from an aborted scatter
+  const std::size_t n_atoms = group.per_atom.size();
+  if (result.first_atom + result.energies.size() > n_atoms) {
+    comm_->kill(rank);
+    on_rank_death(rank);
+    return;
+  }
+
+  for (std::size_t k = 0; k < result.energies.size(); ++k) {
+    const std::size_t atom = static_cast<std::size_t>(result.first_atom) + k;
+    if (group.have_atom[atom]) continue;
+    group.have_atom[atom] = 1;
+    group.per_atom[atom] = result.energies[k];
+    --group.missing;
+  }
+  if (group.missing > 0) return;
+
+  // Full gather: sum in atom order, exactly like LsmsSolver::energies sums
+  // per_atom — this sequential reduction is what keeps the distributed
+  // total bit-identical to the serial one.
+  wl::EnergyResult done;
+  done.walker = group.request.walker;
+  done.ticket = group.request.ticket;
+  done.energy = 0.0;
+  for (double e : group.per_atom) done.energy += e;
+  done.failed = false;
+  done_.push_back(done);
+  group.busy = false;
+  pump_waiting();
+}
+
+void DistributedEnergyService::check_health() {
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    Group& group = groups_[g];
+    if (!group.busy) continue;
+    for (const Assignment& assignment : group.assigned) {
+      bool shard_done = true;
+      for (std::size_t a = assignment.first;
+           a < assignment.first + assignment.count; ++a)
+        if (!group.have_atom[a]) {
+          shard_done = false;
+          break;
+        }
+      if (shard_done) continue;
+
+      if (!comm_->alive(assignment.rank)) {
+        on_rank_death(assignment.rank);
+        break;  // group state was rebuilt; assignments are gone
+      }
+      if (comm_->millis_since_heard(assignment.rank) >
+          static_cast<std::uint64_t>(config_.heartbeat_timeout.count())) {
+        // Alive but silent past the deadline with work assigned: wedged.
+        // Kill it so the transport stops waiting on it, then reroute.
+        comm_->kill(assignment.rank);
+        on_rank_death(assignment.rank);
+        break;
+      }
+    }
+  }
+}
+
+void DistributedEnergyService::on_rank_death(std::size_t rank) {
+  // The worker's configuration cache died with it.
+  sent_[rank].clear();
+  Group& group = groups_[rank_group_[rank]];
+  if (!group.busy) return;
+  bool was_assigned = false;
+  for (const Assignment& assignment : group.assigned)
+    if (assignment.rank == rank) {
+      was_assigned = true;
+      break;
+    }
+  if (!was_assigned) return;
+
+  ++reroutes_;
+  wl::EnergyRequest request = std::move(group.request);
+  group.busy = false;
+  if (!dispatch(rank_group_[rank], request)) {
+    // The whole group is gone: migrate the request to another group.
+    waiting_.push_front(std::move(request));
+    pump_waiting();
+  }
+}
+
+}  // namespace wlsms::comm

@@ -1,0 +1,81 @@
+#include "comm/factory.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "parallel/async_service.hpp"
+#include "parallel/failure.hpp"
+
+namespace wlsms::comm {
+
+namespace {
+
+/// FailureInjectingService holds a non-owning reference; the factory hands
+/// out a single owner, so the decorator and its inner service travel
+/// together. Member order makes the injector die before the inner service.
+class OwningFailureService final : public wl::EnergyService {
+ public:
+  OwningFailureService(std::unique_ptr<wl::EnergyService> inner,
+                       double failure_probability, Rng rng)
+      : inner_(std::move(inner)),
+        injector_(*inner_, failure_probability, std::move(rng)) {}
+
+  void submit(wl::EnergyRequest request) override {
+    injector_.submit(std::move(request));
+  }
+  wl::EnergyResult retrieve() override { return injector_.retrieve(); }
+  std::size_t outstanding() const override { return injector_.outstanding(); }
+
+ private:
+  std::unique_ptr<wl::EnergyService> inner_;
+  parallel::FailureInjectingService injector_;
+};
+
+}  // namespace
+
+std::unique_ptr<wl::EnergyService> make_energy_service(
+    const EnergyServiceSpec& spec) {
+  if (spec.energy == nullptr)
+    throw Error("make_energy_service: spec.energy is required");
+  if (!(spec.failure_probability >= 0.0 && spec.failure_probability < 1.0))
+    throw Error("make_energy_service: failure_probability outside [0, 1)");
+
+  std::unique_ptr<wl::EnergyService> service;
+  switch (spec.kind) {
+    case ServiceKind::kSynchronous:
+      service = std::make_unique<wl::SynchronousEnergyService>(*spec.energy);
+      break;
+    case ServiceKind::kReordering:
+      service = std::make_unique<wl::ReorderingEnergyService>(
+          *spec.energy, Rng(spec.reorder_seed));
+      break;
+    case ServiceKind::kAsyncThreads: {
+      if (spec.n_instances < 1)
+        throw Error("make_energy_service: n_instances must be >= 1");
+      service = std::make_unique<parallel::AsyncEnergyService>(
+          *spec.energy, spec.n_instances);
+      break;
+    }
+    case ServiceKind::kDistributed: {
+      const auto* lsms_energy =
+          dynamic_cast<const wl::LsmsEnergy*>(spec.energy);
+      if (lsms_energy == nullptr)
+        throw Error(
+            "make_energy_service: kDistributed requires an LsmsEnergy "
+            "backend (workers run per-atom LIZ shards of its solver)");
+      service = std::make_unique<DistributedEnergyService>(
+          lsms_energy->solver_ptr(), spec.distributed);
+      break;
+    }
+  }
+  if (service == nullptr)
+    throw Error("make_energy_service: unknown service kind");
+
+  if (spec.failure_probability > 0.0)
+    service = std::make_unique<OwningFailureService>(
+        std::move(service), spec.failure_probability, Rng(spec.failure_seed));
+  return service;
+}
+
+}  // namespace wlsms::comm

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file factory.hpp
+/// The one way to build an EnergyService. Every realization of the paper's
+/// driver <-> LSMS-instance boundary — the synchronous reference, the
+/// deterministic reorderer, the thread-pool instance farm, and the
+/// group-sharded distributed service — is constructed from one spec, so
+/// call sites (CLI, benches, examples, tests) pick a topology by data
+/// instead of by type. Failure injection composes on top of any of them.
+
+#include <cstdint>
+#include <memory>
+
+#include "comm/distributed_service.hpp"
+#include "wl/energy_function.hpp"
+#include "wl/energy_service.hpp"
+
+namespace wlsms::comm {
+
+/// Which realization of the EnergyService boundary to build.
+enum class ServiceKind {
+  kSynchronous,  ///< in-order, single-threaded; the validation reference
+  kReordering,   ///< single-threaded, deterministically out-of-order
+  kAsyncThreads, ///< thread-pool instance farm (parallel::AsyncEnergyService)
+  kDistributed,  ///< group-sharded over a Communicator (this module)
+};
+
+/// Everything needed to build any service.
+struct EnergyServiceSpec {
+  ServiceKind kind = ServiceKind::kSynchronous;
+
+  /// The energy backend. Required for every kind; for kDistributed it must
+  /// be (or wrap) a wl::LsmsEnergy, because the workers run per-atom LIZ
+  /// shards of its solver. Must outlive the returned service.
+  const wl::EnergyFunction* energy = nullptr;
+
+  std::size_t n_instances = 1;  ///< kAsyncThreads: worker threads
+
+  std::uint64_t reorder_seed = 0x5eed;  ///< kReordering: shuffle stream
+
+  DistributedConfig distributed;  ///< kDistributed: topology + transport
+
+  /// When > 0, the built service is wrapped in a failure-injecting
+  /// decorator losing each submission with this probability (the paper §V
+  /// resilience path; the driver resubmits failed results).
+  double failure_probability = 0.0;
+  std::uint64_t failure_seed = 0xfa17;
+};
+
+/// Builds the service described by `spec`. Throws wlsms::Error on an
+/// unsatisfiable spec (no energy backend, a distributed spec whose backend
+/// is not LSMS, an out-of-range failure probability).
+std::unique_ptr<wl::EnergyService> make_energy_service(
+    const EnergyServiceSpec& spec);
+
+}  // namespace wlsms::comm

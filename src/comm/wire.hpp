@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file wire.hpp
+/// The versioned wire protocol of the distributed energy service: what the
+/// controller and the worker ranks of an LSMS group actually say to each
+/// other. Every payload is framed by the shared serial schema (magic +
+/// schema version + payload kind), so a wire message and a checkpoint are
+/// the same dialect; truncated or corrupted buffers throw
+/// serial::SerializationError and can never crash the decoder.
+///
+/// The group protocol mirrors the paper's Fig. 3 communication pattern:
+///  - ShardRequest scatters one configuration over a group's ranks, each
+///    rank owning a contiguous atom range of the per-atom LIZ solves. The
+///    configuration travels either whole (kFull) or as the moved-site
+///    delta against the configuration the SAME rank saw last for that
+///    walker (kDelta) — the t-matrix-update scatter of §II-C, since a
+///    one-moment move invalidates exactly one site's t-matrix.
+///  - ShardResult gathers the shard's per-atom energies e_i back; the
+///    controller reassembles and sums them in atom order, which is what
+///    makes the distributed total bit-identical to the serial solver.
+///
+/// `attempt` versions a scatter: after a worker death the controller
+/// re-scatters the same ticket with attempt+1, and stale results from the
+/// previous scatter are recognizably obsolete.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serial.hpp"
+#include "common/vec3.hpp"
+#include "spin/moments.hpp"
+#include "wl/energy_service.hpp"
+
+namespace wlsms::comm {
+
+/// Application-level message tags (Message::tag).
+enum Tag : std::uint32_t {
+  kTagEnergyRequest = 1,
+  kTagEnergyResult = 2,
+  kTagShardRequest = 3,
+  kTagShardResult = 4,
+};
+
+/// One site whose moment changed: the unit of the delta scatter.
+struct MovedSite {
+  std::uint64_t site = 0;
+  Vec3 direction;
+};
+
+/// Scatter of one configuration shard to one rank.
+struct ShardRequest {
+  std::uint64_t ticket = 0;   ///< driver-level request id
+  std::uint32_t attempt = 0;  ///< scatter generation (reroute bumps it)
+  std::uint64_t walker = 0;   ///< walker id, keys the worker's config cache
+  std::uint64_t first_atom = 0;
+  std::uint64_t n_shard_atoms = 0;  ///< this rank solves [first, first+n)
+
+  enum class ConfigKind : std::uint8_t { kFull = 0, kDelta = 1 };
+  ConfigKind kind = ConfigKind::kFull;
+  /// kFull: the whole configuration (moved_sites empty).
+  spin::MomentConfiguration full;
+  /// kDelta: changed sites against the rank's cached configuration for
+  /// `walker` (full is empty). n_total_atoms lets the worker validate.
+  std::vector<MovedSite> moved_sites;
+  std::uint64_t n_total_atoms = 0;
+};
+
+/// Gather of one shard's per-atom energies.
+struct ShardResult {
+  std::uint64_t ticket = 0;
+  std::uint32_t attempt = 0;
+  std::uint64_t first_atom = 0;
+  std::vector<double> energies;  ///< e_i for i in [first, first+size)
+};
+
+std::vector<std::byte> encode_shard_request(const ShardRequest&);
+ShardRequest decode_shard_request(const std::vector<std::byte>&);
+
+std::vector<std::byte> encode_shard_result(const ShardResult&);
+ShardResult decode_shard_result(const std::vector<std::byte>&);
+
+/// Whole-request codecs (a full configuration with its ticket), used when a
+/// group has a single rank and by anything that ships an EnergyService
+/// conversation across a boundary wholesale.
+std::vector<std::byte> encode_energy_request(const wl::EnergyRequest&);
+wl::EnergyRequest decode_energy_request(const std::vector<std::byte>&);
+
+std::vector<std::byte> encode_energy_result(const wl::EnergyResult&);
+wl::EnergyResult decode_energy_result(const std::vector<std::byte>&);
+
+}  // namespace wlsms::comm

@@ -10,10 +10,19 @@
 
 namespace wlsms {
 
-/// Thrown when a WLSMS_EXPECTS/WLSMS_ENSURES contract is violated.
-class ContractError : public std::logic_error {
+/// Root of the library's exception hierarchy. Every error the library
+/// raises deliberately — contract violations, malformed serialized data,
+/// transport failures — derives from this, so callers that do not care
+/// about the specific failure can catch one type.
+class Error : public std::runtime_error {
  public:
-  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a WLSMS_EXPECTS/WLSMS_ENSURES contract is violated.
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what) : Error(what) {}
 };
 
 namespace detail {

@@ -132,6 +132,20 @@ double LsmsSolver::energy(const spin::MomentConfiguration& moments) const {
   return energies(moments).total;
 }
 
+std::vector<double> LsmsSolver::shard_energies(
+    const spin::MomentConfiguration& moments, std::size_t first,
+    std::size_t count) const {
+  WLSMS_EXPECTS(moments.size() == n_atoms());
+  WLSMS_EXPECTS(count >= 1);
+  WLSMS_EXPECTS(first + count <= n_atoms());
+  std::vector<spin::Spin2x2> table;
+  refresh_t_table(moments, table);
+  std::vector<double> out(count);
+  for (std::size_t k = 0; k < count; ++k)
+    out[k] = zone_energy(lizs_[first + k], table);
+  return out;
+}
+
 const std::vector<std::size_t>& LsmsSolver::affected_sites(
     std::size_t site) const {
   WLSMS_EXPECTS(site < n_atoms());

@@ -41,6 +41,15 @@ MomentConfiguration MomentConfiguration::from_directions(
   return c;
 }
 
+MomentConfiguration MomentConfiguration::from_raw_directions(
+    std::vector<Vec3> directions) {
+  WLSMS_EXPECTS(!directions.empty());
+  MomentConfiguration c;
+  c.directions_ = std::move(directions);
+  for (const Vec3& d : c.directions_) WLSMS_EXPECTS(d.norm2() > 0.0);
+  return c;
+}
+
 void MomentConfiguration::set(std::size_t i, const Vec3& direction) {
   WLSMS_EXPECTS(i < size());
   WLSMS_EXPECTS(direction.norm2() > 0.0);

@@ -35,6 +35,13 @@ class MomentConfiguration {
   /// From explicit directions (normalized on ingestion).
   static MomentConfiguration from_directions(std::vector<Vec3> directions);
 
+  /// From directions that are already unit vectors, taken bit-for-bit with
+  /// NO renormalization. Deserialization must use this: normalization is
+  /// not bitwise idempotent, and both the checkpoint and the comm wire
+  /// format promise that a configuration survives a round trip unchanged
+  /// to the last ulp.
+  static MomentConfiguration from_raw_directions(std::vector<Vec3> directions);
+
   std::size_t size() const { return directions_.size(); }
   const Vec3& operator[](std::size_t i) const { return directions_[i]; }
   const std::vector<Vec3>& directions() const { return directions_; }

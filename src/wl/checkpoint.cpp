@@ -1,110 +1,109 @@
 #include "wl/checkpoint.hpp"
 
 #include <fstream>
-#include <sstream>
+#include <istream>
+#include <ostream>
 
 #include "common/error.hpp"
+#include "common/serial.hpp"
+#include "spin/serialize.hpp"
 
 namespace wlsms::wl {
 
 namespace {
 
-constexpr const char* kMagic = "wlsms-checkpoint";
-constexpr int kVersion = 1;
-
 void require(bool condition, const std::string& what) {
   if (!condition) throw CheckpointError(what);
+}
+
+std::vector<std::byte> encode(const Checkpoint& cp) {
+  serial::Encoder e;
+  serial::write_header(e, serial::PayloadKind::kCheckpoint);
+  e.put_double(cp.grid.e_min);
+  e.put_double(cp.grid.e_max);
+  e.put_u64(cp.grid.bins);
+  e.put_double(cp.grid.kernel_width_fraction);
+  e.put_double(cp.gamma);
+  e.put_u64(cp.total_steps);
+
+  e.put_u64(cp.ln_g.size());
+  for (double v : cp.ln_g) e.put_double(v);
+  e.put_u64(cp.histogram.size());
+  for (std::uint64_t v : cp.histogram) e.put_u64(v);
+  e.put_u64(cp.visited.size());
+  for (std::uint8_t v : cp.visited) e.put_u8(v);
+
+  e.put_u64(cp.walkers.size());
+  for (const spin::MomentConfiguration& w : cp.walkers)
+    spin::encode_moments(e, w);
+  return e.take();
+}
+
+Checkpoint decode(const std::vector<std::byte>& buffer) {
+  serial::Decoder d(buffer);
+  serial::read_header(d, serial::PayloadKind::kCheckpoint);
+
+  Checkpoint cp;
+  cp.grid.e_min = d.get_double();
+  cp.grid.e_max = d.get_double();
+  cp.grid.bins = static_cast<std::size_t>(d.get_u64());
+  cp.grid.kernel_width_fraction = d.get_double();
+  cp.gamma = d.get_double();
+  cp.total_steps = d.get_u64();
+
+  std::uint64_t count = d.get_u64();
+  d.expect_sequence(count, sizeof(double));
+  cp.ln_g.resize(static_cast<std::size_t>(count));
+  for (double& v : cp.ln_g) v = d.get_double();
+
+  count = d.get_u64();
+  d.expect_sequence(count, sizeof(std::uint64_t));
+  cp.histogram.resize(static_cast<std::size_t>(count));
+  for (std::uint64_t& v : cp.histogram) v = d.get_u64();
+
+  count = d.get_u64();
+  d.expect_sequence(count, 1);
+  cp.visited.resize(static_cast<std::size_t>(count));
+  for (std::uint8_t& v : cp.visited) v = d.get_u8();
+
+  count = d.get_u64();
+  cp.walkers.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t w = 0; w < count; ++w)
+    cp.walkers.push_back(spin::decode_moments(d));
+  d.expect_end();
+  return cp;
 }
 
 }  // namespace
 
 void write_checkpoint(std::ostream& out, const Checkpoint& checkpoint) {
-  out.precision(17);
-  out << kMagic << ' ' << kVersion << '\n';
-  out << "grid " << checkpoint.grid.e_min << ' ' << checkpoint.grid.e_max
-      << ' ' << checkpoint.grid.bins << ' '
-      << checkpoint.grid.kernel_width_fraction << '\n';
-  out << "gamma " << checkpoint.gamma << '\n';
-  out << "steps " << checkpoint.total_steps << '\n';
-
-  out << "ln_g " << checkpoint.ln_g.size() << '\n';
-  for (double v : checkpoint.ln_g) out << v << '\n';
-  out << "histogram " << checkpoint.histogram.size() << '\n';
-  for (std::uint64_t v : checkpoint.histogram) out << v << '\n';
-  out << "visited " << checkpoint.visited.size() << '\n';
-  for (std::uint8_t v : checkpoint.visited) out << static_cast<int>(v) << '\n';
-
-  out << "walkers " << checkpoint.walkers.size() << '\n';
-  for (const spin::MomentConfiguration& w : checkpoint.walkers) {
-    out << w.size() << '\n';
-    for (const Vec3& d : w.directions())
-      out << d.x << ' ' << d.y << ' ' << d.z << '\n';
-  }
+  const std::vector<std::byte> buffer = encode(checkpoint);
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
 }
 
 Checkpoint read_checkpoint(std::istream& in) {
-  Checkpoint cp;
-  std::string token;
-  int version = 0;
-  require(static_cast<bool>(in >> token >> version), "missing header");
-  require(token == kMagic, "bad magic: " + token);
-  require(version == kVersion, "unsupported version");
-
-  require(static_cast<bool>(in >> token) && token == "grid", "missing grid");
-  require(static_cast<bool>(in >> cp.grid.e_min >> cp.grid.e_max >>
-                            cp.grid.bins >> cp.grid.kernel_width_fraction),
-          "bad grid line");
-
-  require(static_cast<bool>(in >> token) && token == "gamma", "missing gamma");
-  require(static_cast<bool>(in >> cp.gamma), "bad gamma");
-  require(static_cast<bool>(in >> token) && token == "steps", "missing steps");
-  require(static_cast<bool>(in >> cp.total_steps), "bad steps");
-
-  std::size_t count = 0;
-  require(static_cast<bool>(in >> token >> count) && token == "ln_g",
-          "missing ln_g");
-  cp.ln_g.resize(count);
-  for (double& v : cp.ln_g)
-    require(static_cast<bool>(in >> v), "truncated ln_g");
-
-  require(static_cast<bool>(in >> token >> count) && token == "histogram",
-          "missing histogram");
-  cp.histogram.resize(count);
-  for (std::uint64_t& v : cp.histogram)
-    require(static_cast<bool>(in >> v), "truncated histogram");
-
-  require(static_cast<bool>(in >> token >> count) && token == "visited",
-          "missing visited");
-  cp.visited.resize(count);
-  for (std::uint8_t& v : cp.visited) {
-    int value = 0;
-    require(static_cast<bool>(in >> value), "truncated visited");
-    v = static_cast<std::uint8_t>(value);
+  std::vector<std::byte> buffer;
+  char chunk[4096];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0)
+    buffer.insert(buffer.end(), reinterpret_cast<std::byte*>(chunk),
+                  reinterpret_cast<std::byte*>(chunk) + in.gcount());
+  try {
+    return decode(buffer);
+  } catch (const serial::SerializationError& error) {
+    throw CheckpointError(error.what());
   }
-
-  require(static_cast<bool>(in >> token >> count) && token == "walkers",
-          "missing walkers");
-  cp.walkers.reserve(count);
-  for (std::size_t w = 0; w < count; ++w) {
-    std::size_t n = 0;
-    require(static_cast<bool>(in >> n), "truncated walker count");
-    std::vector<Vec3> dirs(n);
-    for (Vec3& d : dirs)
-      require(static_cast<bool>(in >> d.x >> d.y >> d.z), "truncated walker");
-    cp.walkers.push_back(spin::MomentConfiguration::from_directions(dirs));
-  }
-  return cp;
 }
 
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   require(out.good(), "cannot open for write: " + path);
   write_checkpoint(out, checkpoint);
   require(out.good(), "write failed: " + path);
 }
 
 Checkpoint load_checkpoint(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   require(in.good(), "cannot open for read: " + path);
   return read_checkpoint(in);
 }

@@ -4,15 +4,20 @@
 /// Checkpoint/restart for Wang-Landau state. Production WL-LSMS runs consume
 /// millions of core hours (paper Table I: 4.9M for 250 atoms), so the
 /// density-of-states estimate, the histogram, the schedule state and the
-/// walker configurations must survive job boundaries. The format is
-/// versioned line-oriented text: portable, diffable, and resilient to
-/// partial writes (loads fail loudly on truncation).
+/// walker configurations must survive job boundaries.
+///
+/// The format is the shared versioned binary schema of common/serial.hpp
+/// (header magic + schema version + kCheckpoint payload) — the same framing
+/// the comm wire protocol uses, so there is exactly one serialization
+/// convention in the codebase. Loads fail loudly on truncation, corruption,
+/// or a schema-version mismatch; walker configurations round-trip
+/// bit-exactly (the retired v1 text layout did not).
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "spin/moments.hpp"
 #include "wl/dos_grid.hpp"
 
@@ -47,11 +52,10 @@ Checkpoint make_checkpoint(const DosGrid& dos, double gamma,
 /// Restores `dos` (must have been constructed with checkpoint.grid).
 void restore_dos(const Checkpoint& checkpoint, DosGrid& dos);
 
-/// Thrown on malformed or truncated checkpoint data.
-class CheckpointError : public std::runtime_error {
+/// Thrown on malformed, truncated, or version-mismatched checkpoint data.
+class CheckpointError : public Error {
  public:
-  explicit CheckpointError(const std::string& what)
-      : std::runtime_error(what) {}
+  explicit CheckpointError(const std::string& what) : Error(what) {}
 };
 
 }  // namespace wlsms::wl

@@ -72,6 +72,10 @@ class LsmsEnergy final : public EnergyFunction {
 
   const lsms::LsmsSolver& solver() const { return *solver_; }
 
+  /// Shared ownership of the solver, for services that outlive or shard it
+  /// (the distributed energy service forks workers around this pointer).
+  std::shared_ptr<const lsms::LsmsSolver> solver_ptr() const { return solver_; }
+
   std::size_t n_sites() const override { return solver_->n_atoms(); }
   double total_energy(const spin::MomentConfiguration& moments) const override;
   std::uint64_t flops_per_evaluation() const override;

@@ -46,8 +46,9 @@ class EnergyService {
   virtual void submit(EnergyRequest request) = 0;
 
   /// Blocks until some posted request completes and returns its result.
-  /// Order is implementation-defined. Calling with nothing outstanding is a
-  /// contract violation.
+  /// Order is implementation-defined. Calling with nothing outstanding
+  /// throws wlsms::Error (every implementation enforces this — there is
+  /// nothing to block on, and a silent hang would look like a lost rank).
   virtual EnergyResult retrieve() = 0;
 
   /// Requests posted but not yet retrieved.

@@ -1,0 +1,412 @@
+// In-process Communicator and DistributedEnergyService tests: echo plumbing,
+// heartbeat/liveness bookkeeping, kill -> reroute resilience, the
+// retrieve-with-nothing-outstanding contract across every EnergyService
+// implementation the factory can build, and a messaging stress run. All
+// thread-backed (Transport::kInProcess), so the sanitize label runs the
+// whole file under tsan and asan-ubsan; the fork()ed-process twin lives in
+// test_comm_process.cpp.
+#include "comm/communicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "comm/distributed_service.hpp"
+#include "comm/factory.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "lattice/structure.hpp"
+#include "lsms/fe_parameters.hpp"
+#include "lsms/solver.hpp"
+#include "wl/energy_service.hpp"
+
+namespace wlsms::comm {
+namespace {
+
+using namespace std::chrono_literals;
+
+Message text_message(std::uint32_t tag, const std::string& text) {
+  Message message;
+  message.tag = tag;
+  message.payload.resize(text.size());
+  std::memcpy(message.payload.data(), text.data(), text.size());
+  return message;
+}
+
+std::string text_of(const Message& message) {
+  return std::string(reinterpret_cast<const char*>(message.payload.data()),
+                     message.payload.size());
+}
+
+// ---- raw communicator ----------------------------------------------------
+
+TEST(InProcessCommunicator, EchoAllRanks) {
+  constexpr std::size_t kRanks = 3;
+  auto comm = make_in_process_communicator(kRanks, [](WorkerChannel& channel) {
+    while (std::optional<Message> message = channel.recv())
+      channel.send({message->tag + 1, message->payload});
+  });
+  EXPECT_EQ(comm->n_ranks(), kRanks);
+  EXPECT_EQ(comm->n_alive(), kRanks);
+
+  for (std::size_t r = 0; r < kRanks; ++r)
+    EXPECT_TRUE(comm->send(r, text_message(10 * static_cast<std::uint32_t>(r),
+                                           "ping" + std::to_string(r))));
+  std::vector<bool> seen(kRanks, false);
+  for (std::size_t k = 0; k < kRanks; ++k) {
+    std::optional<Incoming> incoming;
+    while (!incoming) incoming = comm->recv(200ms);
+    EXPECT_FALSE(seen[incoming->rank]);
+    seen[incoming->rank] = true;
+    EXPECT_EQ(incoming->message.tag, 10 * incoming->rank + 1);
+    EXPECT_EQ(text_of(incoming->message),
+              "ping" + std::to_string(incoming->rank));
+  }
+  comm->shutdown();
+  EXPECT_EQ(comm->n_alive(), 0u);
+}
+
+TEST(InProcessCommunicator, RecvTimesOutWhenQuiet) {
+  auto comm = make_in_process_communicator(1, [](WorkerChannel& channel) {
+    while (channel.recv()) {
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(comm->recv(50ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 40ms);
+}
+
+TEST(InProcessCommunicator, KillFlipsLivenessAndDropsTraffic) {
+  auto comm = make_in_process_communicator(2, [](WorkerChannel& channel) {
+    while (std::optional<Message> message = channel.recv())
+      channel.send(*message);
+  });
+  comm->kill(0);
+  comm->kill(0);  // idempotent
+  EXPECT_FALSE(comm->alive(0));
+  EXPECT_TRUE(comm->alive(1));
+  EXPECT_EQ(comm->n_alive(), 1u);
+  EXPECT_FALSE(comm->send(0, text_message(1, "into the void")));
+  EXPECT_TRUE(comm->send(1, text_message(2, "still here")));
+  std::optional<Incoming> incoming;
+  while (!incoming) incoming = comm->recv(200ms);
+  EXPECT_EQ(incoming->rank, 1u);
+  // Dead ranks report a huge silence, so any timeout cut catches them.
+  EXPECT_GT(comm->millis_since_heard(0), 1u << 30);
+}
+
+TEST(InProcessCommunicator, WorkerExitIsRankDeath) {
+  auto comm = make_in_process_communicator(1, [](WorkerChannel& channel) {
+    (void)channel.recv();  // first message ends the worker
+  });
+  EXPECT_TRUE(comm->send(0, text_message(1, "bye")));
+  for (int k = 0; k < 100 && comm->alive(0); ++k)
+    std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(comm->alive(0));
+}
+
+TEST(InProcessCommunicator, ThrowingWorkerIsRankDeathNotTermination) {
+  auto comm = make_in_process_communicator(1, [](WorkerChannel& channel) {
+    (void)channel.recv();
+    throw Error("worker blew up");
+  });
+  EXPECT_TRUE(comm->send(0, text_message(1, "boom")));
+  for (int k = 0; k < 100 && comm->alive(0); ++k)
+    std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(comm->alive(0));
+}
+
+TEST(InProcessCommunicator, WedgedWorkerGoesSilentButIdleWorkerHeartbeats) {
+  // Rank 0 "computes" (sleeps without recv'ing) after its first message;
+  // rank 1 idles in recv, heartbeating. After ~500ms rank 0's silence
+  // exceeds any reasonable timeout while rank 1 stays fresh — exactly the
+  // signal the distributed service's health check keys on.
+  auto comm = make_in_process_communicator(2, [](WorkerChannel& channel) {
+    bool first = true;
+    while (std::optional<Message> message = channel.recv()) {
+      if (channel.rank() == 0 && first) {
+        first = false;
+        std::this_thread::sleep_for(600ms);
+      }
+    }
+  });
+  EXPECT_TRUE(comm->send(0, text_message(1, "work")));
+  std::this_thread::sleep_for(450ms);
+  EXPECT_TRUE(comm->alive(0));
+  EXPECT_GT(comm->millis_since_heard(0), 350u);
+  EXPECT_LT(comm->millis_since_heard(1), 300u);
+  comm->shutdown();
+}
+
+TEST(Transport, ParseAndName) {
+  EXPECT_EQ(parse_transport("inprocess"), Transport::kInProcess);
+  EXPECT_EQ(parse_transport("threads"), Transport::kInProcess);
+  EXPECT_EQ(parse_transport("process"), Transport::kProcess);
+  EXPECT_EQ(parse_transport("fork"), Transport::kProcess);
+  EXPECT_THROW(parse_transport("carrier-pigeon"), CommError);
+  EXPECT_STREQ(transport_name(Transport::kInProcess), "inprocess");
+  EXPECT_STREQ(transport_name(Transport::kProcess), "process");
+}
+
+// ---- distributed energy service on the in-process transport --------------
+
+struct Fe16 {
+  std::shared_ptr<const lsms::LsmsSolver> solver;
+  std::unique_ptr<wl::LsmsEnergy> energy;
+};
+
+const Fe16& fe16() {
+  static Fe16 fixture = [] {
+    Fe16 f;
+    f.solver = std::make_shared<const lsms::LsmsSolver>(
+        lattice::make_fe_supercell(2), lsms::fe_lsms_parameters_fast());
+    f.energy = std::make_unique<wl::LsmsEnergy>(f.solver);
+    return f;
+  }();
+  return fixture;
+}
+
+TEST(DistributedService, BitIdenticalToSynchronousReference) {
+  const Fe16& f = fe16();
+  wl::SynchronousEnergyService reference(*f.energy);
+
+  DistributedConfig config;
+  config.n_groups = 2;
+  config.group_size = 2;
+  config.transport = Transport::kInProcess;
+  DistributedEnergyService distributed(f.solver, config);
+
+  Rng rng(21);
+  constexpr std::size_t kEvals = 8;
+  std::vector<spin::MomentConfiguration> configs;
+  for (std::size_t k = 0; k < kEvals; ++k)
+    configs.push_back(spin::MomentConfiguration::random(16, rng));
+
+  // Walker ids repeat across requests so the moved-site delta scatter path
+  // (second and later sends of a walker to the same rank) is exercised too.
+  for (std::size_t k = 0; k < kEvals; ++k) {
+    reference.submit({k % 2, k + 1, configs[k]});
+    distributed.submit({k % 2, k + 1, configs[k]});
+  }
+  std::vector<double> expected(kEvals), got(kEvals);
+  for (std::size_t k = 0; k < kEvals; ++k) {
+    const wl::EnergyResult r = reference.retrieve();
+    expected[r.ticket - 1] = r.energy;
+    const wl::EnergyResult d = distributed.retrieve();
+    EXPECT_FALSE(d.failed);
+    got[d.ticket - 1] = d.energy;
+  }
+  for (std::size_t k = 0; k < kEvals; ++k)
+    EXPECT_EQ(got[k], expected[k]) << "eval " << k << " not bit-identical";
+  EXPECT_EQ(distributed.outstanding(), 0u);
+}
+
+TEST(DistributedService, DeltaScatterAfterSingleMoveStaysBitIdentical) {
+  const Fe16& f = fe16();
+  DistributedConfig config;
+  config.n_groups = 1;
+  config.group_size = 2;
+  config.transport = Transport::kInProcess;
+  DistributedEnergyService distributed(f.solver, config);
+
+  Rng rng(22);
+  spin::MomentConfiguration moments = spin::MomentConfiguration::random(16, rng);
+  for (std::uint64_t step = 1; step <= 5; ++step) {
+    // One-site move per step: from the second submission on, the scatter is
+    // a one-element MovedSite delta.
+    moments.set(rng.uniform_index(16), rng.unit_vector());
+    distributed.submit({0, step, moments});
+    const wl::EnergyResult result = distributed.retrieve();
+    EXPECT_EQ(result.energy, f.energy->total_energy(moments))
+        << "step " << step;
+  }
+}
+
+TEST(DistributedService, KilledWorkerIsReroutedAndRequestCompletes) {
+  const Fe16& f = fe16();
+  DistributedConfig config;
+  config.n_groups = 1;
+  config.group_size = 2;
+  config.transport = Transport::kInProcess;
+  DistributedEnergyService distributed(f.solver, config);
+
+  Rng rng(23);
+  const auto moments = spin::MomentConfiguration::random(16, rng);
+  distributed.submit({0, 1, moments});
+  // Kill one of the two assigned ranks right after the scatter (on this
+  // side of the submit the worker has not had a chance to finish its
+  // shard). The health check inside retrieve() must detect the death and
+  // re-scatter over the survivor.
+  distributed.communicator().kill(0);
+  const wl::EnergyResult result = distributed.retrieve();
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.energy, f.energy->total_energy(moments));
+  EXPECT_EQ(distributed.n_alive_workers(), 1u);
+  EXPECT_GE(distributed.reroutes(), 1u);
+
+  // The service keeps working on the surviving rank.
+  distributed.submit({0, 2, moments});
+  EXPECT_EQ(distributed.retrieve().energy, f.energy->total_energy(moments));
+}
+
+TEST(DistributedService, GroupDeathMigratesRequestToAnotherGroup) {
+  const Fe16& f = fe16();
+  DistributedConfig config;
+  config.n_groups = 2;
+  config.group_size = 1;
+  config.transport = Transport::kInProcess;
+  DistributedEnergyService distributed(f.solver, config);
+
+  Rng rng(24);
+  const auto moments = spin::MomentConfiguration::random(16, rng);
+  distributed.submit({0, 1, moments});  // lands on group 0 (rank 0)
+  distributed.communicator().kill(0);   // group 0 is now extinct
+  const wl::EnergyResult result = distributed.retrieve();
+  EXPECT_EQ(result.energy, f.energy->total_energy(moments));
+  EXPECT_EQ(distributed.n_alive_workers(), 1u);
+}
+
+TEST(DistributedService, AllRanksDeadThrowsCommError) {
+  const Fe16& f = fe16();
+  DistributedConfig config;
+  config.n_groups = 1;
+  config.group_size = 2;
+  config.transport = Transport::kInProcess;
+  DistributedEnergyService distributed(f.solver, config);
+
+  Rng rng(25);
+  distributed.submit({0, 1, spin::MomentConfiguration::random(16, rng)});
+  distributed.communicator().kill(0);
+  distributed.communicator().kill(1);
+  EXPECT_THROW(distributed.retrieve(), CommError);
+}
+
+TEST(DistributedService, ManyRequestsSurviveAKillMidStream) {
+  const Fe16& f = fe16();
+  DistributedConfig config;
+  config.n_groups = 2;
+  config.group_size = 2;
+  config.transport = Transport::kInProcess;
+  DistributedEnergyService distributed(f.solver, config);
+
+  Rng rng(26);
+  constexpr std::size_t kEvals = 10;
+  std::vector<spin::MomentConfiguration> configs;
+  for (std::size_t k = 0; k < kEvals; ++k)
+    configs.push_back(spin::MomentConfiguration::random(16, rng));
+  for (std::size_t k = 0; k < kEvals; ++k)
+    distributed.submit({k % 3, k + 1, configs[k]});
+
+  std::vector<double> got(kEvals, 0.0);
+  for (std::size_t k = 0; k < kEvals; ++k) {
+    if (k == 2) distributed.communicator().kill(1);
+    const wl::EnergyResult r = distributed.retrieve();
+    got[r.ticket - 1] = r.energy;
+  }
+  for (std::size_t k = 0; k < kEvals; ++k)
+    EXPECT_EQ(got[k], f.energy->total_energy(configs[k])) << "eval " << k;
+}
+
+// ---- retrieve() with nothing outstanding: every implementation -----------
+
+TEST(RetrieveEmpty, EveryFactoryServiceThrowsWlsmsError) {
+  const Fe16& f = fe16();
+  const std::vector<ServiceKind> kinds = {
+      ServiceKind::kSynchronous, ServiceKind::kReordering,
+      ServiceKind::kAsyncThreads, ServiceKind::kDistributed};
+  for (ServiceKind kind : kinds) {
+    EnergyServiceSpec spec;
+    spec.kind = kind;
+    spec.energy = f.energy.get();
+    spec.n_instances = 2;
+    spec.distributed.n_groups = 1;
+    spec.distributed.group_size = 2;
+    spec.distributed.transport = Transport::kInProcess;
+    const std::unique_ptr<wl::EnergyService> service =
+        make_energy_service(spec);
+    EXPECT_THROW(service->retrieve(), Error)
+        << "kind " << static_cast<int>(kind);
+    EXPECT_EQ(service->outstanding(), 0u);
+  }
+}
+
+TEST(RetrieveEmpty, FailureWrappedServiceThrowsWlsmsError) {
+  const Fe16& f = fe16();
+  EnergyServiceSpec spec;
+  spec.kind = ServiceKind::kSynchronous;
+  spec.energy = f.energy.get();
+  spec.failure_probability = 0.5;
+  const std::unique_ptr<wl::EnergyService> service = make_energy_service(spec);
+  EXPECT_THROW(service->retrieve(), Error);
+}
+
+// ---- factory validation --------------------------------------------------
+
+TEST(Factory, RejectsMissingEnergyAndBadSpecs) {
+  const Fe16& f = fe16();
+  EnergyServiceSpec spec;
+  EXPECT_THROW(make_energy_service(spec), Error);  // no energy
+
+  wl::HeisenbergEnergy heisenberg(heisenberg::HeisenbergModel(
+      lattice::make_fe_supercell(2), {1e-3}));
+  spec.energy = &heisenberg;
+  spec.kind = ServiceKind::kDistributed;
+  EXPECT_THROW(make_energy_service(spec), Error);  // not an LSMS backend
+
+  spec.kind = ServiceKind::kSynchronous;
+  spec.failure_probability = 1.5;
+  EXPECT_THROW(make_energy_service(spec), Error);
+
+  spec.failure_probability = 0.0;
+  spec.kind = ServiceKind::kAsyncThreads;
+  spec.n_instances = 0;
+  EXPECT_THROW(make_energy_service(spec), Error);
+
+  // And a well-formed spec of every kind builds and works end to end.
+  EnergyServiceSpec good;
+  good.energy = f.energy.get();
+  good.kind = ServiceKind::kDistributed;
+  good.distributed.transport = Transport::kInProcess;
+  const std::unique_ptr<wl::EnergyService> service = make_energy_service(good);
+  Rng rng(27);
+  const auto moments = spin::MomentConfiguration::random(16, rng);
+  service->submit({0, 1, moments});
+  EXPECT_EQ(service->retrieve().energy, f.energy->total_energy(moments));
+}
+
+// ---- stress --------------------------------------------------------------
+
+TEST(InProcessCommunicator, MessageStress) {
+  constexpr std::size_t kRanks = 4;
+  constexpr std::size_t kMessages = 400;
+  std::atomic<std::size_t> worker_received{0};
+  auto comm = make_in_process_communicator(
+      kRanks, [&worker_received](WorkerChannel& channel) {
+        while (std::optional<Message> message = channel.recv()) {
+          worker_received.fetch_add(1);
+          channel.send({message->tag, message->payload});
+        }
+      });
+  for (std::size_t k = 0; k < kMessages; ++k)
+    EXPECT_TRUE(comm->send(k % kRanks,
+                           text_message(static_cast<std::uint32_t>(k), "m")));
+  std::size_t received = 0;
+  std::vector<bool> seen(kMessages, false);
+  while (received < kMessages) {
+    std::optional<Incoming> incoming = comm->recv(500ms);
+    ASSERT_TRUE(incoming.has_value()) << "after " << received << " messages";
+    ASSERT_LT(incoming->message.tag, kMessages);
+    EXPECT_FALSE(seen[incoming->message.tag]);
+    seen[incoming->message.tag] = true;
+    ++received;
+  }
+  comm->shutdown();
+  EXPECT_EQ(worker_received.load(), kMessages);
+}
+
+}  // namespace
+}  // namespace wlsms::comm

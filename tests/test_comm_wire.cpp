@@ -1,0 +1,254 @@
+// Round-trip property tests for the comm wire protocol (comm/wire): random
+// configurations survive encode/decode bit-exactly, and truncated or
+// corrupted buffers always throw SerializationError — under asan-ubsan this
+// doubles as a proof the decoder cannot read out of bounds or crash.
+#include "comm/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "spin/serialize.hpp"
+
+namespace wlsms::comm {
+namespace {
+
+using serial::SerializationError;
+
+bool same_bits(const Vec3& a, const Vec3& b) {
+  return std::memcmp(&a, &b, sizeof(Vec3)) == 0;
+}
+
+spin::MomentConfiguration random_config(std::size_t n, Rng& rng) {
+  return spin::MomentConfiguration::random(n, rng);
+}
+
+// ---- round trips ----------------------------------------------------------
+
+TEST(CommWire, ShardRequestFullRoundTripIsBitExact) {
+  Rng rng(101);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.uniform_index(40);
+    ShardRequest request;
+    request.ticket = rng.next();
+    request.attempt = static_cast<std::uint32_t>(rng.uniform_index(1u << 30));
+    request.walker = rng.uniform_index(64);
+    request.first_atom = rng.uniform_index(n);
+    request.n_shard_atoms = 1 + rng.uniform_index(n - request.first_atom);
+    request.kind = ShardRequest::ConfigKind::kFull;
+    request.full = random_config(n, rng);
+
+    const ShardRequest back = decode_shard_request(encode_shard_request(request));
+    EXPECT_EQ(back.ticket, request.ticket);
+    EXPECT_EQ(back.attempt, request.attempt);
+    EXPECT_EQ(back.walker, request.walker);
+    EXPECT_EQ(back.first_atom, request.first_atom);
+    EXPECT_EQ(back.n_shard_atoms, request.n_shard_atoms);
+    EXPECT_EQ(back.kind, ShardRequest::ConfigKind::kFull);
+    EXPECT_EQ(back.n_total_atoms, n);
+    ASSERT_EQ(back.full.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_TRUE(same_bits(back.full[i], request.full[i]));
+  }
+}
+
+TEST(CommWire, ShardRequestDeltaRoundTrip) {
+  Rng rng(102);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 2 + rng.uniform_index(40);
+    ShardRequest request;
+    request.ticket = rng.next();
+    request.attempt = 3;
+    request.walker = 1;
+    request.first_atom = 0;
+    request.n_shard_atoms = n;
+    request.kind = ShardRequest::ConfigKind::kDelta;
+    request.n_total_atoms = n;
+    const std::size_t n_moved = rng.uniform_index(n);
+    for (std::size_t k = 0; k < n_moved; ++k)
+      request.moved_sites.push_back({rng.uniform_index(n), rng.unit_vector()});
+
+    const ShardRequest back = decode_shard_request(encode_shard_request(request));
+    EXPECT_EQ(back.kind, ShardRequest::ConfigKind::kDelta);
+    EXPECT_EQ(back.n_total_atoms, n);
+    ASSERT_EQ(back.moved_sites.size(), request.moved_sites.size());
+    for (std::size_t k = 0; k < n_moved; ++k) {
+      EXPECT_EQ(back.moved_sites[k].site, request.moved_sites[k].site);
+      EXPECT_TRUE(same_bits(back.moved_sites[k].direction,
+                            request.moved_sites[k].direction));
+    }
+  }
+}
+
+TEST(CommWire, ShardResultRoundTripIsBitExact) {
+  Rng rng(103);
+  for (int round = 0; round < 20; ++round) {
+    ShardResult result;
+    result.ticket = rng.next();
+    result.attempt = static_cast<std::uint32_t>(rng.uniform_index(100));
+    result.first_atom = rng.uniform_index(100);
+    const std::size_t n = 1 + rng.uniform_index(64);
+    for (std::size_t k = 0; k < n; ++k)
+      result.energies.push_back(rng.uniform(-10.0, 10.0));
+
+    const ShardResult back = decode_shard_result(encode_shard_result(result));
+    EXPECT_EQ(back.ticket, result.ticket);
+    EXPECT_EQ(back.attempt, result.attempt);
+    EXPECT_EQ(back.first_atom, result.first_atom);
+    ASSERT_EQ(back.energies.size(), n);
+    for (std::size_t k = 0; k < n; ++k)
+      EXPECT_EQ(back.energies[k], result.energies[k]);
+  }
+}
+
+TEST(CommWire, EnergyRequestAndResultRoundTrip) {
+  Rng rng(104);
+  wl::EnergyRequest request;
+  request.walker = 5;
+  request.ticket = 77;
+  request.config = random_config(16, rng);
+  const wl::EnergyRequest req_back =
+      decode_energy_request(encode_energy_request(request));
+  EXPECT_EQ(req_back.walker, request.walker);
+  EXPECT_EQ(req_back.ticket, request.ticket);
+  ASSERT_EQ(req_back.config.size(), request.config.size());
+  for (std::size_t i = 0; i < request.config.size(); ++i)
+    EXPECT_TRUE(same_bits(req_back.config[i], request.config[i]));
+
+  wl::EnergyResult result{3, 42, -1.25, true};
+  const wl::EnergyResult res_back =
+      decode_energy_result(encode_energy_result(result));
+  EXPECT_EQ(res_back.walker, result.walker);
+  EXPECT_EQ(res_back.ticket, result.ticket);
+  EXPECT_EQ(res_back.energy, result.energy);
+  EXPECT_EQ(res_back.failed, result.failed);
+}
+
+TEST(CommWire, MomentCodecNeverRenormalizes) {
+  // The direction (1, 1, 1)/sqrt(3) does not renormalize to itself bitwise;
+  // the codec must hand back exactly what was sent.
+  Rng rng(105);
+  const spin::MomentConfiguration config = random_config(8, rng);
+  serial::Encoder encoder;
+  spin::encode_moments(encoder, config);
+  serial::Decoder decoder(encoder.bytes());
+  const spin::MomentConfiguration back = spin::decode_moments(decoder);
+  ASSERT_EQ(back.size(), config.size());
+  for (std::size_t i = 0; i < config.size(); ++i)
+    EXPECT_TRUE(same_bits(back[i], config[i]));
+}
+
+// ---- truncation / corruption ---------------------------------------------
+
+TEST(CommWire, EveryTruncationThrows) {
+  Rng rng(106);
+  ShardRequest request;
+  request.ticket = 9;
+  request.attempt = 1;
+  request.walker = 0;
+  request.first_atom = 0;
+  request.n_shard_atoms = 4;
+  request.kind = ShardRequest::ConfigKind::kFull;
+  request.full = random_config(4, rng);
+  const std::vector<std::byte> bytes = encode_shard_request(request);
+
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::byte> truncated(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(cut));
+    EXPECT_THROW(decode_shard_request(truncated), SerializationError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(CommWire, RandomCorruptionThrowsOrDecodesButNeverCrashes) {
+  // Flip bytes all over valid buffers: the decoder must either throw
+  // SerializationError or produce a (possibly different) valid object —
+  // anything else (crash, OOB read under asan, uncaught bad_alloc from a
+  // hostile count) fails the test run.
+  Rng rng(107);
+  ShardResult result;
+  result.ticket = 1;
+  result.attempt = 2;
+  result.first_atom = 0;
+  for (int k = 0; k < 8; ++k) result.energies.push_back(0.5 * k);
+  const std::vector<std::byte> bytes = encode_shard_result(result);
+
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::byte> corrupt = bytes;
+    const std::size_t where = rng.uniform_index(corrupt.size());
+    corrupt[where] ^= static_cast<std::byte>(1 + rng.uniform_index(255));
+    try {
+      (void)decode_shard_result(corrupt);
+    } catch (const SerializationError&) {
+      // expected for most flips
+    }
+  }
+}
+
+TEST(CommWire, DeltaWithOutOfRangeSiteThrows) {
+  ShardRequest request;
+  request.ticket = 1;
+  request.attempt = 1;
+  request.walker = 0;
+  request.first_atom = 0;
+  request.n_shard_atoms = 4;
+  request.kind = ShardRequest::ConfigKind::kDelta;
+  request.n_total_atoms = 4;
+  request.moved_sites.push_back({99, Vec3{0.0, 0.0, 1.0}});
+  EXPECT_THROW(decode_shard_request(encode_shard_request(request)),
+               SerializationError);
+}
+
+TEST(CommWire, ZeroDirectionThrows) {
+  ShardRequest request;
+  request.ticket = 1;
+  request.attempt = 1;
+  request.walker = 0;
+  request.first_atom = 0;
+  request.n_shard_atoms = 2;
+  request.kind = ShardRequest::ConfigKind::kDelta;
+  request.n_total_atoms = 2;
+  request.moved_sites.push_back({0, Vec3{0.0, 0.0, 0.0}});
+  EXPECT_THROW(decode_shard_request(encode_shard_request(request)),
+               SerializationError);
+}
+
+TEST(CommWire, BadAtomRangeThrows) {
+  Rng rng(108);
+  ShardRequest request;
+  request.ticket = 1;
+  request.attempt = 1;
+  request.walker = 0;
+  request.first_atom = 3;
+  request.n_shard_atoms = 5;  // 3 + 5 > 4 atoms
+  request.kind = ShardRequest::ConfigKind::kFull;
+  request.full = random_config(4, rng);
+  EXPECT_THROW(decode_shard_request(encode_shard_request(request)),
+               SerializationError);
+}
+
+TEST(CommWire, EmptyShardResultRejected) {
+  ShardResult result;
+  result.ticket = 1;
+  result.attempt = 1;
+  result.first_atom = 0;
+  // encode an empty energy list by hand (the encoder would happily write it)
+  EXPECT_THROW(decode_shard_result(encode_shard_result(result)),
+               SerializationError);
+}
+
+TEST(CommWire, WrongPayloadKindRejectedAcrossCodecs) {
+  Rng rng(109);
+  wl::EnergyRequest request;
+  request.walker = 0;
+  request.ticket = 1;
+  request.config = random_config(4, rng);
+  const std::vector<std::byte> bytes = encode_energy_request(request);
+  EXPECT_THROW(decode_shard_request(bytes), SerializationError);
+  EXPECT_THROW(decode_shard_result(bytes), SerializationError);
+  EXPECT_THROW(decode_energy_result(bytes), SerializationError);
+}
+
+}  // namespace
+}  // namespace wlsms::comm

@@ -146,5 +146,25 @@ TEST(FailureInjection, InvalidProbabilityThrows) {
   EXPECT_THROW(FailureInjectingService(inner, -0.1, Rng(1)), ContractError);
 }
 
+TEST(AsyncEnergyService, RetrieveWithoutOutstandingThrows) {
+  const wl::HeisenbergEnergy energy = fe16_energy();
+  AsyncEnergyService service(energy, 2);
+  EXPECT_THROW(service.retrieve(), Error);
+  Rng rng(11);
+  service.submit({0, 1, spin::MomentConfiguration::random(16, rng)});
+  (void)service.retrieve();
+  EXPECT_THROW(service.retrieve(), Error);
+}
+
+TEST(FailureInjection, RetrieveWithoutOutstandingThrows) {
+  const wl::HeisenbergEnergy energy = fe16_energy();
+  wl::SynchronousEnergyService inner(energy);
+  FailureInjectingService service(inner, 0.5, Rng(12));
+  // Empty both ways: no failure notices pending and nothing in the inner
+  // service — forwarding blindly would violate the inner contract instead
+  // of this one.
+  EXPECT_THROW(service.retrieve(), Error);
+}
+
 }  // namespace
 }  // namespace wlsms::parallel

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "common/serial.hpp"
 
 namespace wlsms::wl {
 namespace {
@@ -47,11 +48,13 @@ TEST(Checkpoint, StreamRoundTripPreservesEverything) {
   EXPECT_EQ(loaded.histogram, original.histogram);
   EXPECT_EQ(loaded.visited, original.visited);
   ASSERT_EQ(loaded.walkers.size(), original.walkers.size());
+  // The binary schema stores raw IEEE-754 bytes and deserialization never
+  // renormalizes, so walker round trips are exact to the last bit.
   for (std::size_t w = 0; w < loaded.walkers.size(); ++w)
     for (std::size_t i = 0; i < loaded.walkers[w].size(); ++i) {
-      EXPECT_NEAR(loaded.walkers[w][i].x, original.walkers[w][i].x, 1e-15);
-      EXPECT_NEAR(loaded.walkers[w][i].y, original.walkers[w][i].y, 1e-15);
-      EXPECT_NEAR(loaded.walkers[w][i].z, original.walkers[w][i].z, 1e-15);
+      EXPECT_EQ(loaded.walkers[w][i].x, original.walkers[w][i].x);
+      EXPECT_EQ(loaded.walkers[w][i].y, original.walkers[w][i].y);
+      EXPECT_EQ(loaded.walkers[w][i].z, original.walkers[w][i].z);
     }
 }
 
@@ -73,12 +76,35 @@ TEST(Checkpoint, RestoreDosRebuildsEstimate) {
 }
 
 TEST(Checkpoint, BadMagicRejected) {
-  std::stringstream stream("not-a-checkpoint 1\n");
-  EXPECT_THROW(read_checkpoint(stream), CheckpointError);
+  const Checkpoint original = sample_checkpoint();
+  std::stringstream stream;
+  write_checkpoint(stream, original);
+  std::string bytes = stream.str();
+  bytes[0] ^= 0x5a;  // corrupt the shared-schema magic
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_checkpoint(corrupted), CheckpointError);
 }
 
 TEST(Checkpoint, WrongVersionRejected) {
-  std::stringstream stream("wlsms-checkpoint 999\n");
+  // A header from schema version 999: correct magic and payload kind, but a
+  // version this build does not speak.
+  serial::Encoder encoder;
+  encoder.put_u32(serial::kMagic);
+  encoder.put_u32(999);
+  encoder.put_u32(static_cast<std::uint32_t>(serial::PayloadKind::kCheckpoint));
+  const std::vector<std::byte> bytes = encoder.take();
+  std::stringstream stream(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  EXPECT_THROW(read_checkpoint(stream), CheckpointError);
+}
+
+TEST(Checkpoint, WrongPayloadKindRejected) {
+  // A valid header that announces a moment configuration, not a checkpoint.
+  serial::Encoder encoder;
+  serial::write_header(encoder, serial::PayloadKind::kMomentConfiguration);
+  const std::vector<std::byte> bytes = encoder.take();
+  std::stringstream stream(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
   EXPECT_THROW(read_checkpoint(stream), CheckpointError);
 }
 

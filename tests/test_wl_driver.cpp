@@ -209,7 +209,21 @@ TEST(EnergyService, ReorderedEnergiesAreStillCorrect) {
 TEST(EnergyService, RetrieveWithoutOutstandingThrows) {
   HeisenbergEnergy energy = fe16_energy();
   SynchronousEnergyService service(energy);
+  // Every EnergyService throws a wlsms::Error on an empty retrieve; the
+  // concrete type here is the contract violation.
   EXPECT_THROW(service.retrieve(), ContractError);
+  EXPECT_THROW(service.retrieve(), Error);
+}
+
+TEST(EnergyService, ReorderingRetrieveWithoutOutstandingThrows) {
+  HeisenbergEnergy energy = fe16_energy();
+  ReorderingEnergyService service(energy, Rng(5));
+  EXPECT_THROW(service.retrieve(), Error);
+  // Draining exactly what was submitted re-arms the contract.
+  Rng rng(6);
+  service.submit({0, 1, spin::MomentConfiguration::random(16, rng)});
+  (void)service.retrieve();
+  EXPECT_THROW(service.retrieve(), Error);
 }
 
 }  // namespace
