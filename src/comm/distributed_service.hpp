@@ -117,6 +117,11 @@ class DistributedEnergyService final : public wl::EnergyService {
   /// moved-site delta scatter is encoded against.
   std::vector<std::unordered_map<std::uint64_t, std::vector<Vec3>>> sent_;
 
+  /// Per-rank flag: this rank's death was already counted in the
+  /// comm.rank_deaths metric (on_rank_death can fire more than once for
+  /// one rank — observed death, then heartbeat sweep).
+  std::vector<std::uint8_t> death_counted_;
+
   std::deque<wl::EnergyRequest> waiting_;  ///< submitted, no free group yet
   std::deque<wl::EnergyResult> done_;      ///< completed, not yet retrieved
   std::size_t outstanding_ = 0;

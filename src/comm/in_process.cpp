@@ -14,6 +14,7 @@
 
 #include "comm/communicator.hpp"
 #include "common/error.hpp"
+#include "common/logging.hpp"
 
 namespace wlsms::comm {
 
@@ -148,6 +149,8 @@ std::uint64_t InProcessCommunicator::millis_since_heard(
 void InProcessCommunicator::kill(std::size_t rank) {
   WLSMS_EXPECTS(rank < ranks_.size());
   Rank& target = *ranks_[rank];
+  if (target.alive.load())
+    log_debug("comm: closing in-process rank ", rank, "'s queues (kill)");
   {
     const std::scoped_lock lock(target.mutex);
     target.closed = true;

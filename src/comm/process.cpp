@@ -27,6 +27,7 @@
 
 #include "comm/communicator.hpp"
 #include "common/error.hpp"
+#include "common/logging.hpp"
 
 namespace wlsms::comm {
 
@@ -341,6 +342,9 @@ void ProcessCommunicator::mark_dead(std::size_t rank) {
   Rank& target = ranks_[rank];
   if (!target.alive) return;
   target.alive = false;
+  if (!shut_down_)
+    log_debug("comm: process rank ", rank, " (pid ", target.pid,
+              ") endpoint closed; marking dead");
   if (target.fd >= 0) {
     ::close(target.fd);
     target.fd = -1;
@@ -368,6 +372,8 @@ void ProcessCommunicator::reap(std::size_t rank, bool force) {
 void ProcessCommunicator::kill(std::size_t rank) {
   WLSMS_EXPECTS(rank < ranks_.size());
   Rank& target = ranks_[rank];
+  if (target.alive)
+    log_debug("comm: SIGKILL process rank ", rank, " (pid ", target.pid, ")");
   if (target.pid >= 0 && !target.reaped) {
     ::kill(target.pid, SIGKILL);
     (void)::waitpid(target.pid, nullptr, 0);

@@ -1,21 +1,46 @@
 #include "common/logging.hpp"
 
+#include <pthread.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
 namespace wlsms {
 
 namespace {
+
 std::atomic<LogLevel>& level_slot() {
   static std::atomic<LogLevel> level{LogLevel::kWarn};
   return level;
 }
+
 std::mutex& emit_mutex() {
-  static std::mutex m;
-  return m;
+  // The process transport fork()s worker ranks; hold the mutex across the
+  // fork so a child never inherits it locked by a vanished thread.
+  static std::mutex* m = [] {
+    static std::mutex mutex;
+    pthread_atfork([] { mutex.lock(); }, [] { mutex.unlock(); },
+                   [] { mutex.unlock(); });
+    return &mutex;
+  }();
+  return *m;
 }
-const char* level_name(LogLevel level) {
+
+std::chrono::steady_clock::time_point log_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { level_slot().store(level); }
+
+LogLevel log_level() { return level_slot().load(); }
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "debug";
@@ -29,16 +54,45 @@ const char* level_name(LogLevel level) {
       return "off";
   }
 }
-}  // namespace
 
-void set_log_level(LogLevel level) { level_slot().store(level); }
-
-LogLevel log_level() { return level_slot().load(); }
+bool parse_log_level(std::string_view text, LogLevel& out) {
+  if (text == "debug")
+    out = LogLevel::kDebug;
+  else if (text == "info")
+    out = LogLevel::kInfo;
+  else if (text == "warn")
+    out = LogLevel::kWarn;
+  else if (text == "error")
+    out = LogLevel::kError;
+  else if (text == "off")
+    out = LogLevel::kOff;
+  else
+    return false;
+  return true;
+}
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
+  // Render the whole record first so one fwrite emits it: interleaved
+  // worker-rank processes share stderr, and partial lines from two ranks
+  // must never splice. Timestamps use a process-local monotonic clock —
+  // wall time can step, which would scramble the narration of a failover.
+  const double t_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - log_epoch())
+                          .count();
+  char prefix[64];
+  const int prefix_len =
+      std::snprintf(prefix, sizeof prefix, "[wlsms %12.3f %-5s] ", t_ms,
+                    log_level_name(level));
+  std::string record;
+  record.reserve(static_cast<std::size_t>(prefix_len) + message.size() + 1);
+  record.append(prefix, static_cast<std::size_t>(prefix_len));
+  record += message;
+  record += '\n';
+
   const std::scoped_lock lock(emit_mutex());
-  std::fprintf(stderr, "[wlsms:%s] %s\n", level_name(level), message.c_str());
+  std::fwrite(record.data(), 1, record.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace wlsms

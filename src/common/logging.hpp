@@ -7,6 +7,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace wlsms {
 
@@ -18,15 +19,29 @@ void set_log_level(LogLevel level);
 /// Current global level.
 LogLevel log_level();
 
-/// Emits `message` to stderr if `level` passes the global threshold.
+/// Short lowercase name of a level ("debug", "info", "warn", "error", "off").
+const char* log_level_name(LogLevel level);
+
+/// Parses one of the log_level_name strings; returns false (leaving `out`
+/// untouched) on anything else.
+bool parse_log_level(std::string_view text, LogLevel& out);
+
+/// Emits `message` to stderr if `level` passes the global threshold. The
+/// whole record — a monotonic-timestamp + level prefix and the message — is
+/// written with a single write under one mutex, so concurrent ranks and
+/// threads never interleave partial lines.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {
 template <typename... Args>
 std::string concat(Args&&... args) {
-  std::ostringstream os;
-  (os << ... << args);
-  return os.str();
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
 }
 }  // namespace detail
 
@@ -46,6 +61,12 @@ template <typename... Args>
 void log_debug(Args&&... args) {
   if (log_level() <= LogLevel::kDebug)
     log_message(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
 }
 
 }  // namespace wlsms

@@ -2,17 +2,41 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "perf/flops.hpp"
 
 namespace wlsms::linalg {
 
 namespace {
+
+// Pool-granularity telemetry only: one bookkeeping touch per run() and one
+// per worker wake-up. The microkernel and packing loops stay uninstrumented
+// (flop accounting already happens once per zgemm call via perf::add_flops).
+struct GemmPoolMetrics {
+  obs::Counter& pool_runs;
+  obs::Counter& pool_tasks;
+  obs::Gauge& queue_depth;
+  obs::Histogram& task_wait_us;
+};
+
+GemmPoolMetrics& gemm_pool_metrics() {
+  static GemmPoolMetrics metrics{
+      obs::Registry::instance().counter("gemm.pool_runs"),
+      obs::Registry::instance().counter("gemm.pool_tasks"),
+      obs::Registry::instance().gauge("gemm.pool_queue_depth"),
+      obs::Registry::instance().histogram(
+          "gemm.task_wait_us",
+          {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0}),
+  };
+  return metrics;
+}
 
 // ---------------------------------------------------------------------------
 // Blocking parameters.
@@ -49,6 +73,10 @@ class GemmPool {
   // the pool threads claim the rest. Serializes concurrent callers.
   void run(std::size_t n_tasks, const std::function<void(std::size_t)>& fn) {
     std::lock_guard<std::mutex> serial(run_mutex_);
+    GemmPoolMetrics& metrics = gemm_pool_metrics();
+    metrics.pool_runs.inc();
+    metrics.pool_tasks.add(n_tasks);
+    metrics.queue_depth.set(static_cast<double>(n_tasks - 1));
     ensure_workers(n_tasks - 1);
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -56,6 +84,7 @@ class GemmPool {
       next_task_ = 1;
       n_tasks_ = n_tasks;
       remaining_ = n_tasks - 1;
+      run_start_ = std::chrono::steady_clock::now();
       ++generation_;
     }
     wake_.notify_all();
@@ -63,6 +92,7 @@ class GemmPool {
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [this] { return remaining_ == 0; });
     job_ = nullptr;
+    metrics.queue_depth.set(0.0);
   }
 
  private:
@@ -108,10 +138,20 @@ class GemmPool {
       std::size_t executed = 0;
       for (;;) {
         std::size_t t;
+        std::chrono::steady_clock::time_point started{};
         {
           std::lock_guard<std::mutex> lock(mutex_);
           if (generation_ != seen_generation || next_task_ >= n_tasks_) break;
           t = next_task_++;
+          started = run_start_;
+        }
+        if (executed == 0) {
+          // Dispatch latency of this worker's first claim: notify-to-claim,
+          // one histogram touch per worker per run.
+          gemm_pool_metrics().task_wait_us.observe(
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - started)
+                  .count());
         }
         (*job)(t);
         ++executed;
@@ -137,6 +177,7 @@ class GemmPool {
   std::size_t n_tasks_ = 0;
   std::size_t remaining_ = 0;
   std::uint64_t generation_ = 0;
+  std::chrono::steady_clock::time_point run_start_{};
   bool stopping_ = false;
 };
 

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "linalg/lu.hpp"
+#include "obs/trace.hpp"
 #include "perf/flops.hpp"
 
 namespace wlsms::lsms {
@@ -17,6 +18,7 @@ LsmsSolver::LsmsSolver(lattice::Structure structure, LsmsParameters params)
       contour_(semicircle_contour(params.scattering.band_bottom,
                                   params.scattering.fermi_energy,
                                   params.contour_points)) {
+  const obs::Span span("lsms.build_solver");
   const std::size_t n = structure_.size();
   lizs_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
@@ -61,6 +63,7 @@ LsmsSolver::LsmsSolver(lattice::Structure structure, LsmsParameters params)
 
 void LsmsSolver::refresh_t_table(const spin::MomentConfiguration& moments,
                                  std::vector<spin::Spin2x2>& out) const {
+  const obs::Span span("lsms.t_table_refresh");
   const std::size_t n_points = contour_.size();
   std::lock_guard<std::mutex> lock(t_cache_mutex_);
   for (std::size_t i = 0; i < n_atoms(); ++i) {
@@ -114,6 +117,7 @@ double LsmsSolver::local_energy(std::size_t i,
 
 LocalEnergies LsmsSolver::energies(
     const spin::MomentConfiguration& moments) const {
+  const obs::Span span("lsms.energies");
   WLSMS_EXPECTS(moments.size() == n_atoms());
   std::vector<spin::Spin2x2> table;
   refresh_t_table(moments, table);
@@ -135,6 +139,7 @@ double LsmsSolver::energy(const spin::MomentConfiguration& moments) const {
 std::vector<double> LsmsSolver::shard_energies(
     const spin::MomentConfiguration& moments, std::size_t first,
     std::size_t count) const {
+  const obs::Span span("lsms.shard_solve");
   WLSMS_EXPECTS(moments.size() == n_atoms());
   WLSMS_EXPECTS(count >= 1);
   WLSMS_EXPECTS(first + count <= n_atoms());
@@ -155,6 +160,7 @@ const std::vector<std::size_t>& LsmsSolver::affected_sites(
 LocalEnergies LsmsSolver::energy_after_move(
     const spin::MomentConfiguration& moments, const spin::TrialMove& move,
     const LocalEnergies& current) const {
+  const obs::Span span("lsms.energy_after_move");
   WLSMS_EXPECTS(moments.size() == n_atoms());
   WLSMS_EXPECTS(current.per_atom.size() == n_atoms());
   WLSMS_EXPECTS(move.site < n_atoms());

@@ -1,0 +1,371 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wlsms::obs {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw JsonError(std::string("JSON value is not a ") + wanted);
+}
+
+void append_utf8(std::string& out, std::uint32_t code_point) {
+  if (code_point < 0x80) {
+    out.push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else if (code_point < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size())
+      throw JsonError("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) throw JsonError("unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c)
+      throw JsonError(std::string("expected '") + c + "' in JSON");
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        throw JsonError("malformed literal in JSON");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        throw JsonError("malformed literal in JSON");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        throw JsonError("malformed literal in JSON");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object object;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(object));
+    }
+    while (true) {
+      if (peek() != '"') throw JsonError("object key must be a string");
+      std::string key = parse_string();
+      expect(':');
+      object.emplace(std::move(key), parse_value());
+      const char next = take();
+      if (next == '}') return JsonValue(std::move(object));
+      if (next != ',') throw JsonError("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array array;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value());
+      const char next = take();
+      if (next == ']') return JsonValue(std::move(array));
+      if (next != ',') throw JsonError("expected ',' or ']' in array");
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) throw JsonError("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9')
+        value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        throw JsonError("bad hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) throw JsonError("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) throw JsonError("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          std::uint32_t code_point = parse_hex4();
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              throw JsonError("unpaired surrogate in \\u escape");
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+              throw JsonError("invalid low surrogate in \\u escape");
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default:
+          throw JsonError("unknown escape in string");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_whitespace();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) throw JsonError("malformed number in JSON");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_value(const JsonValue& value, std::string& out);
+
+void dump_string(const std::string& text, std::string& out) {
+  out.push_back('"');
+  out += json_escape(text);
+  out.push_back('"');
+}
+
+void dump_value(const JsonValue& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    out += json_number(value.as_number());
+  } else if (value.is_string()) {
+    dump_string(value.as_string(), out);
+  } else if (value.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const JsonValue& entry : value.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_value(entry, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, entry] : value.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_string(key, out);
+      out.push_back(':');
+      dump_value(entry, out);
+    }
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+JsonValue::JsonValue(const JsonValue&) = default;
+JsonValue::JsonValue(JsonValue&&) noexcept = default;
+JsonValue& JsonValue::operator=(const JsonValue&) = default;
+JsonValue& JsonValue::operator=(JsonValue&&) noexcept = default;
+JsonValue::~JsonValue() = default;
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) type_error("bool");
+  return std::get<bool>(value_);
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) type_error("number");
+  return std::get<double>(value_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) type_error("string");
+  return std::get<std::string>(value_);
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (!is_array()) type_error("array");
+  return std::get<Array>(value_);
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (!is_object()) type_error("object");
+  return std::get<Object>(value_);
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const Object& object = as_object();
+  const auto it = object.find(key);
+  if (it == object.end()) throw JsonError("missing JSON key '" + key + "'");
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  const Object& object = as_object();
+  return object.count(key) > 0;
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no Inf/NaN
+  char buffer[32];
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  }
+  return buffer;
+}
+
+}  // namespace wlsms::obs

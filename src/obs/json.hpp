@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON value, writer, and parser — just enough for the telemetry
+/// artifacts (Chrome traces, JSONL snapshots, BENCH_*.json) to be produced
+/// and round-tripped without an external dependency. Numbers are doubles;
+/// integers up to 2^53 round-trip exactly and are printed without a
+/// fractional part.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace wlsms::obs {
+
+/// Thrown by JsonValue::parse on malformed input.
+class JsonError : public Error {
+ public:
+  explicit JsonError(const std::string& what) : Error(what) {}
+};
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}
+  explicit JsonValue(std::nullptr_t) : value_(nullptr) {}
+  explicit JsonValue(bool b) : value_(b) {}
+  explicit JsonValue(double number) : value_(number) {}
+  explicit JsonValue(std::uint64_t number)
+      : value_(static_cast<double>(number)) {}
+  explicit JsonValue(std::string text) : value_(std::move(text)) {}
+  explicit JsonValue(Array array) : value_(std::move(array)) {}
+  explicit JsonValue(Object object) : value_(std::move(object)) {}
+
+  // Out-of-line special members: keeps the variant copy/move machinery in
+  // one translation unit (GCC 12's -Wmaybe-uninitialized misfires when it
+  // inlines std::variant's move path into every consumer).
+  JsonValue(const JsonValue&);
+  JsonValue(JsonValue&&) noexcept;
+  JsonValue& operator=(const JsonValue&);
+  JsonValue& operator=(JsonValue&&) noexcept;
+  ~JsonValue();
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw JsonError on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member access; throws JsonError when absent or not an object.
+  const JsonValue& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Serializes compactly (no insignificant whitespace).
+  std::string dump() const;
+
+  /// Parses one JSON document (must consume the whole input up to trailing
+  /// whitespace). Supports the full value grammar with \uXXXX escapes
+  /// (surrogate pairs included).
+  static JsonValue parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Escapes `text` for embedding in a JSON string literal (no quotes added).
+std::string json_escape(std::string_view text);
+
+/// Formats a double the way dump() does: integral values within the exact
+/// range print without a fraction, everything else with %.17g.
+std::string json_number(double value);
+
+}  // namespace wlsms::obs

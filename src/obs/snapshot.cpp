@@ -1,0 +1,144 @@
+#include "obs/snapshot.hpp"
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace wlsms::obs {
+
+namespace {
+
+const char* kKernelNames[perf::kKernelCount] = {"zgemm", "trsm", "panel",
+                                                "other"};
+
+JsonValue histogram_json(const HistogramSnapshot& histogram) {
+  JsonValue::Object object;
+  JsonValue::Array bounds;
+  for (double bound : histogram.upper_bounds)
+    bounds.push_back(JsonValue(bound));
+  JsonValue::Array counts;
+  for (std::uint64_t count : histogram.counts)
+    counts.push_back(JsonValue(count));
+  object.emplace("bounds", JsonValue(std::move(bounds)));
+  object.emplace("counts", JsonValue(std::move(counts)));
+  object.emplace("count", JsonValue(histogram.total));
+  object.emplace("sum", JsonValue(histogram.sum));
+  object.emplace("mean",
+                 JsonValue(histogram.total > 0
+                               ? histogram.sum /
+                                     static_cast<double>(histogram.total)
+                               : 0.0));
+  return JsonValue(std::move(object));
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(SnapshotConfig config)
+    : config_(std::move(config)) {
+  WLSMS_EXPECTS(config_.interval.count() > 0);
+  file_ = std::fopen(config_.path.c_str(), "w");
+  if (file_ == nullptr)
+    throw Error("cannot open metrics output '" + config_.path + "'");
+  start_ = Clock::now();
+  last_time_ = start_;
+  last_total_flops_ = perf::total_flops();
+  for (std::size_t k = 0; k < perf::kKernelCount; ++k)
+    run_start_flops_[k] = perf::total_flops(static_cast<perf::Kernel>(k));
+  write_record("start");
+  thread_ = std::thread([this] { writer_loop(); });
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  {
+    const std::scoped_lock lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  write_record("final");
+  std::fclose(file_);
+}
+
+void SnapshotWriter::writer_loop() {
+  std::unique_lock lock(stop_mutex_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(lock, config_.interval,
+                          [this] { return stopping_; }))
+      return;  // final record is written by the destructor
+    lock.unlock();
+    write_record("interval");
+    lock.lock();
+  }
+}
+
+void SnapshotWriter::write_record(const char* reason) {
+  const std::scoped_lock lock(write_mutex_);
+  const std::string record = render_record(reason);
+  // One fwrite per record keeps lines whole even if another process shares
+  // the file descriptor; flush so `tail -f` follows a live run.
+  std::fwrite(record.data(), 1, record.size(), file_);
+  std::fflush(file_);
+}
+
+std::string SnapshotWriter::render_record(const char* reason) {
+  const Clock::time_point now = Clock::now();
+  const MetricsSnapshot metrics = Registry::instance().snapshot();
+
+  JsonValue::Object root;
+  root.emplace(
+      "t_ms",
+      JsonValue(std::chrono::duration<double, std::milli>(now - start_)
+                    .count()));
+  root.emplace("reason", JsonValue(std::string(reason)));
+
+  JsonValue::Object counters;
+  for (const auto& [name, value] : metrics.counters)
+    counters.emplace(name, JsonValue(value));
+  root.emplace("counters", JsonValue(std::move(counters)));
+
+  JsonValue::Object gauges;
+  for (const auto& [name, value] : metrics.gauges)
+    gauges.emplace(name, JsonValue(value));
+  root.emplace("gauges", JsonValue(std::move(gauges)));
+
+  JsonValue::Object histograms;
+  for (const auto& [name, histogram] : metrics.histograms)
+    histograms.emplace(name, histogram_json(histogram));
+  root.emplace("histograms", JsonValue(std::move(histograms)));
+
+  // Per-kernel flop counters (the PAPI FP_OPS analogue, process lifetime)
+  // plus the derived rates the paper reports: sustained Flop/s since the
+  // previous record and the ZGEMM share since the writer started (§II-B:
+  // "the bulk of the calculation is done by ZGEMM").
+  JsonValue::Object flops;
+  std::uint64_t total = 0;
+  std::uint64_t window_total = 0;
+  std::uint64_t window_gemm = 0;
+  for (std::size_t k = 0; k < perf::kKernelCount; ++k) {
+    const std::uint64_t value =
+        perf::total_flops(static_cast<perf::Kernel>(k));
+    flops.emplace(kKernelNames[k], JsonValue(value));
+    total += value;
+    window_total += value - run_start_flops_[k];
+    if (static_cast<perf::Kernel>(k) == perf::Kernel::kZgemm)
+      window_gemm = value - run_start_flops_[k];
+  }
+  flops.emplace("total", JsonValue(total));
+  root.emplace("flops", JsonValue(std::move(flops)));
+
+  const double dt = std::chrono::duration<double>(now - last_time_).count();
+  const double rate =
+      dt > 0.0 ? static_cast<double>(total - last_total_flops_) / dt : 0.0;
+  last_time_ = now;
+  last_total_flops_ = total;
+  root.emplace("flops_per_s", JsonValue(rate));
+  root.emplace("gemm_fraction",
+               JsonValue(window_total > 0
+                             ? static_cast<double>(window_gemm) /
+                                   static_cast<double>(window_total)
+                             : 0.0));
+
+  return JsonValue(std::move(root)).dump() + "\n";
+}
+
+}  // namespace wlsms::obs

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Run-health snapshots: a background thread that periodically serializes
+/// the metrics registry — plus the per-kernel flop counters of src/perf and
+/// the derived Flop/s and gemm_fraction, the paper's Table II observables —
+/// to JSON Lines. One JSON object per line, timestamped with the writer's
+/// monotonic clock; a final summary record (reason "final") is written when
+/// the writer is destroyed, so even a crashed-early run leaves a parseable
+/// stream with a terminal aggregate.
+///
+/// Snapshot record schema (all fields always present):
+///   t_ms           milliseconds since the writer started
+///   reason         "start" | "interval" | <caller tag> | "final"
+///   counters       { name: integer, ... }
+///   gauges         { name: number, ... }
+///   histograms     { name: {bounds:[...], counts:[...], count, sum, mean} }
+///   flops          { zgemm, trsm, panel, other, total }  (process lifetime)
+///   flops_per_s    total-flop rate since the previous record
+///   gemm_fraction  ZGEMM share of flops retired since the writer started
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "perf/flops.hpp"
+
+namespace wlsms::obs {
+
+struct SnapshotConfig {
+  std::string path;  ///< JSONL output file (truncated on open)
+  std::chrono::milliseconds interval{1000};
+};
+
+/// Periodic JSONL exporter of the registry + flop counters.
+class SnapshotWriter {
+ public:
+  /// Opens `config.path`, writes a "start" record, and launches the
+  /// background thread. Throws wlsms::Error if the file cannot be opened.
+  explicit SnapshotWriter(SnapshotConfig config);
+
+  /// Stops the thread and writes the "final" summary record.
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Serializes one record immediately (in the calling thread), tagged with
+  /// `reason`. Safe to call concurrently with the background thread.
+  void write_record(const char* reason);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void writer_loop();
+  std::string render_record(const char* reason);
+
+  SnapshotConfig config_;
+  std::FILE* file_ = nullptr;
+  Clock::time_point start_;
+
+  std::mutex write_mutex_;  ///< serializes render (rate state) + fwrite
+  Clock::time_point last_time_;
+  std::uint64_t last_total_flops_ = 0;
+  std::array<std::uint64_t, perf::kKernelCount> run_start_flops_{};
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace wlsms::obs

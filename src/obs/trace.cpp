@@ -1,0 +1,250 @@
+#include "obs/trace.hpp"
+
+#include <pthread.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace wlsms::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One thread's event buffer. The ring (buf/next/size/dropped) is shared
+// with collectors and guarded by `mutex`; the span stack and id counter are
+// touched only by the owning thread.
+struct ThreadRing {
+  std::mutex mutex;
+  std::vector<TraceEvent> buf;
+  std::size_t capacity = 0;
+  std::size_t next = 0;  ///< slot the next event lands in (== oldest when full)
+  std::size_t size = 0;
+  std::uint64_t dropped = 0;
+
+  std::uint32_t tid = 0;
+  std::uint64_t next_local_id = 1;        ///< owner-thread only
+  std::vector<std::uint64_t> span_stack;  ///< owner-thread only
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::mutex mutex;  ///< guards rings registration and capacity
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::size_t capacity = kDefaultTraceRingCapacity;
+  Clock::time_point epoch = Clock::now();
+};
+
+TraceState& state() {
+  // Leaked for the same reason as the metrics registry: spans may run
+  // during static destruction of other translation units.
+  static TraceState* s = [] {
+    // Mirror metrics.cpp: hold the trace locks across fork() so a child
+    // worker rank never inherits a mutex locked by a vanished thread.
+    pthread_atfork(
+        [] {
+          state().mutex.lock();
+          for (std::unique_ptr<ThreadRing>& ring : state().rings)
+            ring->mutex.lock();
+        },
+        [] {
+          for (std::unique_ptr<ThreadRing>& ring : state().rings)
+            ring->mutex.unlock();
+          state().mutex.unlock();
+        },
+        [] {
+          for (std::unique_ptr<ThreadRing>& ring : state().rings)
+            ring->mutex.unlock();
+          state().mutex.unlock();
+        });
+    return new TraceState();
+  }();
+  return *s;
+}
+
+thread_local ThreadRing* tl_ring = nullptr;
+
+ThreadRing& ring_for_this_thread() {
+  if (tl_ring != nullptr) return *tl_ring;
+  TraceState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  s.rings.push_back(std::make_unique<ThreadRing>());
+  ThreadRing* ring = s.rings.back().get();
+  ring->capacity = s.capacity;
+  ring->buf.resize(ring->capacity);
+  ring->tid = static_cast<std::uint32_t>(s.rings.size());
+  tl_ring = ring;
+  return *ring;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            state().epoch)
+          .count());
+}
+
+Counter& dropped_counter() {
+  static Counter& counter =
+      Registry::instance().counter("trace.dropped_events");
+  return counter;
+}
+
+}  // namespace
+
+void enable_tracing(std::size_t ring_capacity) {
+  WLSMS_EXPECTS(ring_capacity >= 1);
+  TraceState& s = state();
+  {
+    const std::scoped_lock lock(s.mutex);
+    s.capacity = ring_capacity;
+  }
+  s.enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable_tracing() {
+  state().enabled.store(false, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) {
+  if (!state().enabled.load(std::memory_order_relaxed)) return;
+  ThreadRing& ring = ring_for_this_thread();
+  // Copy now, not at destruction: `name` may be the c_str() of a temporary
+  // that is gone before the span ends.
+  std::strncpy(name_, name, kTraceNameCapacity);
+  parent_ = ring.span_stack.empty() ? 0 : ring.span_stack.back();
+  // Ids are allocated per thread (tid in the high bits), so no global
+  // atomic sits on the span hot path.
+  id_ = (static_cast<std::uint64_t>(ring.tid) << 32) | ring.next_local_id++;
+  ring.span_stack.push_back(id_);
+  ring_ = &ring;
+  begin_us_ = now_us();
+}
+
+Span::~Span() {
+  if (ring_ == nullptr) return;
+  const std::uint64_t end = now_us();
+  ThreadRing& ring = *static_cast<ThreadRing*>(ring_);
+  // Spans are scoped objects: destruction order is LIFO per thread.
+  ring.span_stack.pop_back();
+
+  TraceEvent event;
+  std::memcpy(event.name, name_, sizeof name_);
+  event.begin_us = begin_us_;
+  event.dur_us = end - begin_us_;
+  event.tid = ring.tid;
+  event.id = id_;
+  event.parent = parent_;
+
+  bool dropped = false;
+  {
+    const std::scoped_lock lock(ring.mutex);
+    ring.buf[ring.next] = event;
+    ring.next = (ring.next + 1) % ring.capacity;
+    if (ring.size < ring.capacity) {
+      ++ring.size;
+    } else {
+      ++ring.dropped;  // the slot we just overwrote held the oldest event
+      dropped = true;
+    }
+  }
+  if (dropped) dropped_counter().inc();
+}
+
+std::vector<TraceEvent> collect_trace_events() {
+  std::vector<TraceEvent> events;
+  TraceState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  for (const std::unique_ptr<ThreadRing>& ring : s.rings) {
+    const std::scoped_lock ring_lock(ring->mutex);
+    const std::size_t oldest =
+        ring->size < ring->capacity ? 0 : ring->next;
+    for (std::size_t k = 0; k < ring->size; ++k)
+      events.push_back(ring->buf[(oldest + k) % ring->capacity]);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.begin_us != b.begin_us ? a.begin_us < b.begin_us
+                                              : a.id < b.id;
+            });
+  return events;
+}
+
+std::uint64_t dropped_trace_events() {
+  std::uint64_t total = 0;
+  TraceState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  for (const std::unique_ptr<ThreadRing>& ring : s.rings) {
+    const std::scoped_lock ring_lock(ring->mutex);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+void reset_trace_for_testing() {
+  TraceState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  for (const std::unique_ptr<ThreadRing>& ring : s.rings) {
+    const std::scoped_lock ring_lock(ring->mutex);
+    ring->next = 0;
+    ring->size = 0;
+    ring->dropped = 0;
+    // Capacity changes from a later enable_tracing() apply on reset too,
+    // so tests can shrink the ring of an already-registered thread.
+    if (ring->capacity != s.capacity) {
+      ring->capacity = s.capacity;
+      ring->buf.assign(ring->capacity, TraceEvent{});
+    }
+  }
+}
+
+void write_chrome_trace(const std::string& path) {
+  const std::vector<TraceEvent> events = collect_trace_events();
+
+  JsonValue::Array array;
+  array.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    JsonValue::Object entry;
+    entry.emplace("name", JsonValue(std::string(event.name)));
+    entry.emplace("cat", JsonValue(std::string("wlsms")));
+    entry.emplace("ph", JsonValue(std::string("X")));
+    entry.emplace("ts", JsonValue(static_cast<double>(event.begin_us)));
+    entry.emplace("dur", JsonValue(static_cast<double>(event.dur_us)));
+    entry.emplace("pid", JsonValue(0.0));
+    entry.emplace("tid", JsonValue(static_cast<double>(event.tid)));
+    JsonValue::Object args;
+    args.emplace("id", JsonValue(static_cast<double>(event.id)));
+    args.emplace("parent", JsonValue(static_cast<double>(event.parent)));
+    entry.emplace("args", JsonValue(std::move(args)));
+    array.push_back(JsonValue(std::move(entry)));
+  }
+  JsonValue::Object root;
+  root.emplace("traceEvents", JsonValue(std::move(array)));
+  root.emplace("displayTimeUnit", JsonValue(std::string("ms")));
+  root.emplace("droppedEvents",
+               JsonValue(static_cast<double>(dropped_trace_events())));
+
+  const std::string text = JsonValue(std::move(root)).dump();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr)
+    throw Error("cannot open trace output '" + path + "'");
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != text.size() || close_rc != 0)
+    throw Error("short write to trace output '" + path + "'");
+}
+
+}  // namespace wlsms::obs

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file trace.hpp
+/// Span tracing: RAII Span objects with begin/end timestamps, thread ids,
+/// and parent links, buffered in per-thread rings and exportable as Chrome
+/// trace_event JSON — load the file in Perfetto (https://ui.perfetto.dev)
+/// or chrome://tracing to see WL sweeps, LSMS solve phases, and comm frames
+/// on a shared timeline.
+///
+/// Cost model: tracing is globally off by default; a Span on the disabled
+/// path is one relaxed atomic load, so permanent instrumentation of the
+/// solver and driver is free. When enabled, a completed span costs two
+/// clock reads plus a push into its thread's ring under an uncontended
+/// per-thread mutex (the mutex is contended only by export/collect).
+///
+/// Ring overflow drops the *oldest* events — the tail of a run always
+/// survives — and every dropped event is counted (dropped_trace_events()
+/// and the `trace.dropped_events` registry counter), so truncation is
+/// never silent.
+///
+/// Spans nest per thread: the innermost live Span on the constructing
+/// thread is recorded as the parent. Rings of exited threads are retained
+/// until reset, so export after a thread pool is torn down still sees its
+/// spans. fork(): handlers mirror metrics.cpp, so forked worker ranks can
+/// trace their shard solves.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wlsms::obs {
+
+/// Maximum span-name length retained (longer names are truncated). Names
+/// are copied into the event, so dynamically built names are safe.
+inline constexpr std::size_t kTraceNameCapacity = 47;
+
+/// One completed span.
+struct TraceEvent {
+  char name[kTraceNameCapacity + 1] = {};
+  std::uint64_t begin_us = 0;  ///< microseconds since tracing epoch
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;     ///< small sequential id per tracing thread
+  std::uint64_t id = 0;      ///< unique span id (non-zero)
+  std::uint64_t parent = 0;  ///< enclosing span's id; 0 = top-level
+};
+
+/// Default per-thread ring capacity (events).
+inline constexpr std::size_t kDefaultTraceRingCapacity = 8192;
+
+/// Turns tracing on. Rings created after this call hold `ring_capacity`
+/// events each. Idempotent; capacity changes apply to new rings only.
+void enable_tracing(std::size_t ring_capacity = kDefaultTraceRingCapacity);
+
+/// Turns tracing off: new Spans become no-ops; live Spans still record.
+void disable_tracing();
+
+bool tracing_enabled();
+
+/// RAII span. Construction samples the clock, copies the name, and links to
+/// the innermost live span of this thread; destruction records the event.
+class Span {
+ public:
+  explicit Span(const char* name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+ private:
+  char name_[kTraceNameCapacity + 1] = {};
+  std::uint64_t begin_us_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  void* ring_ = nullptr;  ///< ThreadRing*; non-null iff the span records
+};
+
+/// All buffered events from every thread's ring, oldest-first per thread,
+/// merged and sorted by begin timestamp.
+std::vector<TraceEvent> collect_trace_events();
+
+/// Events lost to ring overflow since the last reset, summed over threads.
+std::uint64_t dropped_trace_events();
+
+/// Clears every ring and the drop counters. Callers must ensure no Span is
+/// live and no thread is mid-record. Testing/benchmarking only.
+void reset_trace_for_testing();
+
+/// Writes every buffered event as Chrome trace_event JSON ("X" complete
+/// events; span id/parent under "args"). Throws wlsms::Error on I/O error.
+void write_chrome_trace(const std::string& path);
+
+}  // namespace wlsms::obs

@@ -127,6 +127,21 @@ bool DosGrid::is_flat(double flatness_a, double min_mean_visits) const {
   return min_count >= flatness_a * mean;
 }
 
+double DosGrid::flatness_ratio() const {
+  const std::vector<double> smoothed = smoothed_histogram();
+  double min_count = 1e300;
+  double sum = 0.0;
+  std::size_t n_visited = 0;
+  for (std::size_t b = 0; b < bins(); ++b) {
+    if (!visited_[b]) continue;
+    ++n_visited;
+    sum += smoothed[b];
+    min_count = std::min(min_count, smoothed[b]);
+  }
+  if (n_visited < 2 || sum <= 0.0) return 0.0;
+  return min_count * static_cast<double>(n_visited) / sum;
+}
+
 std::size_t DosGrid::visited_bins() const {
   std::size_t n = 0;
   for (std::uint8_t v : visited_) n += v;

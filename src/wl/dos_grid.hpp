@@ -99,6 +99,13 @@ class DosGrid {
   /// diagnostics); entries for never-visited bins are zero.
   std::vector<double> smoothed_histogram() const;
 
+  /// min/mean of the smoothed histogram over ever-visited bins — the left
+  /// side of eq. 7 normalized by the mean, i.e. the quantity is_flat
+  /// compares against flatness_a. Returns 0 with fewer than two visited
+  /// bins. A run-health gauge: watching it climb toward flatness_a shows
+  /// how close the current WL iteration is to converging.
+  double flatness_ratio() const;
+
   /// Number of ever-visited bins.
   std::size_t visited_bins() const;
 

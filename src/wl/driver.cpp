@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace wlsms::wl {
 
@@ -50,15 +52,52 @@ void WlDriver::record_visit(Walker& walker) {
                                 ? config_.max_iteration_steps
                                 : 1000 * dos_.bins();
   if (stats_.total_steps % config_.check_interval == 0) {
-    const bool flat = dos_.is_flat(config_.flatness);
-    if (flat || iteration_steps_ >= cap) {
-      schedule_->on_flat_histogram(stats_.total_steps);
-      dos_.reset_histogram();
-      ++stats_.iterations;
-      if (!flat) ++stats_.forced_iterations;
-      iteration_steps_ = 0;
+    {
+      const obs::Span span("wl.flatness_check");
+      const bool flat = dos_.is_flat(config_.flatness);
+      if (flat || iteration_steps_ >= cap) {
+        schedule_->on_flat_histogram(stats_.total_steps);
+        dos_.reset_histogram();
+        ++stats_.iterations;
+        if (!flat) ++stats_.forced_iterations;
+        iteration_steps_ = 0;
+      }
     }
+    publish_metrics();
   }
+}
+
+void WlDriver::publish_metrics() {
+  // Batched at flatness-check boundaries (same discipline as WangLandau):
+  // the per-result hot path costs nothing, and counters take deltas against
+  // what was already published so multiple drivers sum correctly.
+  static obs::Counter& steps = obs::Registry::instance().counter("wl.steps");
+  static obs::Counter& accepted =
+      obs::Registry::instance().counter("wl.accepted_steps");
+  static obs::Counter& out_of_range =
+      obs::Registry::instance().counter("wl.out_of_range");
+  static obs::Counter& iterations =
+      obs::Registry::instance().counter("wl.iterations");
+  static obs::Counter& resubmissions =
+      obs::Registry::instance().counter("wl.resubmissions");
+  static obs::Gauge& acceptance_rate =
+      obs::Registry::instance().gauge("wl.acceptance_rate");
+  static obs::Gauge& flatness_ratio =
+      obs::Registry::instance().gauge("wl.flatness_ratio");
+  static obs::Gauge& ln_f = obs::Registry::instance().gauge("wl.ln_f");
+
+  steps.add(stats_.total_steps - published_.total_steps);
+  accepted.add(stats_.accepted_steps - published_.accepted_steps);
+  out_of_range.add(stats_.out_of_range - published_.out_of_range);
+  iterations.add(stats_.iterations - published_.iterations);
+  resubmissions.add(stats_.resubmissions - published_.resubmissions);
+  published_ = stats_;
+
+  if (stats_.total_steps > 0)
+    acceptance_rate.set(static_cast<double>(stats_.accepted_steps) /
+                        static_cast<double>(stats_.total_steps));
+  flatness_ratio.set(dos_.flatness_ratio());
+  ln_f.set(schedule_->gamma());
 }
 
 void WlDriver::process(const EnergyResult& result) {
@@ -101,11 +140,19 @@ void WlDriver::process(const EnergyResult& result) {
 }
 
 const DriverStats& WlDriver::run() {
+  // One wl.sweep span per flatness-check interval of processed results.
   while (!schedule_->converged() && stats_.total_steps < config_.max_steps) {
-    process(service_.retrieve());
+    const obs::Span span("wl.sweep");
+    const std::uint64_t target = stats_.total_steps + config_.check_interval;
+    while (!schedule_->converged() && stats_.total_steps < config_.max_steps &&
+           stats_.total_steps < target) {
+      process(service_.retrieve());
+    }
   }
   // Drain so the service is idle when we hand it back.
   while (service_.outstanding() > 0) (void)service_.retrieve();
+  // Final flush: counts accumulated since the last check boundary.
+  publish_metrics();
   return stats_;
 }
 

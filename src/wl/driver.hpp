@@ -70,6 +70,7 @@ class WlDriver {
   void submit_trial(std::size_t w);
   void process(const EnergyResult& result);
   void record_visit(Walker& walker);
+  void publish_metrics();
 
   EnergyService& service_;
   WangLandauConfig config_;
@@ -81,6 +82,7 @@ class WlDriver {
   DriverStats stats_;
   std::uint64_t next_ticket_ = 1;
   std::uint64_t iteration_steps_ = 0;
+  DriverStats published_;  ///< counts already pushed to the registry
 };
 
 }  // namespace wlsms::wl

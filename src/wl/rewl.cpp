@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace wlsms::wl {
@@ -237,8 +239,18 @@ RewlResult run_rewl(const EnergyFunction& energy, const RewlConfig& config,
            samplers[i]->stats().total_steps >= config.base.max_steps;
   };
 
+  static obs::Counter& rounds_counter =
+      obs::Registry::instance().counter("rewl.rounds");
+  static obs::Counter& exchange_attempts_counter =
+      obs::Registry::instance().counter("rewl.exchange_attempts");
+  static obs::Counter& exchange_accepts_counter =
+      obs::Registry::instance().counter("rewl.exchange_accepts");
+  static obs::Gauge& exchange_accept_rate =
+      obs::Registry::instance().gauge("rewl.exchange_accept_rate");
+
   parallel::ThreadPool pool(n);
   while (result.rounds < config.max_rounds) {
+    const obs::Span round_span("rewl.round");
     std::vector<std::size_t> active;
     for (std::size_t i = 0; i < n; ++i)
       if (!window_done(i)) active.push_back(i);
@@ -250,6 +262,7 @@ RewlResult run_rewl(const EnergyFunction& energy, const RewlConfig& config,
     std::latch round_done(static_cast<std::ptrdiff_t>(active.size()));
     for (std::size_t i : active) {
       pool.post([&, i] {
+        const obs::Span window_span("rewl.window_run");
         WangLandau& sampler = *samplers[i];
         for (std::uint64_t s = 0; s < config.exchange_interval; ++s)
           if (!sampler.step()) break;
@@ -258,9 +271,11 @@ RewlResult run_rewl(const EnergyFunction& energy, const RewlConfig& config,
     }
     round_done.wait();
     ++result.rounds;
+    rounds_counter.inc();
 
     // Deterministic exchange sweep on this thread, alternating pairings
     // (0,1)(2,3)... and (1,2)(3,4)... between rounds.
+    const obs::Span exchange_span("rewl.exchange_sweep");
     for (std::size_t i = result.rounds % 2; i + 1 < n; i += 2) {
       if (window_done(i) || window_done(i + 1)) continue;
       WangLandau& a = *samplers[i];
@@ -276,18 +291,24 @@ RewlResult run_rewl(const EnergyFunction& energy, const RewlConfig& config,
         continue;
       }
       ++result.exchange_attempts;
+      exchange_attempts_counter.inc();
       // min(1, g_i(E_i) g_j(E_j) / (g_i(E_j) g_j(E_i))) in ln form.
       const double ln_accept = a.dos().ln_g(ea) - a.dos().ln_g(eb) +
                                b.dos().ln_g(eb) - b.dos().ln_g(ea);
       const double u = exchange_rng.uniform();
       if (ln_accept >= 0.0 || u < std::exp(ln_accept)) {
         ++result.exchange_accepts;
+        exchange_accepts_counter.inc();
         const spin::MomentConfiguration config_a = a.walker_config(wa);
         const spin::MomentConfiguration config_b = b.walker_config(wb);
         a.set_walker(wa, config_b);
         b.set_walker(wb, config_a);
       }
     }
+    if (result.exchange_attempts > 0)
+      exchange_accept_rate.set(
+          static_cast<double>(result.exchange_accepts) /
+          static_cast<double>(result.exchange_attempts));
   }
 
   result.per_window.reserve(n);

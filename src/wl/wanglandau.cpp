@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace wlsms::wl {
 
@@ -112,21 +114,63 @@ bool WangLandau::step() {
                                 : 1000 * dos_.bins();
   if (stats_.total_steps / config_.check_interval !=
       (stats_.total_steps - walkers_.size()) / config_.check_interval) {
-    const bool flat = dos_.is_flat(config_.flatness);
-    if (flat || iteration_steps_ >= cap) {
-      schedule_->on_flat_histogram(stats_.total_steps);
-      dos_.reset_histogram();
-      ++stats_.iterations;
-      if (!flat) ++stats_.forced_iterations;
-      iteration_steps_ = 0;
+    {
+      const obs::Span span("wl.flatness_check");
+      const bool flat = dos_.is_flat(config_.flatness);
+      if (flat || iteration_steps_ >= cap) {
+        schedule_->on_flat_histogram(stats_.total_steps);
+        dos_.reset_histogram();
+        ++stats_.iterations;
+        if (!flat) ++stats_.forced_iterations;
+        iteration_steps_ = 0;
+      }
     }
+    publish_metrics();
   }
   return !converged() && stats_.total_steps < config_.max_steps;
 }
 
+void WangLandau::publish_metrics() {
+  // Batched at flatness-check boundaries so the per-step hot path stays
+  // untouched; counters take deltas against what was already published.
+  static obs::Counter& steps = obs::Registry::instance().counter("wl.steps");
+  static obs::Counter& accepted =
+      obs::Registry::instance().counter("wl.accepted_steps");
+  static obs::Counter& out_of_range =
+      obs::Registry::instance().counter("wl.out_of_range");
+  static obs::Counter& iterations =
+      obs::Registry::instance().counter("wl.iterations");
+  static obs::Gauge& acceptance_rate =
+      obs::Registry::instance().gauge("wl.acceptance_rate");
+  static obs::Gauge& flatness_ratio =
+      obs::Registry::instance().gauge("wl.flatness_ratio");
+  static obs::Gauge& ln_f = obs::Registry::instance().gauge("wl.ln_f");
+
+  steps.add(stats_.total_steps - published_.total_steps);
+  accepted.add(stats_.accepted_steps - published_.accepted_steps);
+  out_of_range.add(stats_.out_of_range - published_.out_of_range);
+  iterations.add(stats_.iterations - published_.iterations);
+  published_ = stats_;
+
+  if (stats_.total_steps > 0)
+    acceptance_rate.set(static_cast<double>(stats_.accepted_steps) /
+                        static_cast<double>(stats_.total_steps));
+  flatness_ratio.set(dos_.flatness_ratio());
+  ln_f.set(schedule_->gamma());
+}
+
 const WangLandauStats& WangLandau::run() {
-  while (step()) {
+  // One wl.sweep span per flatness-check interval: coarse enough not to
+  // swamp the trace ring, fine enough to show the walk's cadence.
+  while (true) {
+    const obs::Span span("wl.sweep");
+    const std::uint64_t target = stats_.total_steps + config_.check_interval;
+    bool more = true;
+    while ((more = step()) && stats_.total_steps < target) {
+    }
+    if (!more) break;
   }
+  publish_metrics();  // counts accumulated since the last check boundary
   return stats_;
 }
 

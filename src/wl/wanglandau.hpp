@@ -100,6 +100,7 @@ class WangLandau {
   };
 
   void advance(Walker& walker);
+  void publish_metrics();
 
   const EnergyFunction& energy_;
   WangLandauConfig config_;
@@ -110,6 +111,7 @@ class WangLandau {
   std::vector<Walker> walkers_;
   WangLandauStats stats_;
   std::uint64_t iteration_steps_ = 0;  ///< steps since the last gamma cut
+  WangLandauStats published_;  ///< counts already pushed to the registry
 };
 
 /// Convenience: a grid window bracketing a Heisenberg-like model whose

@@ -237,10 +237,11 @@ TEST(DistributedService, KilledWorkerIsReroutedAndRequestCompletes) {
   Rng rng(23);
   const auto moments = spin::MomentConfiguration::random(16, rng);
   distributed.submit({0, 1, moments});
-  // Kill one of the two assigned ranks right after the scatter (on this
-  // side of the submit the worker has not had a chance to finish its
-  // shard). The health check inside retrieve() must detect the death and
-  // re-scatter over the survivor.
+  // Kill one of the two assigned ranks right after the scatter. The kill
+  // races the worker's shard solve, but the outcome must not: even if the
+  // worker's gather beat the kill into the controller's queue, the service
+  // discards frames from dead ranks, so the health check inside retrieve()
+  // always detects the death and re-scatters over the survivor.
   distributed.communicator().kill(0);
   const wl::EnergyResult result = distributed.retrieve();
   EXPECT_FALSE(result.failed);

@@ -1,0 +1,183 @@
+// Metrics registry: identity, exactness under concurrent hammering, and
+// histogram bucket-boundary semantics. Runs under the `sanitize` label so
+// the tsan preset exercises the thread-local shard machinery.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace wlsms::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::instance().reset_values_for_testing(); }
+};
+
+TEST_F(MetricsTest, SameNameReturnsSameObject) {
+  Counter& a = Registry::instance().counter("test.identity");
+  Counter& b = Registry::instance().counter("test.identity");
+  EXPECT_EQ(&a, &b);
+
+  Gauge& ga = Registry::instance().gauge("test.identity.gauge");
+  Gauge& gb = Registry::instance().gauge("test.identity.gauge");
+  EXPECT_EQ(&ga, &gb);
+
+  Histogram& ha = Registry::instance().histogram("test.identity.h", {1.0, 2.0});
+  Histogram& hb = Registry::instance().histogram("test.identity.h", {1.0, 2.0});
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST_F(MetricsTest, HistogramBoundsMismatchThrows) {
+  Registry::instance().histogram("test.bounds.fixed", {1.0, 10.0});
+  EXPECT_THROW(Registry::instance().histogram("test.bounds.fixed", {1.0, 5.0}),
+               Error);
+  EXPECT_THROW(Registry::instance().histogram("test.bounds.bad", {}), Error);
+  EXPECT_THROW(Registry::instance().histogram("test.bounds.bad2", {2.0, 1.0}),
+               Error);
+}
+
+TEST_F(MetricsTest, CounterConcurrentHammeringIsExact) {
+  Counter& counter = Registry::instance().counter("test.hammer.counter");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kOpsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) counter.inc();
+    });
+  for (std::thread& thread : threads) thread.join();
+  // All writers quiescent: the aggregate is the exact sum of every add.
+  EXPECT_EQ(counter.value(), kThreads * kOpsPerThread);
+}
+
+TEST_F(MetricsTest, HistogramConcurrentSnapshotMatchesSum) {
+  Histogram& histogram = Registry::instance().histogram(
+      "test.hammer.histogram", {1.0, 2.0, 4.0, 8.0});
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kOpsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&histogram, t] {
+      // Integer-valued observations so the expected `sum` is exact in
+      // floating point regardless of accumulation order.
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i)
+        histogram.observe(static_cast<double>((t + i) % 10));
+    });
+  for (std::thread& thread : threads) thread.join();
+
+  const HistogramSnapshot snap = histogram.snapshot_values();
+  EXPECT_EQ(snap.total, kThreads * kOpsPerThread);
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t c : snap.counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, snap.total);
+
+  double expected_sum = 0.0;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    for (std::uint64_t i = 0; i < kOpsPerThread; ++i)
+      expected_sum += static_cast<double>((t + i) % 10);
+  EXPECT_EQ(snap.sum, expected_sum);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundaryEdgeCases) {
+  Histogram& histogram =
+      Registry::instance().histogram("test.buckets", {1.0, 10.0, 100.0});
+
+  // "le" semantics: a value exactly on a bound belongs to that bucket.
+  histogram.observe(1.0);    // bucket 0 (v <= 1)
+  histogram.observe(10.0);   // bucket 1 (v <= 10)
+  histogram.observe(100.0);  // bucket 2 (v <= 100)
+  // Strictly inside.
+  histogram.observe(0.5);   // bucket 0
+  histogram.observe(1.5);   // bucket 1
+  // Above the last bound and NaN: overflow bucket.
+  histogram.observe(100.000001);
+  histogram.observe(std::numeric_limits<double>::infinity());
+  histogram.observe(std::nan(""));
+  // Negative values fall into the first bucket.
+  histogram.observe(-3.0);
+
+  const HistogramSnapshot snap = histogram.snapshot_values();
+  ASSERT_EQ(snap.upper_bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 3u);  // 1.0, 0.5, -3.0
+  EXPECT_EQ(snap.counts[1], 2u);  // 10.0, 1.5
+  EXPECT_EQ(snap.counts[2], 1u);  // 100.0
+  EXPECT_EQ(snap.counts[3], 3u);  // 100.000001, inf, nan
+  EXPECT_EQ(snap.total, 9u);
+  // NaN is counted but excluded from the value sum; inf would poison it
+  // too, so `sum` only accumulates finite observations.
+  EXPECT_TRUE(std::isfinite(snap.sum));
+}
+
+TEST_F(MetricsTest, GaugeLastWriterWins) {
+  Gauge& gauge = Registry::instance().gauge("test.gauge");
+  gauge.set(0.25);
+  gauge.set(0.75);
+  EXPECT_EQ(gauge.value(), 0.75);
+}
+
+TEST_F(MetricsTest, SnapshotAggregatesEveryKind) {
+  Registry::instance().counter("test.snap.counter").add(7);
+  Registry::instance().gauge("test.snap.gauge").set(3.5);
+  Registry::instance().histogram("test.snap.h", {1.0}).observe(0.5);
+
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  ASSERT_TRUE(snap.counters.count("test.snap.counter"));
+  EXPECT_EQ(snap.counters.at("test.snap.counter"), 7u);
+  ASSERT_TRUE(snap.gauges.count("test.snap.gauge"));
+  EXPECT_EQ(snap.gauges.at("test.snap.gauge"), 3.5);
+  ASSERT_TRUE(snap.histograms.count("test.snap.h"));
+  EXPECT_EQ(snap.histograms.at("test.snap.h").total, 1u);
+}
+
+TEST_F(MetricsTest, ResetZeroesValuesButKeepsIdentity) {
+  Counter& counter = Registry::instance().counter("test.reset.counter");
+  Histogram& histogram = Registry::instance().histogram("test.reset.h", {1.0});
+  counter.add(5);
+  histogram.observe(0.5);
+  Registry::instance().gauge("test.reset.gauge").set(2.0);
+
+  Registry::instance().reset_values_for_testing();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(histogram.snapshot_values().total, 0u);
+  EXPECT_EQ(Registry::instance().gauge("test.reset.gauge").value(), 0.0);
+  // Identity survives the reset: same name, same object, counts resume.
+  EXPECT_EQ(&counter, &Registry::instance().counter("test.reset.counter"));
+  counter.inc();
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST_F(MetricsTest, ConcurrentRegistrationIsSafe) {
+  // Threads race to create and hammer the same names: registration must
+  // hand every thread the same object and lose no operation.
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) {
+        Registry::instance().counter("test.race.counter").inc();
+        Registry::instance().histogram("test.race.h", {1.0, 2.0}).observe(1.5);
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(Registry::instance().counter("test.race.counter").value(),
+            kThreads * 1000u);
+  EXPECT_EQ(Registry::instance()
+                .histogram("test.race.h", {1.0, 2.0})
+                .snapshot_values()
+                .total,
+            kThreads * 1000u);
+}
+
+}  // namespace
+}  // namespace wlsms::obs

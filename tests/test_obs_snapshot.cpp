@@ -1,0 +1,131 @@
+// SnapshotWriter: the JSONL stream has a "start" and a "final" record, every
+// record carries the full schema (counters, gauges, histograms, per-kernel
+// flops, Flop/s, gemm_fraction), interval records appear while the writer
+// runs, and each line parses with the obs JSON parser.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+
+namespace wlsms::obs {
+namespace {
+
+std::vector<JsonValue> read_jsonl(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(file, nullptr) << path;
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while (file && (got = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+    text.append(buffer, got);
+  if (file) std::fclose(file);
+
+  std::vector<JsonValue> records;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line))
+    if (!line.empty()) records.push_back(JsonValue::parse(line));
+  return records;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::instance().reset_values_for_testing(); }
+};
+
+TEST_F(SnapshotTest, StreamHasStartAndFinalWithFullSchema) {
+  Registry::instance().counter("snap.test.counter").add(3);
+  Registry::instance().gauge("snap.test.gauge").set(0.5);
+  Registry::instance().histogram("snap.test.h", {1.0, 2.0}).observe(1.5);
+
+  const std::string path = ::testing::TempDir() + "wlsms_snapshot_basic.jsonl";
+  {
+    SnapshotConfig config;
+    config.path = path;
+    config.interval = std::chrono::milliseconds(10000);  // no interval record
+    SnapshotWriter writer(config);
+  }
+
+  const std::vector<JsonValue> records = read_jsonl(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records.front().at("reason").as_string(), "start");
+  EXPECT_EQ(records.back().at("reason").as_string(), "final");
+
+  for (const JsonValue& record : records) {
+    EXPECT_TRUE(record.contains("t_ms"));
+    EXPECT_EQ(record.at("counters").at("snap.test.counter").as_number(), 3.0);
+    EXPECT_EQ(record.at("gauges").at("snap.test.gauge").as_number(), 0.5);
+    const JsonValue& histogram = record.at("histograms").at("snap.test.h");
+    EXPECT_EQ(histogram.at("count").as_number(), 1.0);
+    EXPECT_EQ(histogram.at("bounds").as_array().size(), 2u);
+    EXPECT_EQ(histogram.at("counts").as_array().size(), 3u);
+    // Per-kernel flop schema is always present, even at zero.
+    const JsonValue& flops = record.at("flops");
+    for (const char* kernel : {"zgemm", "trsm", "panel", "other", "total"})
+      EXPECT_TRUE(flops.contains(kernel)) << kernel;
+    EXPECT_TRUE(record.contains("flops_per_s"));
+    EXPECT_TRUE(record.contains("gemm_fraction"));
+  }
+}
+
+TEST_F(SnapshotTest, BackgroundThreadWritesIntervalRecords) {
+  const std::string path =
+      ::testing::TempDir() + "wlsms_snapshot_interval.jsonl";
+  {
+    SnapshotConfig config;
+    config.path = path;
+    config.interval = std::chrono::milliseconds(20);
+    SnapshotWriter writer(config);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  }
+  const std::vector<JsonValue> records = read_jsonl(path);
+  std::remove(path.c_str());
+  ASSERT_GE(records.size(), 3u);  // start + >=1 interval + final
+  std::size_t intervals = 0;
+  double last_t = -1.0;
+  for (const JsonValue& record : records) {
+    if (record.at("reason").as_string() == "interval") ++intervals;
+    const double t = record.at("t_ms").as_number();
+    EXPECT_GE(t, last_t);  // timestamps are monotonic within the stream
+    last_t = t;
+  }
+  EXPECT_GE(intervals, 1u);
+}
+
+TEST_F(SnapshotTest, ManualRecordsCarryCallerTag) {
+  const std::string path = ::testing::TempDir() + "wlsms_snapshot_tag.jsonl";
+  {
+    SnapshotConfig config;
+    config.path = path;
+    config.interval = std::chrono::milliseconds(10000);
+    SnapshotWriter writer(config);
+    Registry::instance().counter("snap.tag.counter").inc();
+    writer.write_record("checkpoint");
+  }
+  const std::vector<JsonValue> records = read_jsonl(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[1].at("reason").as_string(), "checkpoint");
+  // The manual record sees state as of its call, not the writer's start.
+  EXPECT_EQ(records[1].at("counters").at("snap.tag.counter").as_number(), 1.0);
+  EXPECT_FALSE(records[0].at("counters").contains("snap.tag.counter"));
+}
+
+TEST_F(SnapshotTest, UnopenablePathThrows) {
+  SnapshotConfig config;
+  config.path = "/nonexistent-dir/snapshot.jsonl";
+  EXPECT_THROW(SnapshotWriter writer(config), Error);
+}
+
+}  // namespace
+}  // namespace wlsms::obs

@@ -1,0 +1,195 @@
+// Span tracing: nesting and parent links within and across threads, ring
+// overflow accounting, and the Chrome trace_event JSON round-trip (written
+// file re-parsed with the obs JSON parser). `sanitize` label: the tsan
+// preset runs the cross-thread and concurrent-collect cases.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wlsms::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disable_tracing();
+    reset_trace_for_testing();
+    Registry::instance().reset_values_for_testing();
+  }
+  void TearDown() override {
+    disable_tracing();
+    reset_trace_for_testing();
+  }
+};
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  {
+    const Span outer("outer");
+    const Span inner("inner");
+  }
+  EXPECT_FALSE(tracing_enabled());
+  EXPECT_TRUE(collect_trace_events().empty());
+  EXPECT_EQ(dropped_trace_events(), 0u);
+}
+
+TEST_F(TraceTest, SingleThreadNestingRecordsParentLinks) {
+  enable_tracing();
+  {
+    const Span outer("outer");
+    {
+      const Span middle("middle");
+      const Span inner("inner");
+    }
+    const Span sibling("sibling");
+  }
+  const std::vector<TraceEvent> events = collect_trace_events();
+  ASSERT_EQ(events.size(), 4u);
+
+  std::map<std::string, TraceEvent> by_name;
+  for (const TraceEvent& event : events) by_name[event.name] = event;
+  ASSERT_EQ(by_name.size(), 4u);
+
+  EXPECT_EQ(by_name["outer"].parent, 0u);
+  EXPECT_EQ(by_name["middle"].parent, by_name["outer"].id);
+  EXPECT_EQ(by_name["inner"].parent, by_name["middle"].id);
+  EXPECT_EQ(by_name["sibling"].parent, by_name["outer"].id);
+  // Destruction order: inner completes before middle, middle before outer.
+  EXPECT_LE(by_name["inner"].begin_us + by_name["inner"].dur_us,
+            by_name["middle"].begin_us + by_name["middle"].dur_us);
+}
+
+TEST_F(TraceTest, CrossThreadSpansAreIndependentChains) {
+  enable_tracing();
+  {
+    const Span outer("main.outer");
+    std::thread worker([] {
+      // A worker thread's first span has no parent: nesting is per thread,
+      // never inherited across threads.
+      const Span span("worker.span");
+      const Span nested("worker.nested");
+    });
+    worker.join();
+  }
+  const std::vector<TraceEvent> events = collect_trace_events();
+  ASSERT_EQ(events.size(), 3u);
+
+  std::map<std::string, TraceEvent> by_name;
+  for (const TraceEvent& event : events) by_name[event.name] = event;
+  EXPECT_EQ(by_name["main.outer"].parent, 0u);
+  EXPECT_EQ(by_name["worker.span"].parent, 0u);
+  EXPECT_EQ(by_name["worker.nested"].parent, by_name["worker.span"].id);
+  EXPECT_NE(by_name["main.outer"].tid, by_name["worker.span"].tid);
+  EXPECT_EQ(by_name["worker.span"].tid, by_name["worker.nested"].tid);
+}
+
+TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
+  // Capacity applies to rings created after enable_tracing, so the spans
+  // run on a fresh thread (its ring is born with capacity 8).
+  enable_tracing(8);
+  std::thread worker([] {
+    for (int i = 0; i < 20; ++i) {
+      const Span span(("span." + std::to_string(i)).c_str());
+    }
+  });
+  worker.join();
+
+  const std::vector<TraceEvent> events = collect_trace_events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest dropped: the 8 survivors are exactly span.12 .. span.19.
+  std::vector<std::string> names;
+  for (const TraceEvent& event : events) names.push_back(event.name);
+  for (int i = 12; i < 20; ++i)
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "span." + std::to_string(i)),
+              names.end())
+        << "span." << i << " should have survived";
+  EXPECT_EQ(dropped_trace_events(), 12u);
+  // Truncation is never silent: the registry counter mirrors the drops.
+  EXPECT_EQ(Registry::instance().counter("trace.dropped_events").value(), 12u);
+}
+
+TEST_F(TraceTest, ChromeExportRoundTripsThroughJsonParser) {
+  enable_tracing();
+  {
+    const Span outer("export.outer");
+    const Span inner("export.inner");
+  }
+  std::thread worker([] { const Span span("export.worker"); });
+  worker.join();
+  const std::size_t n_events = collect_trace_events().size();
+  ASSERT_EQ(n_events, 3u);
+
+  const std::string path = ::testing::TempDir() + "wlsms_trace_roundtrip.json";
+  write_chrome_trace(path);
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+    text.append(buffer, got);
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  const JsonValue document = JsonValue::parse(text);
+  ASSERT_TRUE(document.is_object());
+  const JsonValue::Array& trace_events =
+      document.at("traceEvents").as_array();
+  EXPECT_EQ(trace_events.size(), n_events);
+
+  std::map<std::string, const JsonValue*> by_name;
+  for (const JsonValue& event : trace_events) {
+    EXPECT_EQ(event.at("ph").as_string(), "X");
+    EXPECT_TRUE(event.contains("ts"));
+    EXPECT_TRUE(event.contains("dur"));
+    EXPECT_TRUE(event.contains("tid"));
+    EXPECT_TRUE(event.at("args").contains("id"));
+    EXPECT_TRUE(event.at("args").contains("parent"));
+    by_name[event.at("name").as_string()] = &event;
+  }
+  ASSERT_EQ(by_name.size(), 3u);
+  EXPECT_EQ(by_name.at("export.inner")->at("args").at("parent").as_number(),
+            by_name.at("export.outer")->at("args").at("id").as_number());
+}
+
+TEST_F(TraceTest, LongNamesAreTruncatedNotCorrupted) {
+  enable_tracing();
+  const std::string long_name(200, 'x');
+  { const Span span(long_name.c_str()); }
+  const std::vector<TraceEvent> events = collect_trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name), std::string(kTraceNameCapacity, 'x'));
+}
+
+TEST_F(TraceTest, ConcurrentSpansAndCollectAreSafe) {
+  enable_tracing();
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < 500; ++i) {
+        const Span outer("hammer.outer");
+        const Span inner("hammer.inner");
+      }
+    });
+  // Collect concurrently with the writers: must not crash or race; the
+  // final quiescent collect sees every surviving event.
+  for (int i = 0; i < 10; ++i) (void)collect_trace_events();
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<TraceEvent> events = collect_trace_events();
+  EXPECT_EQ(events.size() + dropped_trace_events(), kThreads * 1000u);
+}
+
+}  // namespace
+}  // namespace wlsms::obs

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Per-phase wall-time breakdown of a wlsms Chrome trace.
+
+Reads the trace_event JSON written by `--trace-out` (or
+obs::write_chrome_trace), groups the "X" complete events by span name, and
+prints one row per name: event count, total wall time, and *self* time —
+total minus the time covered by the span's direct children, computed from
+the args.id / args.parent links the exporter embeds.
+
+Usage:
+    python3 tools/trace_summary.py run.trace.json
+
+Exits non-zero on a missing, malformed, or empty trace, so CI can gate on
+"the run actually produced spans".
+"""
+
+import json
+import signal
+import sys
+from collections import defaultdict
+
+# Die quietly when the output pipe closes (e.g. `... | head`).
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("not a Chrome trace: missing traceEvents")
+    events = [
+        event
+        for event in document["traceEvents"]
+        if isinstance(event, dict) and event.get("ph") == "X"
+    ]
+    for event in events:
+        for key in ("name", "ts", "dur"):
+            if key not in event:
+                raise ValueError(f"malformed event: missing {key!r}")
+    return events
+
+
+def summarize(events):
+    """Returns {name: (count, total_us, self_us)} sorted by total desc."""
+    child_time = defaultdict(float)  # parent span id -> sum of child durs
+    for event in events:
+        parent = event.get("args", {}).get("parent", 0)
+        if parent:
+            child_time[parent] += float(event["dur"])
+
+    rows = defaultdict(lambda: [0, 0.0, 0.0])
+    for event in events:
+        duration = float(event["dur"])
+        own = duration - child_time.get(event.get("args", {}).get("id"), 0.0)
+        row = rows[event["name"]]
+        row[0] += 1
+        row[1] += duration
+        row[2] += max(own, 0.0)
+    return sorted(rows.items(), key=lambda item: item[1][1], reverse=True)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        events = load_events(argv[1])
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"trace_summary: {error}", file=sys.stderr)
+        return 1
+    if not events:
+        print("trace_summary: trace contains no complete events",
+              file=sys.stderr)
+        return 1
+
+    wall_us = max(e["ts"] + e["dur"] for e in events) - min(
+        e["ts"] for e in events
+    )
+    rows = summarize(events)
+
+    name_width = max(len(name) for name, _ in rows)
+    name_width = max(name_width, len("span"))
+    header = (
+        f"{'span':<{name_width}}  {'count':>7}  {'total [ms]':>11}  "
+        f"{'self [ms]':>11}  {'self %':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, (count, total_us, self_us) in rows:
+        share = 100.0 * self_us / wall_us if wall_us > 0 else 0.0
+        print(
+            f"{name:<{name_width}}  {count:>7}  {total_us / 1e3:>11.3f}  "
+            f"{self_us / 1e3:>11.3f}  {share:>6.1f}%"
+        )
+    print(
+        f"\n{len(events)} spans over {wall_us / 1e3:.3f} ms of traced wall "
+        "time (self % is relative to traced wall)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
