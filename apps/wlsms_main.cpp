@@ -9,8 +9,10 @@
 //            exchange constants
 //   scaling  simulate the paper's Cray XT5 runs (Fig. 7 / Table II)
 //   distributed  evaluate LSMS energies sharded over real worker ranks
-//            (threads or forked processes) and cross-check against the
-//            serial solver
+//            (threads, forked processes, or TCP workers) and cross-check
+//            against the serial solver
+//   worker   join a TCP controller as one worker rank (the multi-node
+//            worker side of `distributed --transport tcp --external 1`)
 //
 // Examples:
 //   wlsms curie --cells 5 --gamma-final 1e-6 --dos fe250.csv
@@ -18,6 +20,8 @@
 //   wlsms extract --liz 5.6 --contour 8 --shells 2
 //   wlsms scaling --walkers 144 --steps 20
 //   wlsms distributed --transport process --groups 2 --group-size 2
+//   wlsms distributed --transport tcp --listen 0.0.0.0:7777 --external 1
+//   wlsms worker --connect controller-host:7777
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -27,6 +31,7 @@
 
 #include "cli.hpp"
 #include "cluster/des.hpp"
+#include "comm/distributed_service.hpp"
 #include "comm/factory.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
@@ -61,9 +66,14 @@ int usage() {
       "  extract  [--liz R_a0] [--contour N] [--shells S] [--samples M]\n"
       "           [--cells N]\n"
       "  scaling  [--walkers N] [--steps N] [--atoms N]\n"
-      "  distributed  [--transport inprocess|process] [--groups M]\n"
+      "  distributed  [--transport inprocess|process|tcp] [--groups M]\n"
       "           [--group-size N] [--cells C] [--evals K] [--seed S]\n"
       "           [--check 0|1] [--wl-steps N] [--wl-walkers W]\n"
+      "           [--listen HOST:PORT] [--external 0|1]   (tcp only;\n"
+      "           --external 1 waits for `wlsms worker` processes to join\n"
+      "           instead of forking local workers)\n"
+      "  worker   --connect HOST:PORT [--cells C]   (one TCP worker rank;\n"
+      "           --cells must match the controller's)\n"
       "\n"
       "observability (any command):\n"
       "  --metrics-out FILE.jsonl   periodic run-health snapshots (metrics\n"
@@ -338,6 +348,25 @@ int cmd_distributed(const cli::Options& options) {
   spec.distributed.n_groups = groups;
   spec.distributed.group_size = group_size;
   spec.distributed.transport = comm::parse_transport(transport_str);
+  if (spec.distributed.transport == comm::Transport::kTcp) {
+    spec.distributed.tcp.listen =
+        options.get_string("listen", "127.0.0.1:0");
+    if (options.get_long("external", 0) != 0) {
+      // External workers: print where to point `wlsms worker` and wait for
+      // the operator to start one per rank (possibly on other nodes).
+      const std::size_t n_ranks = groups * group_size;
+      spec.distributed.tcp.spawn_workers = false;
+      spec.distributed.tcp.accept_timeout = std::chrono::minutes(10);
+      spec.distributed.tcp.on_listening =
+          [n_ranks, cells](const std::string& address) {
+            std::printf(
+                "listening on %s; start %zu workers, e.g.\n"
+                "  wlsms worker --connect %s --cells %zu\n",
+                address.c_str(), n_ranks, address.c_str(), cells);
+            std::fflush(stdout);
+          };
+    }
+  }
   const std::unique_ptr<wl::EnergyService> service =
       comm::make_energy_service(spec);
 
@@ -415,6 +444,32 @@ int cmd_distributed(const cli::Options& options) {
   return 0;
 }
 
+int cmd_worker(const cli::Options& options) {
+  const std::string connect = options.get_string("connect", "");
+  if (connect.empty()) {
+    std::fprintf(stderr, "worker: --connect <host:port> is required\n");
+    return 2;
+  }
+  const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
+
+  // The worker builds its own solver (there is no shared address space over
+  // TCP); --cells must match the controller so shard atom ranges agree.
+  const auto solver = std::make_shared<const lsms::LsmsSolver>(
+      lattice::make_fe_supercell(cells), lsms::fe_lsms_parameters_fast());
+  std::printf("worker: %zu atoms (%zu^3 cells), connecting to %s\n",
+              solver->n_atoms(), cells, connect.c_str());
+  std::fflush(stdout);
+
+  const std::size_t rank = comm::run_tcp_worker(
+      connect, [solver](comm::WorkerChannel& channel) {
+        std::printf("worker: joined as rank %zu\n", channel.rank());
+        std::fflush(stdout);
+        comm::run_shard_worker(channel, solver);
+      });
+  std::printf("worker: rank %zu done (controller shut down)\n", rank);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -436,6 +491,8 @@ int main(int argc, char** argv) {
       status = cmd_scaling(options);
     else if (options.command() == "distributed")
       status = cmd_distributed(options);
+    else if (options.command() == "worker")
+      status = cmd_worker(options);
     else {
       std::fprintf(stderr, "unknown command '%s'\n\n",
                    options.command().c_str());

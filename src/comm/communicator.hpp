@@ -31,6 +31,12 @@
 ///    thread pools (linalg::set_zgemm_threads stays at 1 in workers), and
 ///    keep worker code off OpenMP paths; the child only ever runs the
 ///    worker function plus what it calls.
+///  - kTcp: each rank is a TCP connection accepted by a controller-side
+///    listener after a magic/version/rank handshake. Workers either run on
+///    other nodes (`wlsms worker --connect host:port`) or, for loopback
+///    tests and single-host use, are fork()ed locally and connect back to
+///    the listener. Same frames, heartbeats, and EOF-death detection as
+///    kProcess — both byte-stream transports share src/comm/framing.
 
 #include <chrono>
 #include <cstddef>
@@ -38,6 +44,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -128,19 +135,79 @@ class Communicator {
 enum class Transport {
   kInProcess,  ///< worker ranks are threads of this process
   kProcess,    ///< worker ranks are fork()ed OS processes
+  kTcp,        ///< worker ranks are TCP connections (loopback or remote)
 };
 
-/// Parses "inprocess" / "process" (the CLI --transport values).
+/// Parses "inprocess" / "process" / "tcp" (the CLI --transport values).
 Transport parse_transport(const std::string& name);
 const char* transport_name(Transport transport);
+
+/// Tuning knobs shared by the byte-stream transports (kProcess, kTcp).
+struct StreamOptions {
+  /// Upper bound on one controller-side send (all retries included). A peer
+  /// whose socket buffer stays full past this — a SIGSTOPped child, a
+  /// partitioned node — is marked dead and `send` returns false instead of
+  /// wedging the controller. Defaults to the heartbeat-timeout scale.
+  std::chrono::milliseconds send_deadline{5000};
+  /// One shared grace period for the whole teardown: shutdown() polls every
+  /// child in one pass for this long, then SIGKILLs the stragglers together
+  /// (teardown is O(grace), not O(ranks * grace)).
+  std::chrono::milliseconds shutdown_grace{5000};
+  /// Controller-side frame coalescing: small frames to one rank are corked
+  /// into a single batched write, flushed at the next poll cycle, once the
+  /// cork is older than this budget, or when it outgrows
+  /// `coalesce_max_bytes`. Zero disables corking entirely.
+  std::chrono::milliseconds coalesce_budget{1};
+  std::size_t coalesce_max_bytes = 256 * 1024;
+};
+
+/// How to build a kTcp communicator.
+struct TcpOptions {
+  /// Controller bind address as host:port; port 0 picks an ephemeral port.
+  std::string listen = "127.0.0.1:0";
+  /// True (default): fork one local worker per rank, each connecting back
+  /// to the listener over loopback — self-contained, like kProcess. False:
+  /// expect `n_ranks` external workers (`wlsms worker --connect`) to dial
+  /// in; `worker_main` is not used.
+  bool spawn_workers = true;
+  /// Called once the listener is bound, with the actual "host:port" (the
+  /// ephemeral port resolved). With external workers this is the moment to
+  /// tell them where to connect.
+  std::function<void(const std::string&)> on_listening;
+  /// Construction fails with CommError if the full group has not formed
+  /// (accepted + handshaken) within this window.
+  std::chrono::milliseconds accept_timeout{15000};
+  /// Worker-side non-blocking connect deadline.
+  std::chrono::milliseconds connect_timeout{5000};
+  StreamOptions stream;
+};
 
 std::unique_ptr<Communicator> make_in_process_communicator(
     std::size_t n_ranks, WorkerMain worker_main);
 std::unique_ptr<Communicator> make_process_communicator(std::size_t n_ranks,
                                                         WorkerMain worker_main);
+std::unique_ptr<Communicator> make_process_communicator(
+    std::size_t n_ranks, WorkerMain worker_main, const StreamOptions& options);
+/// Listens, accepts `n_ranks` workers (spawned on loopback or external),
+/// and returns once the group has formed. Throws CommError on bind/accept
+/// failure or an incomplete group at `options.accept_timeout`.
+std::unique_ptr<Communicator> make_tcp_communicator(std::size_t n_ranks,
+                                                    WorkerMain worker_main,
+                                                    const TcpOptions& options);
 std::unique_ptr<Communicator> make_communicator(Transport transport,
                                                 std::size_t n_ranks,
                                                 WorkerMain worker_main);
+
+/// The worker end of the TCP transport: connects to a controller at
+/// "host:port" (non-blocking connect bounded by `connect_timeout`),
+/// performs the magic/version/rank handshake, runs `worker_main` over the
+/// stream channel until the controller closes it, and returns the rank the
+/// controller assigned. Throws CommError on connect or handshake failure.
+/// This is what `wlsms worker --connect` calls on other nodes.
+std::size_t run_tcp_worker(
+    const std::string& address, const WorkerMain& worker_main,
+    std::chrono::milliseconds connect_timeout = std::chrono::milliseconds{
+        5000});
 
 /// Interval at which idle workers heartbeat. Controllers should use a
 /// detection timeout of several multiples of this.

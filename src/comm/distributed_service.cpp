@@ -58,6 +58,34 @@ bool same_bits(const Vec3& a, const Vec3& b) {
 
 }  // namespace
 
+void run_shard_worker(WorkerChannel& channel,
+                      std::shared_ptr<const lsms::LsmsSolver> solver) {
+  WLSMS_EXPECTS(solver != nullptr);
+  std::unordered_map<std::uint64_t, std::vector<Vec3>> cache;
+  while (std::optional<Message> message = channel.recv()) {
+    if (message->tag != kTagShardRequest) continue;
+    const ShardRequest request = decode_shard_request(message->payload);
+    std::vector<Vec3>& directions = cache[request.walker];
+    if (request.kind == ShardRequest::ConfigKind::kFull) {
+      directions = request.full.directions();
+    } else {
+      if (directions.size() != request.n_total_atoms)
+        throw CommError("delta scatter without matching base configuration");
+      for (const MovedSite& moved : request.moved_sites)
+        directions[moved.site] = moved.direction;
+    }
+    ShardResult result;
+    result.ticket = request.ticket;
+    result.attempt = request.attempt;
+    result.first_atom = request.first_atom;
+    result.energies = solver->shard_energies(
+        spin::MomentConfiguration::from_raw_directions(directions),
+        static_cast<std::size_t>(request.first_atom),
+        static_cast<std::size_t>(request.n_shard_atoms));
+    channel.send({kTagShardResult, encode_shard_result(result)});
+  }
+}
+
 DistributedEnergyService::DistributedEnergyService(
     std::shared_ptr<const lsms::LsmsSolver> solver, DistributedConfig config)
     : solver_(std::move(solver)), config_(config) {
@@ -78,36 +106,19 @@ DistributedEnergyService::DistributedEnergyService(
     groups_[g].ranks.push_back(r);
   }
 
-  // The worker rank: a cache of the last configuration seen per walker
-  // (the basis delta scatters are applied to), the serial shard solve, and
-  // the gather reply. Anything malformed throws, and a throwing worker is
-  // a dying worker on both transports — the controller reroutes.
+  // The worker rank is run_shard_worker over this controller's solver —
+  // forked locally on the process/tcp transports (copy-on-write solver),
+  // threaded in-process, or not at all when external TCP workers bring
+  // their own solver build.
   WorkerMain worker_main = [solver = solver_](WorkerChannel& channel) {
-    std::unordered_map<std::uint64_t, std::vector<Vec3>> cache;
-    while (std::optional<Message> message = channel.recv()) {
-      if (message->tag != kTagShardRequest) continue;
-      const ShardRequest request = decode_shard_request(message->payload);
-      std::vector<Vec3>& directions = cache[request.walker];
-      if (request.kind == ShardRequest::ConfigKind::kFull) {
-        directions = request.full.directions();
-      } else {
-        if (directions.size() != request.n_total_atoms)
-          throw CommError("delta scatter without matching base configuration");
-        for (const MovedSite& moved : request.moved_sites)
-          directions[moved.site] = moved.direction;
-      }
-      ShardResult result;
-      result.ticket = request.ticket;
-      result.attempt = request.attempt;
-      result.first_atom = request.first_atom;
-      result.energies = solver->shard_energies(
-          spin::MomentConfiguration::from_raw_directions(directions),
-          static_cast<std::size_t>(request.first_atom),
-          static_cast<std::size_t>(request.n_shard_atoms));
-      channel.send({kTagShardResult, encode_shard_result(result)});
-    }
+    run_shard_worker(channel, solver);
   };
-  comm_ = make_communicator(config_.transport, n_ranks, std::move(worker_main));
+  if (config_.transport == Transport::kTcp)
+    comm_ = make_tcp_communicator(n_ranks, std::move(worker_main),
+                                  config_.tcp);
+  else
+    comm_ =
+        make_communicator(config_.transport, n_ranks, std::move(worker_main));
 }
 
 DistributedEnergyService::~DistributedEnergyService() {

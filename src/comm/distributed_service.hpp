@@ -47,7 +47,22 @@ struct DistributedConfig {
   /// worst-case single-shard solve time (workers cannot heartbeat while
   /// computing).
   std::chrono::milliseconds heartbeat_timeout{5000};
+  /// Listener/handshake/coalescing knobs, used only when `transport` is
+  /// kTcp. With `tcp.spawn_workers` false the workers are external
+  /// processes started by the operator (`wlsms worker --connect`), running
+  /// run_shard_worker over their own solver build.
+  TcpOptions tcp;
 };
+
+/// The worker-rank protocol loop of DistributedEnergyService: caches the
+/// last configuration per walker (the basis delta scatters apply to), runs
+/// the serial per-atom shard solves of `solver`, and replies with gathers.
+/// Returns when the channel reports shutdown/EOF; throws on a malformed
+/// request (a throwing worker is a dying worker — the controller reroutes).
+/// Exposed so external TCP workers (`wlsms worker`) run the identical loop
+/// the controller forks locally.
+void run_shard_worker(WorkerChannel& channel,
+                      std::shared_ptr<const lsms::LsmsSolver> solver);
 
 /// Group-sharded, transport-agnostic, fault-tolerant energy service.
 class DistributedEnergyService final : public wl::EnergyService {

@@ -1,6 +1,8 @@
 // Multi-process Communicator: each rank is a fork()ed child of the
 // controller process, connected by a SOCK_STREAM UNIX-domain socketpair.
-// Frames are [u32 length][u32 tag][payload]; length covers tag + payload.
+// Frame codec, coalesced controller writes, bounded send deadlines, and
+// the poll/drain loop all live in comm/framing; this file owns what is
+// genuinely process-shaped — fork discipline, SIGKILL, and reaping.
 //
 // Liveness is real here: a SIGKILLed or crashed child closes its socket,
 // the controller's poll() sees EOF, and alive() flips — the hard-death
@@ -17,15 +19,13 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
-#include <deque>
 
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
-#include "comm/communicator.hpp"
+#include "comm/framing.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 
@@ -33,161 +33,23 @@ namespace wlsms::comm {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-// Channel-level control tags, outside the application range.
-constexpr std::uint32_t kTagHeartbeat = 0xFFFFFFFEu;
-constexpr std::uint32_t kTagShutdown = 0xFFFFFFFFu;
-
-// A frame length beyond this is a protocol violation (corrupt stream), not
-// a real message; fail before attempting the allocation.
-constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
-
-// Writes exactly `n` bytes, waiting out EAGAIN on non-blocking sockets.
-// Returns false on peer death (EPIPE/ECONNRESET) or any other error.
-bool write_all(int fd, const void* data, std::size_t n) {
-  const char* p = static_cast<const char*>(data);
-  while (n > 0) {
-    const ssize_t wrote = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (wrote > 0) {
-      p += wrote;
-      n -= static_cast<std::size_t>(wrote);
-      continue;
-    }
-    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      struct pollfd pfd{fd, POLLOUT, 0};
-      (void)::poll(&pfd, 1, 1000);
-      continue;
-    }
-    if (wrote < 0 && errno == EINTR) continue;
-    return false;
-  }
-  return true;
-}
-
-// Reads exactly `n` bytes from a blocking fd; false on EOF or error.
-bool read_all(int fd, void* data, std::size_t n) {
-  char* p = static_cast<char*>(data);
-  while (n > 0) {
-    const ssize_t got = ::read(fd, p, n);
-    if (got > 0) {
-      p += got;
-      n -= static_cast<std::size_t>(got);
-      continue;
-    }
-    if (got < 0 && errno == EINTR) continue;
-    return false;
-  }
-  return true;
-}
-
-std::vector<std::byte> frame_bytes(const Message& message) {
-  const std::uint32_t length =
-      static_cast<std::uint32_t>(4 + message.payload.size());
-  std::vector<std::byte> frame(4 + length);
-  auto put_u32 = [&frame](std::size_t at, std::uint32_t v) {
-    for (int k = 0; k < 4; ++k)
-      frame[at + static_cast<std::size_t>(k)] =
-          static_cast<std::byte>((v >> (8 * k)) & 0xFFu);
-  };
-  put_u32(0, length);
-  put_u32(4, message.tag);
-  if (!message.payload.empty())
-    std::memcpy(frame.data() + 8, message.payload.data(),
-                message.payload.size());
-  return frame;
-}
-
-// ---------------------------------------------------------------------------
-// Child side.
-
-class ProcessWorkerChannel final : public WorkerChannel {
+class ProcessCommunicator final : public StreamCommunicatorBase {
  public:
-  ProcessWorkerChannel(int fd, std::size_t rank) : fd_(fd), rank_(rank) {}
-
-  std::size_t rank() const override { return rank_; }
-
-  void send(const Message& message) override {
-    const std::vector<std::byte> frame = frame_bytes(message);
-    (void)write_all(fd_, frame.data(), frame.size());
-  }
-
-  std::optional<Message> recv() override {
-    while (true) {
-      struct pollfd pfd{fd_, POLLIN, 0};
-      const int ready = ::poll(
-          &pfd, 1, static_cast<int>(kHeartbeatInterval.count()));
-      if (ready < 0) {
-        if (errno == EINTR) continue;
-        return std::nullopt;
-      }
-      if (ready == 0) {
-        // Idle: tell the controller we are still here.
-        send(Message{kTagHeartbeat, {}});
-        continue;
-      }
-      std::uint32_t header[2];
-      if (!read_all(fd_, header, sizeof(header))) return std::nullopt;
-      const std::uint32_t length = header[0];
-      if (length < 4 || length > kMaxFrameBytes) return std::nullopt;
-      Message message;
-      message.tag = header[1];
-      message.payload.resize(length - 4);
-      if (!message.payload.empty() &&
-          !read_all(fd_, message.payload.data(), message.payload.size()))
-        return std::nullopt;
-      if (message.tag == kTagShutdown) return std::nullopt;
-      return message;
-    }
-  }
-
- private:
-  int fd_;
-  std::size_t rank_;
-};
-
-// ---------------------------------------------------------------------------
-// Controller side.
-
-class ProcessCommunicator final : public Communicator {
- public:
-  ProcessCommunicator(std::size_t n_ranks, const WorkerMain& worker_main);
+  ProcessCommunicator(std::size_t n_ranks, const WorkerMain& worker_main,
+                      const StreamOptions& options);
   ~ProcessCommunicator() override { shutdown(); }
 
-  std::size_t n_ranks() const override { return ranks_.size(); }
-  bool alive(std::size_t rank) const override {
-    WLSMS_EXPECTS(rank < ranks_.size());
-    return ranks_[rank].alive;
-  }
-  bool send(std::size_t rank, const Message& message) override;
-  std::optional<Incoming> recv(std::chrono::milliseconds timeout) override;
-  std::uint64_t millis_since_heard(std::size_t rank) const override;
   void kill(std::size_t rank) override;
   void shutdown() override;
 
  private:
-  struct Rank {
-    int fd = -1;
-    pid_t pid = -1;
-    bool alive = true;
-    bool reaped = false;
-    std::vector<std::byte> rxbuf;
-    Clock::time_point last_heard = Clock::now();
-  };
-
-  void mark_dead(std::size_t rank);
-  void reap(std::size_t rank, bool force);
-  /// Drains readable bytes of `rank` into its rxbuf and extracts complete
-  /// frames into pending_ (heartbeats only refresh last_heard).
-  void drain(std::size_t rank);
-
-  std::vector<Rank> ranks_;
-  std::deque<Incoming> pending_;
-  bool shut_down_ = false;
+  std::vector<pid_t> pids_;  ///< -1 once reaped
 };
 
 ProcessCommunicator::ProcessCommunicator(std::size_t n_ranks,
-                                         const WorkerMain& worker_main) {
+                                         const WorkerMain& worker_main,
+                                         const StreamOptions& options)
+    : StreamCommunicatorBase(options) {
   WLSMS_EXPECTS(n_ranks >= 1);
   WLSMS_EXPECTS(worker_main != nullptr);
 
@@ -206,7 +68,7 @@ ProcessCommunicator::ProcessCommunicator(std::size_t n_ranks,
   // Unflushed stdio would be duplicated into every child.
   std::fflush(nullptr);
 
-  ranks_.resize(n_ranks);
+  pids_.assign(n_ranks, -1);
   for (std::size_t r = 0; r < n_ranks; ++r) {
     const pid_t pid = ::fork();
     if (pid < 0) {
@@ -222,7 +84,7 @@ ProcessCommunicator::ProcessCommunicator(std::size_t n_ranks,
       }
       int status = 0;
       try {
-        ProcessWorkerChannel channel(child_fd[r], r);
+        StreamWorkerChannel channel(child_fd[r], r);
         worker_main(channel);
       } catch (...) {
         status = 1;
@@ -230,170 +92,46 @@ ProcessCommunicator::ProcessCommunicator(std::size_t n_ranks,
       ::close(child_fd[r]);
       ::_exit(status);
     }
-    ranks_[r].fd = parent_fd[r];
-    ranks_[r].pid = pid;
+    add_peer(parent_fd[r]);
+    pids_[r] = pid;
   }
   for (int fd : child_fd) ::close(fd);
 }
 
-bool ProcessCommunicator::send(std::size_t rank, const Message& message) {
-  WLSMS_EXPECTS(rank < ranks_.size());
-  Rank& target = ranks_[rank];
-  if (!target.alive) return false;
-  const std::vector<std::byte> frame = frame_bytes(message);
-  if (!write_all(target.fd, frame.data(), frame.size())) {
-    mark_dead(rank);
-    return false;
-  }
-  return true;
-}
-
-void ProcessCommunicator::drain(std::size_t rank) {
-  Rank& source = ranks_[rank];
-  char chunk[65536];
-  while (true) {
-    const ssize_t got = ::recv(source.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
-    if (got > 0) {
-      source.rxbuf.insert(source.rxbuf.end(),
-                          reinterpret_cast<std::byte*>(chunk),
-                          reinterpret_cast<std::byte*>(chunk) + got);
-      if (got == static_cast<ssize_t>(sizeof(chunk))) continue;
-      break;
-    }
-    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (got < 0 && errno == EINTR) continue;
-    mark_dead(rank);  // EOF or hard error
-    break;
-  }
-
-  // Extract complete frames.
-  std::size_t at = 0;
-  auto get_u32 = [&](std::size_t from) {
-    std::uint32_t v = 0;
-    for (int k = 0; k < 4; ++k)
-      v |= static_cast<std::uint32_t>(source.rxbuf[from + k]) << (8 * k);
-    return v;
-  };
-  while (source.rxbuf.size() - at >= 8) {
-    const std::uint32_t length = get_u32(at);
-    if (length < 4 || length > kMaxFrameBytes) {
-      mark_dead(rank);  // corrupt stream; nothing downstream is trustable
-      source.rxbuf.clear();
-      return;
-    }
-    if (source.rxbuf.size() - at < 4 + static_cast<std::size_t>(length)) break;
-    Message message;
-    message.tag = get_u32(at + 4);
-    message.payload.assign(source.rxbuf.begin() + at + 8,
-                           source.rxbuf.begin() + at + 4 + length);
-    at += 4 + static_cast<std::size_t>(length);
-    source.last_heard = Clock::now();
-    if (message.tag != kTagHeartbeat)
-      pending_.push_back({rank, std::move(message)});
-  }
-  source.rxbuf.erase(source.rxbuf.begin(),
-                     source.rxbuf.begin() + static_cast<std::ptrdiff_t>(at));
-}
-
-std::optional<Incoming> ProcessCommunicator::recv(
-    std::chrono::milliseconds timeout) {
-  const Clock::time_point deadline = Clock::now() + timeout;
-  while (true) {
-    if (!pending_.empty()) {
-      Incoming incoming = std::move(pending_.front());
-      pending_.pop_front();
-      return incoming;
-    }
-    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-        deadline - Clock::now());
-    if (remaining.count() <= 0) return std::nullopt;
-
-    std::vector<struct pollfd> fds;
-    std::vector<std::size_t> fd_rank;
-    for (std::size_t r = 0; r < ranks_.size(); ++r) {
-      if (!ranks_[r].alive) continue;
-      fds.push_back({ranks_[r].fd, POLLIN, 0});
-      fd_rank.push_back(r);
-    }
-    if (fds.empty()) return std::nullopt;  // everyone is dead
-
-    const int ready =
-        ::poll(fds.data(), fds.size(), static_cast<int>(remaining.count()));
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      throw CommError(std::string("poll failed: ") + std::strerror(errno));
-    }
-    if (ready == 0) return std::nullopt;
-    for (std::size_t k = 0; k < fds.size(); ++k)
-      if (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) drain(fd_rank[k]);
-  }
-}
-
-std::uint64_t ProcessCommunicator::millis_since_heard(std::size_t rank) const {
-  WLSMS_EXPECTS(rank < ranks_.size());
-  if (!ranks_[rank].alive) return ~std::uint64_t{0};
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          Clock::now() - ranks_[rank].last_heard)
-          .count());
-}
-
-void ProcessCommunicator::mark_dead(std::size_t rank) {
-  Rank& target = ranks_[rank];
-  if (!target.alive) return;
-  target.alive = false;
-  if (!shut_down_)
-    log_debug("comm: process rank ", rank, " (pid ", target.pid,
-              ") endpoint closed; marking dead");
-  if (target.fd >= 0) {
-    ::close(target.fd);
-    target.fd = -1;
-  }
-}
-
-void ProcessCommunicator::reap(std::size_t rank, bool force) {
-  Rank& target = ranks_[rank];
-  if (target.reaped || target.pid < 0) return;
-  // Closing our end (mark_dead) gives the child EOF; grant it a grace
-  // period to finish a task in flight, then force-kill.
-  for (int spins = 0; spins < (force ? 1 : 5000); ++spins) {
-    const pid_t got = ::waitpid(target.pid, nullptr, WNOHANG);
-    if (got == target.pid || (got < 0 && errno == ECHILD)) {
-      target.reaped = true;
-      return;
-    }
-    ::usleep(1000);
-  }
-  ::kill(target.pid, SIGKILL);
-  (void)::waitpid(target.pid, nullptr, 0);
-  target.reaped = true;
-}
-
 void ProcessCommunicator::kill(std::size_t rank) {
-  WLSMS_EXPECTS(rank < ranks_.size());
-  Rank& target = ranks_[rank];
-  if (target.alive)
-    log_debug("comm: SIGKILL process rank ", rank, " (pid ", target.pid, ")");
-  if (target.pid >= 0 && !target.reaped) {
-    ::kill(target.pid, SIGKILL);
-    (void)::waitpid(target.pid, nullptr, 0);
-    target.reaped = true;
+  WLSMS_EXPECTS(rank < n_ranks());
+  if (alive(rank))
+    log_debug("comm: SIGKILL process rank ", rank, " (pid ", pids_[rank], ")");
+  if (pids_[rank] >= 0) {
+    ::kill(pids_[rank], SIGKILL);
+    (void)::waitpid(pids_[rank], nullptr, 0);
+    pids_[rank] = -1;
   }
   mark_dead(rank);
 }
 
 void ProcessCommunicator::shutdown() {
-  if (shut_down_) return;
-  shut_down_ = true;
-  for (std::size_t r = 0; r < ranks_.size(); ++r) mark_dead(r);
-  for (std::size_t r = 0; r < ranks_.size(); ++r) reap(r, false);
+  if (shutting_down()) return;
+  begin_shutdown();
+  // Closing our ends gives every child EOF at once; they share ONE grace
+  // period to finish a task in flight, then stragglers are SIGKILLed
+  // together — teardown is O(grace), not O(ranks * grace).
+  close_all_peers();
+  reap_children(pids_, stream_options().shutdown_grace);
 }
 
 }  // namespace
 
 std::unique_ptr<Communicator> make_process_communicator(
     std::size_t n_ranks, WorkerMain worker_main) {
-  return std::make_unique<ProcessCommunicator>(n_ranks, worker_main);
+  return make_process_communicator(n_ranks, std::move(worker_main),
+                                   StreamOptions{});
+}
+
+std::unique_ptr<Communicator> make_process_communicator(
+    std::size_t n_ranks, WorkerMain worker_main,
+    const StreamOptions& options) {
+  return std::make_unique<ProcessCommunicator>(n_ranks, worker_main, options);
 }
 
 }  // namespace wlsms::comm

@@ -53,6 +53,8 @@ enum class PayloadKind : std::uint32_t {
   kMomentConfiguration = 4,
   kShardRequest = 5,
   kShardResult = 6,
+  kTcpHello = 7,    ///< TCP worker -> controller handshake
+  kTcpWelcome = 8,  ///< TCP controller -> worker rank assignment
 };
 
 /// Appends primitives to a growing byte buffer.

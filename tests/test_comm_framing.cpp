@@ -1,0 +1,211 @@
+// Framing-layer tests: the shared byte-stream substrate under both the
+// socketpair and TCP transports. Property tests for the frame codec
+// (arbitrary chunking must reassemble to the original frame sequence),
+// plus regressions for the three hardening bugs this layer exists to fix:
+//  - a payload that cannot fit the u32 length field must throw on the send
+//    side (historically it wrapped and desynced the stream);
+//  - a corrupt length field must throw from the assembler (the receiver
+//    kills the rank), never allocate absurd buffers or desync silently;
+//  - write_all must honor its deadline when the peer's socket buffer stays
+//    full (historically it looped forever and wedged the controller).
+#include "comm/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wlsms::comm {
+namespace {
+
+using namespace std::chrono_literals;
+
+Message text_message(std::uint32_t tag, const std::string& text) {
+  Message message;
+  message.tag = tag;
+  message.payload.resize(text.size());
+  if (!text.empty())
+    std::memcpy(message.payload.data(), text.data(), text.size());
+  return message;
+}
+
+TEST(FrameCodec, WireLayoutIsLengthTagPayload) {
+  const std::vector<std::byte> frame = frame_bytes(text_message(0x11223344u,
+                                                                "abc"));
+  ASSERT_EQ(frame.size(), 8u + 3u);
+  // length = 4 (tag) + 3 (payload), little-endian
+  EXPECT_EQ(std::to_integer<unsigned>(frame[0]), 7u);
+  EXPECT_EQ(std::to_integer<unsigned>(frame[1]), 0u);
+  EXPECT_EQ(std::to_integer<unsigned>(frame[2]), 0u);
+  EXPECT_EQ(std::to_integer<unsigned>(frame[3]), 0u);
+  EXPECT_EQ(std::to_integer<unsigned>(frame[4]), 0x44u);
+  EXPECT_EQ(std::to_integer<unsigned>(frame[5]), 0x33u);
+  EXPECT_EQ(std::to_integer<unsigned>(frame[6]), 0x22u);
+  EXPECT_EQ(std::to_integer<unsigned>(frame[7]), 0x11u);
+  EXPECT_EQ(std::to_integer<unsigned>(frame[8]), 'a');
+}
+
+TEST(FrameCodec, AppendFrameConcatenatesInOrder) {
+  std::vector<std::byte> batch;
+  append_frame(batch, text_message(1, "first"));
+  const std::size_t first_end = batch.size();
+  append_frame(batch, text_message(2, ""));
+  append_frame(batch, text_message(3, "third"));
+  EXPECT_EQ(first_end, 8u + 5u);
+  EXPECT_EQ(batch.size(), (8u + 5u) + 8u + (8u + 5u));
+
+  FrameAssembler assembler;
+  assembler.push(batch.data(), batch.size());
+  Message out;
+  ASSERT_TRUE(assembler.pop(out));
+  EXPECT_EQ(out.tag, 1u);
+  ASSERT_TRUE(assembler.pop(out));
+  EXPECT_EQ(out.tag, 2u);
+  EXPECT_TRUE(out.payload.empty());
+  ASSERT_TRUE(assembler.pop(out));
+  EXPECT_EQ(out.tag, 3u);
+  EXPECT_FALSE(assembler.pop(out));
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(FrameCodec, OversizedPayloadThrowsInsteadOfTruncating) {
+  // Regression: the length used to be computed as 4 + size in u32, so a
+  // payload within 4 bytes of 2^32 wrapped to a tiny length and desynced
+  // the stream. The bound is a parameter so the test exercises the exact
+  // arithmetic without allocating gigabytes.
+  constexpr std::uint32_t kTinyMax = 64;
+  Message fits;
+  fits.tag = 1;
+  fits.payload.resize(kTinyMax - 4);  // length == max: allowed
+  std::vector<std::byte> out;
+  EXPECT_NO_THROW(append_frame(out, fits, kTinyMax));
+
+  Message too_big;
+  too_big.tag = 1;
+  too_big.payload.resize(kTinyMax - 3);  // length == max + 1: rejected
+  EXPECT_THROW(append_frame(out, too_big, kTinyMax), CommError);
+  EXPECT_THROW((void)frame_bytes(too_big, kTinyMax), CommError);
+
+  // The u32-wrap shape itself: a payload size that makes 4 + size wrap to a
+  // small number in 32-bit arithmetic must still throw. Simulated via the
+  // parameterized bound (4 + (2^32 - 2) wraps to 2 in u32); the production
+  // path computes in 64 bits, so this must be rejected, not "length 2".
+  Message wrap;
+  wrap.tag = 1;
+  // Cannot allocate 2^32-2 bytes here; instead verify the arithmetic is
+  // 64-bit by checking a payload just over a max near the u32 ceiling.
+  wrap.payload.resize(1000);
+  EXPECT_THROW(append_frame(out, wrap, 900), CommError);
+}
+
+TEST(FrameAssembler, ReassemblesUnderArbitraryChunking) {
+  // Property test: any chunking of a frame sequence yields the same frames.
+  Rng rng(1234);
+  std::vector<Message> sent;
+  std::vector<std::byte> stream;
+  for (std::uint32_t k = 0; k < 64; ++k) {
+    std::string payload(rng.uniform_index(512), '\0');
+    for (char& c : payload)
+      c = static_cast<char>('a' + rng.uniform_index(26));
+    sent.push_back(text_message(k, payload));
+    append_frame(stream, sent.back());
+  }
+
+  for (int trial = 0; trial < 8; ++trial) {
+    FrameAssembler assembler;
+    std::vector<Message> got;
+    std::size_t at = 0;
+    while (at < stream.size()) {
+      // Chunk sizes from 1 byte (worst case: headers split mid-u32) to 4 KiB.
+      const std::size_t n =
+          std::min(stream.size() - at, 1 + rng.uniform_index(4096));
+      assembler.push(stream.data() + at, n);
+      at += n;
+      Message out;
+      while (assembler.pop(out)) got.push_back(out);
+    }
+    ASSERT_EQ(got.size(), sent.size()) << "trial " << trial;
+    for (std::size_t k = 0; k < sent.size(); ++k) {
+      EXPECT_EQ(got[k].tag, sent[k].tag);
+      EXPECT_EQ(got[k].payload, sent[k].payload);
+    }
+    EXPECT_EQ(assembler.buffered(), 0u);
+  }
+}
+
+TEST(FrameAssembler, CorruptLengthThrowsCommError) {
+  // length < 4 cannot even cover the tag.
+  FrameAssembler small;
+  const std::uint8_t tiny[8] = {3, 0, 0, 0, 1, 0, 0, 0};
+  small.push(tiny, sizeof(tiny));
+  Message out;
+  EXPECT_THROW(small.pop(out), CommError);
+
+  // length > kMaxFrameBytes is a desynced or hostile stream, not a frame to
+  // allocate.
+  FrameAssembler huge;
+  const std::uint8_t giant[8] = {0xFF, 0xFF, 0xFF, 0xFF, 1, 0, 0, 0};
+  huge.push(giant, sizeof(giant));
+  EXPECT_THROW(huge.pop(out), CommError);
+
+  // reset() recovers the assembler object itself.
+  huge.reset();
+  EXPECT_EQ(huge.buffered(), 0u);
+  std::vector<std::byte> good;
+  append_frame(good, text_message(9, "ok"));
+  huge.push(good.data(), good.size());
+  ASSERT_TRUE(huge.pop(out));
+  EXPECT_EQ(out.tag, 9u);
+}
+
+TEST(WriteAll, DeadlineExpiresOnAFullSocketBuffer) {
+  // Regression: write_all used to poll forever, so a peer that stopped
+  // reading (SIGSTOPped child, wedged remote) pinned the controller inside
+  // send(). Fill a socketpair until EAGAIN, then require a bounded failure.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Non-blocking writer side so the fill loop can detect "full".
+  ASSERT_EQ(::fcntl(fds[0], F_SETFL, O_NONBLOCK), 0);
+
+  const std::vector<char> chunk(64 * 1024, 'x');
+  while (true) {
+    const ssize_t wrote = ::send(fds[0], chunk.data(), chunk.size(),
+                                 MSG_NOSIGNAL);
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    ASSERT_FALSE(wrote < 0) << "unexpected errno " << errno;
+  }
+
+  const auto start = StreamClock::now();
+  EXPECT_FALSE(
+      write_all(fds[0], chunk.data(), chunk.size(), start + 200ms));
+  const auto elapsed = StreamClock::now() - start;
+  EXPECT_GE(elapsed, 150ms);  // actually waited for the deadline...
+  EXPECT_LT(elapsed, 3s);     // ...but came back promptly after it
+
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WriteAll, PeerCloseFailsFast) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  const char byte = 'x';
+  // EPIPE must be a clean false (MSG_NOSIGNAL), not a SIGPIPE crash, and
+  // must not wait out the deadline.
+  const auto start = StreamClock::now();
+  EXPECT_FALSE(write_all(fds[0], &byte, 1, start + 10s));
+  EXPECT_LT(StreamClock::now() - start, 5s);
+  ::close(fds[0]);
+}
+
+}  // namespace
+}  // namespace wlsms::comm

@@ -16,7 +16,11 @@
 #include <cstring>
 #include <string>
 
+#include <csignal>
+#include <unistd.h>
+
 #include "comm/distributed_service.hpp"
+#include "comm/framing.hpp"
 #include "common/rng.hpp"
 #include "lattice/structure.hpp"
 #include "lsms/fe_parameters.hpp"
@@ -106,6 +110,77 @@ TEST(ProcessCommunicator, CrashingWorkerIsRankDeath) {
   while (comm->alive(0) && std::chrono::steady_clock::now() < deadline)
     (void)comm->recv(50ms);
   EXPECT_FALSE(comm->alive(0));
+}
+
+TEST(ProcessCommunicator, StoppedWorkerTripsTheSendDeadlineNotAHang) {
+  // Regression: the controller's write loop used to poll forever when the
+  // peer's socket buffer stayed full, so a SIGSTOPped child (or a
+  // partitioned TCP peer) wedged the controller inside send(). Now the
+  // send deadline expires, send() returns false, and the rank is dead.
+  StreamOptions options;
+  options.send_deadline = 300ms;
+  auto comm = make_process_communicator(
+      1,
+      [](WorkerChannel& channel) {
+        // Report our pid, then go quiet (never read again) so the socket
+        // fills once we're stopped.
+        const std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+        Message hello;
+        hello.tag = 1;
+        hello.payload.resize(sizeof(pid));
+        std::memcpy(hello.payload.data(), &pid, sizeof(pid));
+        channel.send(hello);
+        for (;;) ::usleep(100000);
+      },
+      options);
+
+  std::optional<Incoming> incoming;
+  while (!incoming) incoming = comm->recv(500ms);
+  std::uint64_t pid = 0;
+  ASSERT_EQ(incoming->message.payload.size(), sizeof(pid));
+  std::memcpy(&pid, incoming->message.payload.data(), sizeof(pid));
+  ASSERT_EQ(::kill(static_cast<pid_t>(pid), SIGSTOP), 0);
+
+  // 1 MiB frames are above the coalescing cork limit, so every send is a
+  // direct bounded write. The socket buffer absorbs a few, then the
+  // deadline must trip — bounded by iterations * deadline, not forever.
+  const Message big{2, std::vector<std::byte>(1 << 20)};
+  bool failed = false;
+  for (int k = 0; k < 64 && !failed; ++k) failed = !comm->send(0, big);
+  EXPECT_TRUE(failed) << "send() never failed against a stopped reader";
+  EXPECT_FALSE(comm->alive(0));
+
+  // SIGKILL works on a stopped process; teardown must not hang either.
+  comm->kill(0);
+  comm->shutdown();
+}
+
+TEST(ProcessCommunicator, ShutdownReapsStragglersInParallel) {
+  // Regression: shutdown() used to give EACH child its own grace period
+  // sequentially (up to 5 s per rank). Four children that ignore EOF must
+  // now share ONE grace period and be SIGKILLed together: teardown is
+  // O(grace), not O(ranks * grace).
+  StreamOptions options;
+  options.shutdown_grace = 600ms;
+  auto comm = make_process_communicator(
+      4,
+      [](WorkerChannel& channel) {
+        (void)channel;  // never reads: EOF on shutdown is ignored
+        for (;;) ::usleep(100000);
+      },
+      options);
+  EXPECT_EQ(comm->n_alive(), 4u);
+
+  const auto start = std::chrono::steady_clock::now();
+  comm->shutdown();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // One shared grace (600 ms) + kill/reap overhead. The old sequential
+  // behavior would take >= 4 * 600 ms = 2.4 s.
+  EXPECT_LT(elapsed, 1800ms)
+      << "shutdown took "
+      << std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count()
+      << " ms; stragglers are being reaped sequentially";
+  EXPECT_EQ(comm->n_alive(), 0u);
 }
 
 struct Fe16 {
