@@ -13,6 +13,12 @@
 //            against the serial solver
 //   worker   join a TCP controller as one worker rank (the multi-node
 //            worker side of `distributed --transport tcp --external 1`)
+//   serve    run the persistent multi-tenant energy daemon: clients submit
+//            walker configurations over TCP and concurrent requests are
+//            coalesced into cross-walker batched ZGEMM dispatches
+//   client   drive a running daemon: submit random configurations as one
+//            tenant and (optionally) cross-check the energies against a
+//            local serial solver
 //
 // Examples:
 //   wlsms curie --cells 5 --gamma-final 1e-6 --dos fe250.csv
@@ -22,9 +28,12 @@
 //   wlsms distributed --transport process --groups 2 --group-size 2
 //   wlsms distributed --transport tcp --listen 0.0.0.0:7777 --external 1
 //   wlsms worker --connect controller-host:7777
+//   wlsms serve --cells 2 --listen 127.0.0.1:7878 --checkpoint-dir /tmp/wlsms
+//   wlsms client --connect 127.0.0.1:7878 --tenant alice --evals 16
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <exception>
 #include <memory>
@@ -44,6 +53,8 @@
 #include "lsms/solver.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
 #include "thermo/observables.hpp"
 #include "wl/driver.hpp"
 #include "wl/rewl.hpp"
@@ -74,6 +85,16 @@ int usage() {
       "           instead of forking local workers)\n"
       "  worker   --connect HOST:PORT [--cells C]   (one TCP worker rank;\n"
       "           --cells must match the controller's)\n"
+      "  serve    [--cells C] [--listen HOST:PORT] [--max-pending N]\n"
+      "           [--max-outstanding N] [--max-batch N] [--batch-window MS]\n"
+      "           [--checkpoint-dir DIR] [--batch-threads N]\n"
+      "           (multi-tenant energy daemon; Ctrl-C checkpoints live\n"
+      "           sessions and exits)\n"
+      "  client   --connect HOST:PORT [--tenant NAME] [--evals K]\n"
+      "           [--walkers W] [--seed S] [--cells C] [--check 0|1]\n"
+      "           [--resume-session ID --resume-token TOK]\n"
+      "           (--check needs --cells matching the daemon's; resume\n"
+      "           reclaims a checkpointed session's in-flight work)\n"
       "\n"
       "observability (any command):\n"
       "  --metrics-out FILE.jsonl   periodic run-health snapshots (metrics\n"
@@ -444,6 +465,139 @@ int cmd_distributed(const cli::Options& options) {
   return 0;
 }
 
+/// SIGINT -> Daemon::stop() (a self-pipe write, async-signal-safe).
+serve::Daemon* g_serve_daemon = nullptr;
+
+extern "C" void serve_sigint(int) {
+  if (g_serve_daemon != nullptr) g_serve_daemon->stop();
+}
+
+int cmd_serve(const cli::Options& options) {
+  const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
+
+  serve::ServeOptions serve_options;
+  serve_options.listen = options.get_string("listen", "127.0.0.1:7878");
+  serve_options.limits.max_pending =
+      static_cast<std::size_t>(options.get_long("max-pending", 256));
+  serve_options.limits.max_session_outstanding =
+      static_cast<std::size_t>(options.get_long("max-outstanding", 64));
+  serve_options.limits.max_batch =
+      static_cast<std::size_t>(options.get_long("max-batch", 16));
+  serve_options.limits.batch_window =
+      std::chrono::milliseconds(options.get_long("batch-window", 5));
+  serve_options.checkpoint_dir = options.get_string("checkpoint-dir", "");
+  serve_options.gemm_batch_threads =
+      static_cast<std::size_t>(options.get_long("batch-threads", 0));
+  serve_options.on_listening = [](const std::string& address) {
+    std::printf("serving on %s\n", address.c_str());
+    std::fflush(stdout);
+  };
+
+  const auto solver = std::make_shared<const lsms::LsmsSolver>(
+      lattice::make_fe_supercell(cells), lsms::fe_lsms_parameters_fast());
+  std::printf("substrate: %zu atoms, %zu-atom LIZ, %zu contour points\n",
+              solver->n_atoms(), solver->liz_size(0),
+              solver->contour().size());
+
+  serve::Daemon daemon(solver, serve_options);
+  g_serve_daemon = &daemon;
+  std::signal(SIGINT, serve_sigint);
+  std::signal(SIGTERM, serve_sigint);
+  daemon.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_daemon = nullptr;
+
+  const serve::BatchScheduler::Stats& stats = daemon.scheduler_stats();
+  io::TextTable table({"quantity", "value"});
+  table.row({"batches dispatched", std::to_string(stats.batches)});
+  table.row({"requests batched", std::to_string(stats.batched_requests)});
+  table.row({"requests singleton", std::to_string(stats.singleton_requests)});
+  table.print();
+  return 0;
+}
+
+int cmd_client(const cli::Options& options) {
+  const std::string connect = options.get_string("connect", "");
+  if (connect.empty()) {
+    std::fprintf(stderr, "client: --connect <host:port> is required\n");
+    return 2;
+  }
+  const auto evals = static_cast<std::size_t>(options.get_long("evals", 8));
+  const auto walkers =
+      static_cast<std::size_t>(options.get_long("walkers", 4));
+  const auto seed = static_cast<std::uint64_t>(options.get_long("seed", 11));
+  const bool check = options.get_long("check", 0) != 0;
+  const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
+
+  serve::ClientOptions client_options;
+  client_options.tenant = options.get_string("tenant", "default");
+  client_options.resume_session =
+      static_cast<std::uint64_t>(options.get_long("resume-session", 0));
+  client_options.resume_token =
+      static_cast<std::uint64_t>(options.get_long("resume-token", 0));
+  serve::ServeClient client(connect, client_options);
+  std::printf("session %llu as tenant '%s' (%zu atoms served)\n",
+              static_cast<unsigned long long>(client.session()),
+              client_options.tenant.c_str(), client.n_atoms());
+  std::printf("resume with: --resume-session %llu --resume-token %llu\n",
+              static_cast<unsigned long long>(client.session()),
+              static_cast<unsigned long long>(client.resume_token()));
+  if (client.resumed())
+    std::printf("resumed: %zu result(s) replayed or re-enqueued\n",
+                client.outstanding());
+
+  Rng rng(seed);
+  std::vector<spin::MomentConfiguration> configs;
+  configs.reserve(evals);
+  for (std::size_t k = 0; k < evals; ++k)
+    configs.push_back(
+        spin::MomentConfiguration::random(client.n_atoms(), rng));
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < evals; ++k)
+    client.submit({k % std::max<std::size_t>(walkers, 1), k + 1, configs[k]});
+  std::vector<double> energies(evals, 0.0);
+  std::size_t failures = 0;
+  while (client.outstanding() > 0) {
+    const wl::EnergyResult result = client.retrieve();
+    if (result.failed)
+      ++failures;
+    else if (result.ticket >= 1 && result.ticket <= evals)
+      energies[result.ticket - 1] = result.energy;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  io::TextTable table({"quantity", "value"});
+  table.row({"evaluations", std::to_string(evals)});
+  table.row({"failures/rejects", std::to_string(failures)});
+  table.row({"wall time", io::format_double(seconds, 3) + " s"});
+  table.row({"evals/s", io::format_double(evals / std::max(seconds, 1e-9), 2)});
+  table.print();
+
+  if (check) {
+    const lsms::LsmsSolver solver(lattice::make_fe_supercell(cells),
+                                  lsms::fe_lsms_parameters_fast());
+    if (solver.n_atoms() != client.n_atoms()) {
+      std::fprintf(stderr,
+                   "client: --cells %zu gives %zu atoms but the daemon "
+                   "serves %zu\n",
+                   cells, solver.n_atoms(), client.n_atoms());
+      return 2;
+    }
+    double max_diff = 0.0;
+    for (std::size_t k = 0; k < evals; ++k)
+      max_diff = std::max(max_diff,
+                          std::fabs(energies[k] - solver.energy(configs[k])));
+    std::printf("max |E_daemon - E_serial| = %.3e Ry%s\n", max_diff,
+                max_diff == 0.0 ? " (bit-identical)" : "");
+    if (max_diff != 0.0) return 1;
+  }
+  return 0;
+}
+
 int cmd_worker(const cli::Options& options) {
   const std::string connect = options.get_string("connect", "");
   if (connect.empty()) {
@@ -493,6 +647,10 @@ int main(int argc, char** argv) {
       status = cmd_distributed(options);
     else if (options.command() == "worker")
       status = cmd_worker(options);
+    else if (options.command() == "serve")
+      status = cmd_serve(options);
+    else if (options.command() == "client")
+      status = cmd_client(options);
     else {
       std::fprintf(stderr, "unknown command '%s'\n\n",
                    options.command().c_str());

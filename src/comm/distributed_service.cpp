@@ -61,11 +61,12 @@ bool same_bits(const Vec3& a, const Vec3& b) {
 void run_shard_worker(WorkerChannel& channel,
                       std::shared_ptr<const lsms::LsmsSolver> solver) {
   WLSMS_EXPECTS(solver != nullptr);
-  std::unordered_map<std::uint64_t, std::vector<Vec3>> cache;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<Vec3>> cache;
   while (std::optional<Message> message = channel.recv()) {
     if (message->tag != kTagShardRequest) continue;
     const ShardRequest request = decode_shard_request(message->payload);
-    std::vector<Vec3>& directions = cache[request.walker];
+    std::vector<Vec3>& directions =
+        cache[{request.session, request.walker}];
     if (request.kind == ShardRequest::ConfigKind::kFull) {
       directions = request.full.directions();
     } else {
@@ -228,6 +229,7 @@ bool DistributedEnergyService::dispatch(std::size_t g,
       ShardRequest shard;
       shard.ticket = request.ticket;
       shard.attempt = group.attempt;
+      shard.session = request.session;
       shard.walker = request.walker;
       shard.first_atom = first;
       shard.n_shard_atoms = count;
@@ -236,7 +238,7 @@ bool DistributedEnergyService::dispatch(std::size_t g,
       // Delta against what this rank last saw for this walker, when the
       // delta is genuinely smaller than resending the configuration; a
       // MovedSite costs a site index on top of the direction.
-      const auto cached = sent_[rank].find(request.walker);
+      const auto cached = sent_[rank].find({request.session, request.walker});
       if (cached != sent_[rank].end() && cached->second.size() == n_atoms) {
         shard.kind = ShardRequest::ConfigKind::kDelta;
         for (std::size_t i = 0; i < n_atoms; ++i)
@@ -267,7 +269,7 @@ bool DistributedEnergyService::dispatch(std::size_t g,
         metrics.delta_scatters.inc();
       else
         metrics.full_scatters.inc();
-      sent_[rank][request.walker] = directions;
+      sent_[rank][{request.session, request.walker}] = directions;
       group.assigned.push_back({rank, first, count});
       first += count;
     }

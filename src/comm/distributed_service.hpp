@@ -25,8 +25,9 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -128,9 +129,14 @@ class DistributedEnergyService final : public wl::EnergyService {
   std::vector<Group> groups_;
   std::vector<std::size_t> rank_group_;  ///< rank id -> group index
 
-  /// Per-rank, per-walker directions last successfully sent: the basis the
-  /// moved-site delta scatter is encoded against.
-  std::vector<std::unordered_map<std::uint64_t, std::vector<Vec3>>> sent_;
+  /// Delta-cache key: one tenant-session's walker. The serving daemon
+  /// multiplexes many sessions over one service, so walker id alone would
+  /// alias two tenants' configurations and corrupt the delta basis.
+  using ConfigKey = std::pair<std::uint64_t, std::uint64_t>;
+
+  /// Per-rank, per-(session, walker) directions last successfully sent:
+  /// the basis the moved-site delta scatter is encoded against.
+  std::vector<std::map<ConfigKey, std::vector<Vec3>>> sent_;
 
   /// Per-rank flag: this rank's death was already counted in the
   /// comm.rank_deaths metric (on_rank_death can fire more than once for

@@ -14,6 +14,7 @@ std::vector<std::byte> encode_shard_request(const ShardRequest& request) {
   serial::write_header(e, PayloadKind::kShardRequest);
   e.put_u64(request.ticket);
   e.put_u32(request.attempt);
+  e.put_u64(request.session);
   e.put_u64(request.walker);
   e.put_u64(request.first_atom);
   e.put_u64(request.n_shard_atoms);
@@ -39,6 +40,7 @@ ShardRequest decode_shard_request(const std::vector<std::byte>& buffer) {
   ShardRequest request;
   request.ticket = d.get_u64();
   request.attempt = d.get_u32();
+  request.session = d.get_u64();
   request.walker = d.get_u64();
   request.first_atom = d.get_u64();
   request.n_shard_atoms = d.get_u64();
@@ -103,6 +105,7 @@ std::vector<std::byte> encode_energy_request(const wl::EnergyRequest& request) {
   serial::write_header(e, PayloadKind::kEnergyRequest);
   e.put_u64(request.walker);
   e.put_u64(request.ticket);
+  e.put_u64(request.session);
   spin::encode_moments(e, request.config);
   return e.take();
 }
@@ -113,6 +116,7 @@ wl::EnergyRequest decode_energy_request(const std::vector<std::byte>& buffer) {
   wl::EnergyRequest request;
   request.walker = static_cast<std::size_t>(d.get_u64());
   request.ticket = d.get_u64();
+  request.session = d.get_u64();
   request.config = spin::decode_moments(d);
   d.expect_end();
   return request;

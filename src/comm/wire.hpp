@@ -51,7 +51,8 @@ struct MovedSite {
 struct ShardRequest {
   std::uint64_t ticket = 0;   ///< driver-level request id
   std::uint32_t attempt = 0;  ///< scatter generation (reroute bumps it)
-  std::uint64_t walker = 0;   ///< walker id, keys the worker's config cache
+  std::uint64_t session = 0;  ///< tenant-session id (0 = single local tenant)
+  std::uint64_t walker = 0;   ///< with session, keys the worker's config cache
   std::uint64_t first_atom = 0;
   std::uint64_t n_shard_atoms = 0;  ///< this rank solves [first, first+n)
 

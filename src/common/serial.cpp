@@ -14,6 +14,14 @@ const char* kind_name(PayloadKind kind) {
     case PayloadKind::kMomentConfiguration: return "moment-configuration";
     case PayloadKind::kShardRequest: return "shard-request";
     case PayloadKind::kShardResult: return "shard-result";
+    case PayloadKind::kTcpHello: return "tcp-hello";
+    case PayloadKind::kTcpWelcome: return "tcp-welcome";
+    case PayloadKind::kServeHello: return "serve-hello";
+    case PayloadKind::kServeWelcome: return "serve-welcome";
+    case PayloadKind::kServeSubmit: return "serve-submit";
+    case PayloadKind::kServeResult: return "serve-result";
+    case PayloadKind::kServeReject: return "serve-reject";
+    case PayloadKind::kServeSession: return "serve-session";
   }
   return "unknown";
 }

@@ -40,8 +40,10 @@ class SerializationError : public Error {
 inline constexpr std::uint32_t kMagic = 0x4D534C57u;
 
 /// Schema version shared by all payload kinds. Version 1 was checkpoint's
-/// bespoke text layout (retired); version 2 is the unified binary schema.
-inline constexpr std::uint32_t kSchemaVersion = 2;
+/// bespoke text layout (retired); version 2 the unified binary schema;
+/// version 3 adds the session identity to energy/shard requests and the
+/// serving-daemon payload kinds (9-14).
+inline constexpr std::uint32_t kSchemaVersion = 3;
 
 /// What a framed buffer carries. The kind is part of the header so a
 /// message routed to the wrong decoder fails loudly instead of
@@ -53,8 +55,14 @@ enum class PayloadKind : std::uint32_t {
   kMomentConfiguration = 4,
   kShardRequest = 5,
   kShardResult = 6,
-  kTcpHello = 7,    ///< TCP worker -> controller handshake
-  kTcpWelcome = 8,  ///< TCP controller -> worker rank assignment
+  kTcpHello = 7,        ///< TCP worker -> controller handshake
+  kTcpWelcome = 8,      ///< TCP controller -> worker rank assignment
+  kServeHello = 9,      ///< serve client -> daemon session handshake
+  kServeWelcome = 10,   ///< serve daemon -> client session grant
+  kServeSubmit = 11,    ///< serve client -> daemon energy request
+  kServeResult = 12,    ///< serve daemon -> client energy result
+  kServeReject = 13,    ///< serve daemon -> client admission rejection
+  kServeSession = 14,   ///< serve daemon session-resume checkpoint
 };
 
 /// Appends primitives to a growing byte buffer.

@@ -435,8 +435,7 @@ void gemm_naive_view(std::size_t m, std::size_t n, std::size_t k,
 void gemm_packed_view(std::size_t m, std::size_t n, std::size_t k,
                       Complex alpha, const Complex* a, std::size_t lda,
                       const Complex* b, std::size_t ldb, Complex* c,
-                      std::size_t ldc) {
-  const std::size_t threads = g_gemm_threads.load(std::memory_order_relaxed);
+                      std::size_t ldc, std::size_t threads) {
   for (std::size_t jc = 0; jc < n; jc += kNC) {
     const std::size_t nc = std::min(kNC, n - jc);
     const std::size_t nc_padded = (nc + kNR - 1) / kNR * kNR;
@@ -473,7 +472,89 @@ void gemm_packed_view(std::size_t m, std::size_t n, std::size_t k,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched dispatch: many independent products per call (the serving
+// scheduler's cross-walker coalescing path).
+
+std::atomic<std::size_t> g_gemm_batch_threads{1};
+
+struct GemmBatchMetrics {
+  obs::Counter& dispatches;
+  obs::Counter& items;
+  obs::Histogram& occupancy;
+};
+
+GemmBatchMetrics& gemm_batch_metrics() {
+  static GemmBatchMetrics metrics{
+      obs::Registry::instance().counter("linalg.batch_dispatches"),
+      obs::Registry::instance().counter("linalg.batch_items"),
+      obs::Registry::instance().histogram(
+          "linalg.batch_occupancy",
+          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0}),
+  };
+  return metrics;
+}
+
+// One batch item, exact zgemm_view arithmetic minus the flop booking (the
+// batch entry point books every item on the calling thread — pool workers
+// park flops in thread-local tallies that drain too late for the windows
+// single-threaded callers measure with). The inner kernel is forced serial
+// so items running ON pool workers never re-enter the pool.
+void run_batch_item(const ZgemmBatchItem& it) {
+  scale_c(it.m, it.n, it.beta, it.c, it.ldc);
+  if (it.m != 0 && it.n != 0 && it.k != 0 && it.alpha != Complex{0.0, 0.0}) {
+    if (8 * it.m * it.n * it.k < kPackThresholdFlops)
+      gemm_naive_view(it.m, it.n, it.k, it.alpha, it.a, it.lda, it.b, it.ldb,
+                      it.c, it.ldc);
+    else
+      gemm_packed_view(it.m, it.n, it.k, it.alpha, it.a, it.lda, it.b,
+                       it.ldb, it.c, it.ldc, 1);
+  }
+}
+
 }  // namespace
+
+void zgemm_view_batch(const ZgemmBatchItem* items, std::size_t count) {
+  if (count == 0) return;
+  GemmBatchMetrics& metrics = gemm_batch_metrics();
+  metrics.dispatches.inc();
+  metrics.items.add(count);
+  metrics.occupancy.observe(static_cast<double>(count));
+
+  const std::size_t threads =
+      g_gemm_batch_threads.load(std::memory_order_relaxed);
+  const std::size_t n_chunks = std::min(threads, count);
+  if (n_chunks <= 1) {
+    for (std::size_t i = 0; i < count; ++i) run_batch_item(items[i]);
+  } else {
+    // Contiguous item chunks, one pool task each (never one task per item:
+    // the pool spawns a thread per task). Items never straddle chunks, so
+    // every C is written by exactly one thread with the serial arithmetic.
+    const std::size_t per_chunk = (count + n_chunks - 1) / n_chunks;
+    auto task = [&](std::size_t t) {
+      const std::size_t i0 = t * per_chunk;
+      const std::size_t i1 = std::min(count, i0 + per_chunk);
+      for (std::size_t i = i0; i < i1; ++i) run_batch_item(items[i]);
+    };
+    GemmPool::instance().run(n_chunks, task);
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const ZgemmBatchItem& it = items[i];
+    if (it.m != 0 && it.n != 0 && it.k != 0 && it.alpha != Complex{0.0, 0.0})
+      perf::add_flops(perf::Kernel::kZgemm,
+                      perf::cost::zgemm(it.m, it.n, it.k));
+  }
+}
+
+void set_zgemm_batch_threads(std::size_t n_threads) {
+  g_gemm_batch_threads.store(std::max<std::size_t>(1, n_threads),
+                             std::memory_order_relaxed);
+}
+
+std::size_t zgemm_batch_threads() {
+  return g_gemm_batch_threads.load(std::memory_order_relaxed);
+}
 
 void set_zgemm_threads(std::size_t n_threads) {
   g_gemm_threads.store(std::max<std::size_t>(1, n_threads),
@@ -492,7 +573,8 @@ void zgemm_view(std::size_t m, std::size_t n, std::size_t k, Complex alpha,
     if (8 * m * n * k < kPackThresholdFlops)
       gemm_naive_view(m, n, k, alpha, a, lda, b, ldb, c, ldc);
     else
-      gemm_packed_view(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+      gemm_packed_view(m, n, k, alpha, a, lda, b, ldb, c, ldc,
+                       g_gemm_threads.load(std::memory_order_relaxed));
     // Booked only when the multiply runs, so alpha == 0 quick returns do
     // not inflate the instrumented counter (or the GEMM fraction).
     perf::add_flops(perf::Kernel::kZgemm, perf::cost::zgemm(m, n, k));

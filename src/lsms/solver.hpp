@@ -97,6 +97,19 @@ class LsmsSolver {
   /// Total energy only.
   double energy(const spin::MomentConfiguration& moments) const;
 
+  /// Energies of many independent configurations at once, with the
+  /// per-atom LIZ solves that share a (geometry, contour point) — i.e. one
+  /// SchurTemplates instance — coalesced into lock-step Schur eliminations
+  /// feeding zgemm_view_batch. This is the serving scheduler's cross-walker
+  /// batching path (DESIGN.md §12) and the traffic shape a batched
+  /// accelerator GEMM wants. Bit-identical per configuration to
+  /// energies(): every zone solve's arithmetic and the atom-order total
+  /// reduction are unchanged; only independent solves execute together.
+  /// Serial on the calling thread (no OpenMP) apart from the optional
+  /// zgemm_batch_threads pool spread.
+  std::vector<LocalEnergies> batch_energies(
+      const std::vector<const spin::MomentConfiguration*>& configs) const;
+
   /// Sites whose local energy changes when `site` moves: site itself plus
   /// every atom whose LIZ contains it. Mirrors the paper's communication
   /// pattern (a t-matrix is sent exactly to the zones that list it).

@@ -1,0 +1,212 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/serial.hpp"
+#include "serve/socket_util.hpp"
+
+namespace wlsms::serve {
+
+namespace {
+
+/// Reads exactly one frame — header, then that frame's payload, and not a
+/// byte more — within `deadline`. The greedy alternative (buffer whatever
+/// is readable) would swallow frames the daemon queued right behind the
+/// welcome (replayed results, say). Throws CommError on EOF, timeout, or a
+/// corrupt length.
+comm::Message read_one_frame_exact(int fd,
+                                   comm::StreamClock::time_point deadline) {
+  const auto read_exact = [&](void* out, std::size_t n) {
+    std::byte* at = static_cast<std::byte*>(out);
+    std::size_t done = 0;
+    while (done < n) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - comm::StreamClock::now());
+      if (remaining.count() <= 0)
+        throw comm::CommError("serve client: handshake timed out");
+      struct pollfd pfd{fd, POLLIN, 0};
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0)
+        throw comm::CommError("serve client: handshake timed out");
+      const ssize_t got = ::read(fd, at + done, n - done);
+      if (got == 0)
+        throw comm::CommError("serve client: daemon closed the connection");
+      if (got < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+          continue;
+        throw comm::CommError(std::string("serve client: read failed: ") +
+                              std::strerror(errno));
+      }
+      done += static_cast<std::size_t>(got);
+    }
+  };
+
+  std::uint32_t header[2] = {0, 0};
+  read_exact(header, sizeof(header));
+  const std::uint32_t length = header[0];
+  if (length < 4 || length > comm::kMaxFrameBytes)
+    throw comm::CommError("serve client: corrupt frame length in handshake");
+  comm::Message message;
+  message.tag = header[1];
+  message.payload.resize(length - 4);
+  if (!message.payload.empty())
+    read_exact(message.payload.data(), message.payload.size());
+  return message;
+}
+
+}  // namespace
+
+ServeClient::ServeClient(const std::string& address, ClientOptions options)
+    : options_(std::move(options)) {
+  net::Socket sock =
+      net::connect_with_timeout(address, options_.connect_timeout);
+
+  ServeHello hello;
+  hello.tenant = options_.tenant;
+  hello.resume_session = options_.resume_session;
+  hello.resume_token = options_.resume_token;
+  comm::Message hello_frame;
+  hello_frame.tag = kTagServeHello;
+  hello_frame.payload = encode_serve_hello(hello);
+  const std::vector<std::byte> bytes = comm::frame_bytes(hello_frame);
+  const auto deadline = comm::StreamClock::now() + options_.handshake_timeout;
+  if (!comm::write_all(sock.get(), bytes.data(), bytes.size(), deadline))
+    throw comm::CommError("serve client: hello write failed");
+
+  comm::Message reply = read_one_frame_exact(sock.get(), deadline);
+  while (reply.tag == comm::kTagHeartbeat)
+    reply = read_one_frame_exact(sock.get(), deadline);
+  if (reply.tag == kTagServeReject)
+    throw comm::CommError("serve client: handshake rejected by daemon");
+  if (reply.tag != kTagServeWelcome)
+    throw comm::CommError("serve client: unexpected handshake reply tag " +
+                          std::to_string(reply.tag));
+  ServeWelcome welcome;
+  try {
+    welcome = decode_serve_welcome(reply.payload);
+  } catch (const serial::SerializationError& error) {
+    throw comm::CommError(std::string("serve client: corrupt welcome: ") +
+                          error.what());
+  }
+  session_ = welcome.session;
+  resume_token_ = welcome.resume_token;
+  n_atoms_ = static_cast<std::size_t>(welcome.n_atoms);
+  resumed_ = welcome.resumed;
+  // A resumed session already owes us results: the replayed ones and the
+  // re-enqueued requests (some of which may come back as rejects).
+  outstanding_ =
+      static_cast<std::size_t>(welcome.n_replayed + welcome.n_pending);
+  fd_ = sock.release();
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ServeClient::abort_socket() {
+  if (fd_ < 0) return;
+  (void)::shutdown(fd_, SHUT_RDWR);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void ServeClient::submit(wl::EnergyRequest request) {
+  if (fd_ < 0) throw comm::CommError("serve client: connection is closed");
+  comm::Message message;
+  message.tag = kTagServeSubmit;
+  message.payload = encode_serve_submit(request);
+  const std::vector<std::byte> bytes = comm::frame_bytes(message);
+  if (!comm::write_all(fd_, bytes.data(), bytes.size(),
+                       comm::StreamClock::now() + options_.send_deadline)) {
+    abort_socket();
+    throw comm::CommError("serve client: submit write failed");
+  }
+  in_flight_[request.ticket] = request.walker;
+  ++outstanding_;
+}
+
+wl::EnergyResult ServeClient::pop_completed(const comm::Message& frame) {
+  if (frame.tag == kTagServeResult) {
+    const wl::EnergyResult result = decode_serve_result(frame.payload);
+    in_flight_.erase(result.ticket);
+    --outstanding_;
+    return result;
+  }
+  // ServeReject: admission control refused the request; surface it through
+  // the same failed-result path a dead rank uses.
+  const ServeReject reject = decode_serve_reject(frame.payload);
+  wl::EnergyResult result;
+  result.ticket = reject.ticket;
+  const auto it = in_flight_.find(reject.ticket);
+  result.walker = it == in_flight_.end() ? 0 : it->second;
+  if (it != in_flight_.end()) in_flight_.erase(it);
+  result.failed = true;
+  --outstanding_;
+  return result;
+}
+
+wl::EnergyResult ServeClient::retrieve() {
+  if (outstanding_ == 0)
+    throw Error("serve client: retrieve() with nothing outstanding");
+  if (fd_ < 0) throw comm::CommError("serve client: connection is closed");
+
+  const auto deadline =
+      comm::StreamClock::now() + options_.retrieve_timeout;
+  comm::Message frame;
+  while (true) {
+    try {
+      while (rx_.pop(frame)) {
+        if (frame.tag == comm::kTagHeartbeat) continue;
+        if (frame.tag == kTagServeResult || frame.tag == kTagServeReject)
+          return pop_completed(frame);
+        throw comm::CommError("serve client: unexpected frame tag " +
+                              std::to_string(frame.tag));
+      }
+    } catch (const serial::SerializationError& error) {
+      // Corrupt payload or corrupt frame length: the stream is unusable.
+      abort_socket();
+      throw comm::CommError(std::string("serve client: corrupt frame: ") +
+                            error.what());
+    } catch (const comm::CommError&) {
+      abort_socket();
+      throw;
+    }
+
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - comm::StreamClock::now());
+    if (remaining.count() <= 0)
+      throw comm::CommError("serve client: retrieve timed out");
+    struct pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0)
+      throw comm::CommError("serve client: retrieve timed out");
+    char buffer[65536];
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n == 0) {
+      abort_socket();
+      throw comm::CommError("serve client: daemon closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        continue;
+      abort_socket();
+      throw comm::CommError(std::string("serve client: read failed: ") +
+                            std::strerror(errno));
+    }
+    rx_.push(buffer, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace wlsms::serve

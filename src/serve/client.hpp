@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file client.hpp
+/// Client side of the serve protocol: a wl::EnergyService whose compute
+/// backend is a remote `wlsms serve` daemon. submit() ships the walker
+/// configuration as one frame; retrieve() blocks for the next ServeResult
+/// (or ServeReject, surfaced as failed=true) — exactly the out-of-order
+/// contract every other EnergyService honours, so a Wang-Landau driver can
+/// run against a shared daemon without knowing it.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "comm/framing.hpp"
+#include "serve/protocol.hpp"
+#include "wl/energy_service.hpp"
+
+namespace wlsms::serve {
+
+/// Client connection knobs.
+struct ClientOptions {
+  /// Tenant name presented in the handshake (printable ASCII, <= 64 B).
+  std::string tenant = "default";
+  std::chrono::milliseconds connect_timeout{5000};
+  /// Bound on the hello -> welcome round trip.
+  std::chrono::milliseconds handshake_timeout{5000};
+  /// Bound on one retrieve(); a daemon silent past this throws CommError.
+  std::chrono::milliseconds retrieve_timeout{120000};
+  /// Bound on one submit write.
+  std::chrono::milliseconds send_deadline{5000};
+  /// Nonzero: resume this session (with its token) instead of opening a
+  /// fresh one. After a resume, outstanding() starts at the number of
+  /// results the daemon will replay plus the requests it re-enqueued.
+  std::uint64_t resume_session = 0;
+  std::uint64_t resume_token = 0;
+};
+
+/// Connects and handshakes in the constructor; throws comm::CommError on
+/// connect, timeout, or a rejected handshake. Single-threaded, like every
+/// EnergyService.
+class ServeClient final : public wl::EnergyService {
+ public:
+  ServeClient(const std::string& address, ClientOptions options = {});
+  ~ServeClient() override;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  void submit(wl::EnergyRequest request) override;
+  wl::EnergyResult retrieve() override;
+  std::size_t outstanding() const override { return outstanding_; }
+
+  std::uint64_t session() const { return session_; }
+  std::uint64_t resume_token() const { return resume_token_; }
+  std::size_t n_atoms() const { return n_atoms_; }
+  bool resumed() const { return resumed_; }
+
+  /// Chaos hook: hard-kills the socket (both directions) without the
+  /// protocol goodbye, so tests can die on the daemon mid-batch. Subsequent
+  /// submit/retrieve throw CommError.
+  void abort_socket();
+
+ private:
+  wl::EnergyResult pop_completed(const comm::Message& frame);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  comm::FrameAssembler rx_;
+  std::uint64_t session_ = 0;
+  std::uint64_t resume_token_ = 0;
+  std::size_t n_atoms_ = 0;
+  bool resumed_ = false;
+  std::size_t outstanding_ = 0;
+  /// ticket -> walker, so a ServeReject (which carries only the ticket) can
+  /// be surfaced with the right walker id. Requests replayed by a resumed
+  /// daemon predate this client object and fall back to walker 0.
+  std::map<std::uint64_t, std::size_t> in_flight_;
+};
+
+}  // namespace wlsms::serve

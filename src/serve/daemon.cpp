@@ -1,0 +1,443 @@
+#include "serve/daemon.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include "comm/framing.hpp"
+#include "common/error.hpp"
+#include "common/serial.hpp"
+#include "linalg/blas.hpp"
+#include "obs/metrics.hpp"
+#include "serve/socket_util.hpp"
+
+namespace wlsms::serve {
+
+namespace {
+
+obs::Gauge& sessions_gauge() {
+  static obs::Gauge& gauge = obs::Registry::instance().gauge("serve.sessions");
+  return gauge;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+ServeReject::Reason reject_reason(BatchScheduler::Admission admission) {
+  return admission == BatchScheduler::Admission::kQueueFull
+             ? ServeReject::Reason::kQueueFull
+             : ServeReject::Reason::kQuotaExceeded;
+}
+
+/// splitmix64: cheap, well-mixed resume tokens (never zero).
+std::uint64_t next_token(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return (z ^ (z >> 31)) | 1ull;
+}
+
+}  // namespace
+
+Daemon::Daemon(std::shared_ptr<const lsms::LsmsSolver> solver,
+               ServeOptions options)
+    : solver_(std::move(solver)),
+      options_(std::move(options)),
+      scheduler_(solver_, options_.limits) {
+  net::Socket listener = net::make_listener(options_.listen, 32, address_);
+  set_nonblocking(listener.get());
+  listener_ = listener.release();
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    ::close(listener_);
+    listener_ = -1;
+    throw comm::CommError(std::string("serve: self-pipe failed: ") +
+                          std::strerror(errno));
+  }
+  stop_read_ = pipe_fds[0];
+  stop_write_ = pipe_fds[1];
+  set_nonblocking(stop_read_);
+  net::set_cloexec(stop_read_);
+  net::set_cloexec(stop_write_);
+
+  token_state_ = (static_cast<std::uint64_t>(std::random_device{}()) << 32) ^
+                 std::random_device{}();
+
+  if (options_.on_listening) options_.on_listening(address_);
+}
+
+Daemon::~Daemon() {
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  if (listener_ >= 0) ::close(listener_);
+  if (stop_read_ >= 0) ::close(stop_read_);
+  if (stop_write_ >= 0) ::close(stop_write_);
+}
+
+void Daemon::stop() {
+  const char byte = 's';
+  (void)!::write(stop_write_, &byte, 1);
+}
+
+std::string Daemon::checkpoint_path(std::uint64_t session) const {
+  return options_.checkpoint_dir + "/session-" + std::to_string(session) +
+         ".wlsm";
+}
+
+int Daemon::poll_timeout_ms() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (scheduler_.pending() >= options_.limits.max_batch) return 0;
+  if (const auto oldest = scheduler_.oldest_pending_since())
+    deadline = *oldest + options_.limits.batch_window;
+  for (const auto& [fd, conn] : connections_)
+    if (!conn.handshaken) {
+      const auto expiry = conn.connected_at + options_.handshake_timeout;
+      if (!deadline || expiry < *deadline) deadline = expiry;
+    }
+  if (!deadline) return -1;
+  const auto remaining =
+      std::chrono::duration_cast<std::chrono::milliseconds>(*deadline - now);
+  return remaining.count() < 0 ? 0 : static_cast<int>(remaining.count() + 1);
+}
+
+void Daemon::run() {
+  // Pin the batch-GEMM worker count for the daemon's lifetime if asked.
+  const std::size_t saved_batch_threads = linalg::zgemm_batch_threads();
+  if (options_.gemm_batch_threads > 0)
+    linalg::set_zgemm_batch_threads(options_.gemm_batch_threads);
+
+  bool stopping = false;
+  std::vector<struct pollfd> pfds;
+  while (!stopping) {
+    pfds.clear();
+    pfds.push_back({stop_read_, POLLIN, 0});
+    pfds.push_back({listener_, POLLIN, 0});
+    for (const auto& [fd, conn] : connections_)
+      pfds.push_back({fd, POLLIN, 0});
+
+    const int rc = ::poll(pfds.data(), pfds.size(), poll_timeout_ms());
+    if (rc < 0 && errno != EINTR) break;
+
+    if (pfds[0].revents & POLLIN) {
+      char drain[64];
+      while (::read(stop_read_, drain, sizeof(drain)) > 0) {
+      }
+      stopping = true;
+    }
+    if (!stopping) {
+      if (pfds[1].revents & (POLLIN | POLLERR)) accept_pending();
+      for (std::size_t i = 2; i < pfds.size(); ++i)
+        if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR))
+          if (connections_.count(pfds[i].fd) != 0)
+            read_connection(pfds[i].fd);
+      expire_handshakes();
+    }
+    dispatch_ready_batches();
+  }
+
+  // Drain: solve and route everything still pending (the batch window no
+  // longer applies), then checkpoint and drop every session so nothing is
+  // silently lost.
+  dispatch_ready_batches(/*force=*/true);
+  while (!connections_.empty()) {
+    const int fd = connections_.begin()->first;
+    const std::uint64_t session = connections_.begin()->second.session;
+    ::close(fd);
+    connections_.erase(connections_.begin());
+    if (session != 0 && sessions_.count(session) != 0)
+      sessions_[session].fd = -1;
+  }
+  while (!sessions_.empty()) close_session(sessions_.begin()->first);
+
+  linalg::set_zgemm_batch_threads(saved_batch_threads);
+}
+
+void Daemon::accept_pending() {
+  while (true) {
+    const int fd = ::accept(listener_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN, or a transient accept error: try later
+    net::set_nodelay(fd);
+    net::set_cloexec(fd);
+    set_nonblocking(fd);
+    Connection conn;
+    conn.connected_at = std::chrono::steady_clock::now();
+    connections_.emplace(fd, std::move(conn));
+  }
+}
+
+void Daemon::read_connection(int fd) {
+  char buffer[65536];
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      Connection& conn = connections_[fd];
+      try {
+        conn.rx.push(buffer, static_cast<std::size_t>(n));
+        comm::Message frame;
+        while (conn.rx.pop(frame))
+          if (!handle_frame(fd, frame)) {
+            drop_connection(fd);
+            return;
+          }
+      } catch (const comm::CommError&) {
+        // Corrupt frame length: the stream cannot be resynchronized.
+        drop_connection(fd);
+        return;
+      } catch (const serial::SerializationError&) {
+        drop_connection(fd);
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    drop_connection(fd);  // EOF or hard error
+    return;
+  }
+}
+
+bool Daemon::handle_frame(int fd, const comm::Message& frame) {
+  if (frame.tag == comm::kTagHeartbeat) return true;
+  const Connection& conn = connections_[fd];
+  if (!conn.handshaken) {
+    if (frame.tag != kTagServeHello) return false;
+    return handle_hello(fd, frame.payload);
+  }
+  if (frame.tag != kTagServeSubmit) return false;
+  return handle_submit(fd, frame.payload);
+}
+
+bool Daemon::handle_hello(int fd, const std::vector<std::byte>& payload) {
+  const ServeHello hello = decode_serve_hello(payload);  // throws on garbage
+  Connection& conn = connections_[fd];
+
+  std::uint64_t session = 0;
+  SessionCheckpoint restored;
+  bool resumed = false;
+  if (hello.resume_session != 0) {
+    // Resume: the checkpoint file is the session's entire disconnected
+    // state; tenant + token are the proof of ownership.
+    bool valid = !options_.checkpoint_dir.empty() &&
+                 sessions_.count(hello.resume_session) == 0;
+    if (valid) {
+      std::ifstream in(checkpoint_path(hello.resume_session),
+                       std::ios::binary);
+      valid = in.good();
+      if (valid) {
+        std::vector<std::byte> bytes;
+        char chunk[4096];
+        while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0)
+          bytes.insert(bytes.end(), reinterpret_cast<std::byte*>(chunk),
+                       reinterpret_cast<std::byte*>(chunk) + in.gcount());
+        try {
+          restored = decode_session_checkpoint(bytes);
+        } catch (const serial::SerializationError&) {
+          valid = false;
+        }
+        valid = valid && restored.session == hello.resume_session &&
+                restored.tenant == hello.tenant &&
+                restored.resume_token == hello.resume_token;
+      }
+    }
+    if (!valid) {
+      ServeReject reject;
+      reject.reason = ServeReject::Reason::kBadRequest;
+      (void)send_frame(fd, kTagServeReject, encode_serve_reject(reject));
+      return false;
+    }
+    session = restored.session;
+    resumed = true;
+  } else {
+    session = next_session_++;
+  }
+
+  Session state;
+  state.tenant = hello.tenant;
+  state.resume_token =
+      resumed ? restored.resume_token : next_token(token_state_);
+  state.fd = fd;
+  sessions_.emplace(session, std::move(state));
+  if (resumed && session >= next_session_) next_session_ = session + 1;
+  conn.handshaken = true;
+  conn.session = session;
+  sessions_gauge().set(static_cast<double>(sessions_.size()));
+  obs::Registry::instance()
+      .counter("serve.tenant." + hello.tenant + ".sessions")
+      .inc();
+
+  ServeWelcome welcome;
+  welcome.session = session;
+  welcome.resume_token = sessions_[session].resume_token;
+  welcome.n_atoms = scheduler_.n_atoms();
+  welcome.resumed = resumed;
+  welcome.n_replayed = resumed ? restored.undelivered.size() : 0;
+  welcome.n_pending = resumed ? restored.pending.size() : 0;
+  if (!send_frame(fd, kTagServeWelcome, encode_serve_welcome(welcome)))
+    return false;
+
+  if (resumed) {
+    // Replay results computed while disconnected, then re-enqueue the
+    // checkpointed requests; any the admission path now refuses (the daemon
+    // may have filled up meanwhile) come back as ordinary rejects.
+    for (const wl::EnergyResult& result : restored.undelivered)
+      if (!send_frame(fd, kTagServeResult, encode_serve_result(result)))
+        return false;
+    for (wl::EnergyRequest& request : restored.pending) {
+      const std::uint64_t ticket = request.ticket;
+      const BatchScheduler::Admission admission =
+          scheduler_.submit(session, std::move(request));
+      if (admission != BatchScheduler::Admission::kAccepted) {
+        ServeReject reject;
+        reject.ticket = ticket;
+        reject.reason = reject_reason(admission);
+        if (!send_frame(fd, kTagServeReject, encode_serve_reject(reject)))
+          return false;
+      }
+    }
+    (void)std::remove(checkpoint_path(session).c_str());
+  }
+  return true;
+}
+
+bool Daemon::handle_submit(int fd, const std::vector<std::byte>& payload) {
+  wl::EnergyRequest request = decode_serve_submit(payload);  // throws
+  const std::uint64_t session = connections_[fd].session;
+  Session& state = sessions_[session];
+  obs::Registry& registry = obs::Registry::instance();
+
+  if (request.config.size() != scheduler_.n_atoms()) {
+    registry.counter("serve.tenant." + state.tenant + ".rejected").inc();
+    ServeReject reject;
+    reject.ticket = request.ticket;
+    reject.reason = ServeReject::Reason::kBadRequest;
+    return send_frame(fd, kTagServeReject, encode_serve_reject(reject));
+  }
+
+  const std::uint64_t ticket = request.ticket;
+  const BatchScheduler::Admission admission =
+      scheduler_.submit(session, std::move(request));
+  if (admission == BatchScheduler::Admission::kAccepted) {
+    registry.counter("serve.tenant." + state.tenant + ".accepted").inc();
+    return true;
+  }
+  registry.counter("serve.tenant." + state.tenant + ".rejected").inc();
+  ServeReject reject;
+  reject.ticket = ticket;
+  reject.reason = reject_reason(admission);
+  return send_frame(fd, kTagServeReject, encode_serve_reject(reject));
+}
+
+void Daemon::dispatch_ready_batches(bool force) {
+  while (true) {
+    const std::size_t pending = scheduler_.pending();
+    if (pending == 0) break;
+    if (!force && pending < options_.limits.max_batch) {
+      const auto oldest = scheduler_.oldest_pending_since();
+      if (!oldest || std::chrono::steady_clock::now() - *oldest <
+                         options_.limits.batch_window)
+        break;
+    }
+    completed_.clear();
+    scheduler_.run_next_batch(completed_);
+    for (const BatchScheduler::Completed& done : completed_)
+      deliver(done.session, done.result);
+    // A client that died mid-batch was unhooked inside deliver(); finish
+    // the teardown now that every completion of this batch is routed.
+    std::vector<std::uint64_t> orphaned;
+    for (const auto& [session, state] : sessions_)
+      if (state.fd < 0) orphaned.push_back(session);
+    for (std::uint64_t session : orphaned) close_session(session);
+  }
+}
+
+void Daemon::deliver(std::uint64_t session, const wl::EnergyResult& result) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;  // session closed while solving
+  Session& state = it->second;
+  if (state.fd < 0) {
+    state.undelivered.push_back(result);
+    return;
+  }
+  if (!send_frame(state.fd, kTagServeResult, encode_serve_result(result))) {
+    // The socket is gone; keep the result for a future resume and unhook
+    // the connection. close_session runs after the batch finishes routing.
+    state.undelivered.push_back(result);
+    ::close(state.fd);
+    connections_.erase(state.fd);
+    state.fd = -1;
+    return;
+  }
+  obs::Registry::instance()
+      .counter("serve.tenant." + state.tenant + ".results")
+      .inc();
+}
+
+bool Daemon::send_frame(int fd, std::uint32_t tag,
+                        std::vector<std::byte> payload) {
+  comm::Message message;
+  message.tag = tag;
+  message.payload = std::move(payload);
+  const std::vector<std::byte> frame = comm::frame_bytes(message);
+  return comm::write_all(fd, frame.data(), frame.size(),
+                         comm::StreamClock::now() + options_.send_deadline);
+}
+
+void Daemon::drop_connection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  const bool handshaken = it->second.handshaken;
+  const std::uint64_t session = it->second.session;
+  ::close(fd);
+  connections_.erase(it);
+  if (handshaken && sessions_.count(session) != 0) {
+    sessions_[session].fd = -1;
+    close_session(session);
+  }
+}
+
+void Daemon::close_session(std::uint64_t session) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  std::vector<wl::EnergyRequest> pending = scheduler_.take_session(session);
+  if (!options_.checkpoint_dir.empty()) {
+    SessionCheckpoint checkpoint;
+    checkpoint.session = session;
+    checkpoint.resume_token = it->second.resume_token;
+    checkpoint.tenant = it->second.tenant;
+    checkpoint.pending = std::move(pending);
+    checkpoint.undelivered.assign(it->second.undelivered.begin(),
+                                  it->second.undelivered.end());
+    const std::vector<std::byte> bytes =
+        encode_session_checkpoint(checkpoint);
+    std::ofstream out(checkpoint_path(session), std::ios::binary);
+    if (out.good())
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+  }
+  sessions_.erase(it);
+  sessions_gauge().set(static_cast<double>(sessions_.size()));
+}
+
+void Daemon::expire_handshakes() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : connections_)
+    if (!conn.handshaken &&
+        now - conn.connected_at >= options_.handshake_timeout)
+      expired.push_back(fd);
+  for (int fd : expired) drop_connection(fd);
+}
+
+}  // namespace wlsms::serve

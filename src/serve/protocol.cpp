@@ -1,0 +1,213 @@
+#include "serve/protocol.hpp"
+
+#include "spin/serialize.hpp"
+
+namespace wlsms::serve {
+
+using serial::Decoder;
+using serial::Encoder;
+using serial::PayloadKind;
+using serial::SerializationError;
+
+namespace {
+
+void put_tenant(Encoder& e, const std::string& tenant) {
+  e.put_u64(tenant.size());
+  e.put_bytes(tenant.data(), tenant.size());
+}
+
+/// Tenant names feed per-tenant metric series and checkpoint filenames, so
+/// hostile bytes are rejected at the decode boundary: bounded length,
+/// printable ASCII, no spaces.
+std::string get_tenant(Decoder& d) {
+  const std::uint64_t size = d.get_u64();
+  if (size == 0 || size > kMaxTenantBytes)
+    throw SerializationError("serve tenant name empty or oversized");
+  std::string tenant(static_cast<std::size_t>(size), '\0');
+  d.get_bytes(tenant.data(), tenant.size());
+  for (char c : tenant)
+    if (c < '!' || c > '~')
+      throw SerializationError("serve tenant name has non-printable bytes");
+  return tenant;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_serve_hello(const ServeHello& hello) {
+  Encoder e;
+  serial::write_header(e, PayloadKind::kServeHello);
+  put_tenant(e, hello.tenant);
+  e.put_u64(hello.resume_session);
+  e.put_u64(hello.resume_token);
+  return e.take();
+}
+
+ServeHello decode_serve_hello(const std::vector<std::byte>& buffer) {
+  Decoder d(buffer);
+  serial::read_header(d, PayloadKind::kServeHello);
+  ServeHello hello;
+  hello.tenant = get_tenant(d);
+  hello.resume_session = d.get_u64();
+  hello.resume_token = d.get_u64();
+  d.expect_end();
+  return hello;
+}
+
+std::vector<std::byte> encode_serve_welcome(const ServeWelcome& welcome) {
+  Encoder e;
+  serial::write_header(e, PayloadKind::kServeWelcome);
+  e.put_u64(welcome.session);
+  e.put_u64(welcome.resume_token);
+  e.put_u64(welcome.n_atoms);
+  e.put_u8(welcome.resumed ? 1 : 0);
+  e.put_u64(welcome.n_replayed);
+  e.put_u64(welcome.n_pending);
+  return e.take();
+}
+
+ServeWelcome decode_serve_welcome(const std::vector<std::byte>& buffer) {
+  Decoder d(buffer);
+  serial::read_header(d, PayloadKind::kServeWelcome);
+  ServeWelcome welcome;
+  welcome.session = d.get_u64();
+  welcome.resume_token = d.get_u64();
+  welcome.n_atoms = d.get_u64();
+  const std::uint8_t resumed = d.get_u8();
+  if (resumed > 1) throw SerializationError("corrupt serve-welcome flag");
+  welcome.resumed = resumed != 0;
+  welcome.n_replayed = d.get_u64();
+  welcome.n_pending = d.get_u64();
+  if (welcome.session == 0)
+    throw SerializationError("serve-welcome with null session id");
+  d.expect_end();
+  return welcome;
+}
+
+std::vector<std::byte> encode_serve_submit(const wl::EnergyRequest& request) {
+  Encoder e;
+  serial::write_header(e, PayloadKind::kServeSubmit);
+  e.put_u64(request.walker);
+  e.put_u64(request.ticket);
+  spin::encode_moments(e, request.config);
+  return e.take();
+}
+
+wl::EnergyRequest decode_serve_submit(const std::vector<std::byte>& buffer) {
+  Decoder d(buffer);
+  serial::read_header(d, PayloadKind::kServeSubmit);
+  wl::EnergyRequest request;
+  request.walker = static_cast<std::size_t>(d.get_u64());
+  request.ticket = d.get_u64();
+  request.config = spin::decode_moments(d);
+  if (request.config.size() == 0)
+    throw SerializationError("serve-submit with empty configuration");
+  d.expect_end();
+  return request;
+}
+
+std::vector<std::byte> encode_serve_result(const wl::EnergyResult& result) {
+  Encoder e;
+  serial::write_header(e, PayloadKind::kServeResult);
+  e.put_u64(result.walker);
+  e.put_u64(result.ticket);
+  e.put_double(result.energy);
+  e.put_u8(result.failed ? 1 : 0);
+  return e.take();
+}
+
+wl::EnergyResult decode_serve_result(const std::vector<std::byte>& buffer) {
+  Decoder d(buffer);
+  serial::read_header(d, PayloadKind::kServeResult);
+  wl::EnergyResult result;
+  result.walker = static_cast<std::size_t>(d.get_u64());
+  result.ticket = d.get_u64();
+  result.energy = d.get_double();
+  const std::uint8_t failed = d.get_u8();
+  if (failed > 1) throw SerializationError("corrupt serve-result flag");
+  result.failed = failed != 0;
+  d.expect_end();
+  return result;
+}
+
+std::vector<std::byte> encode_serve_reject(const ServeReject& reject) {
+  Encoder e;
+  serial::write_header(e, PayloadKind::kServeReject);
+  e.put_u64(reject.ticket);
+  e.put_u8(static_cast<std::uint8_t>(reject.reason));
+  return e.take();
+}
+
+ServeReject decode_serve_reject(const std::vector<std::byte>& buffer) {
+  Decoder d(buffer);
+  serial::read_header(d, PayloadKind::kServeReject);
+  ServeReject reject;
+  reject.ticket = d.get_u64();
+  const std::uint8_t reason = d.get_u8();
+  if (reason > static_cast<std::uint8_t>(ServeReject::Reason::kShuttingDown))
+    throw SerializationError("corrupt serve-reject reason");
+  reject.reason = static_cast<ServeReject::Reason>(reason);
+  d.expect_end();
+  return reject;
+}
+
+std::vector<std::byte> encode_session_checkpoint(
+    const SessionCheckpoint& checkpoint) {
+  Encoder e;
+  serial::write_header(e, PayloadKind::kServeSession);
+  e.put_u64(checkpoint.session);
+  e.put_u64(checkpoint.resume_token);
+  put_tenant(e, checkpoint.tenant);
+  e.put_u64(checkpoint.pending.size());
+  for (const wl::EnergyRequest& request : checkpoint.pending) {
+    e.put_u64(request.walker);
+    e.put_u64(request.ticket);
+    spin::encode_moments(e, request.config);
+  }
+  e.put_u64(checkpoint.undelivered.size());
+  for (const wl::EnergyResult& result : checkpoint.undelivered) {
+    e.put_u64(result.walker);
+    e.put_u64(result.ticket);
+    e.put_double(result.energy);
+    e.put_u8(result.failed ? 1 : 0);
+  }
+  return e.take();
+}
+
+SessionCheckpoint decode_session_checkpoint(
+    const std::vector<std::byte>& buffer) {
+  Decoder d(buffer);
+  serial::read_header(d, PayloadKind::kServeSession);
+  SessionCheckpoint checkpoint;
+  checkpoint.session = d.get_u64();
+  checkpoint.resume_token = d.get_u64();
+  checkpoint.tenant = get_tenant(d);
+  if (checkpoint.session == 0)
+    throw SerializationError("session checkpoint with null session id");
+  const std::uint64_t n_pending = d.get_u64();
+  // A pending request is at least walker + ticket + site count.
+  d.expect_sequence(n_pending, 24);
+  checkpoint.pending.resize(static_cast<std::size_t>(n_pending));
+  for (wl::EnergyRequest& request : checkpoint.pending) {
+    request.walker = static_cast<std::size_t>(d.get_u64());
+    request.ticket = d.get_u64();
+    request.config = spin::decode_moments(d);
+    if (request.config.size() == 0)
+      throw SerializationError("session checkpoint with empty configuration");
+  }
+  const std::uint64_t n_undelivered = d.get_u64();
+  d.expect_sequence(n_undelivered, 25);
+  checkpoint.undelivered.resize(static_cast<std::size_t>(n_undelivered));
+  for (wl::EnergyResult& result : checkpoint.undelivered) {
+    result.walker = static_cast<std::size_t>(d.get_u64());
+    result.ticket = d.get_u64();
+    result.energy = d.get_double();
+    const std::uint8_t failed = d.get_u8();
+    if (failed > 1)
+      throw SerializationError("corrupt session-checkpoint result flag");
+    result.failed = failed != 0;
+  }
+  d.expect_end();
+  return checkpoint;
+}
+
+}  // namespace wlsms::serve

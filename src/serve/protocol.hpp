@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file protocol.hpp
+/// Wire protocol of the multi-tenant energy daemon (`wlsms serve`): the
+/// session handshake, the submit/result/reject conversation, and the
+/// session-resume checkpoint. Every payload rides the shared WLSM serial
+/// schema (magic + version + payload kind) inside the same
+/// [u32 length][u32 tag][payload] frames as the comm transports, so a serve
+/// stream is parsed by the identical hardened machinery: truncated or
+/// corrupted payloads throw serial::SerializationError, corrupt frame
+/// lengths throw CommError from the assembler, and neither can crash or
+/// desync the daemon.
+///
+/// Conversation:
+///   client -> daemon   ServeHello   (tenant name; optionally a session to
+///                                    resume with its proof-of-ownership
+///                                    token)
+///   daemon -> client   ServeWelcome (session id + resume token + n_atoms;
+///                                    on resume, counts of replayed results
+///                                    and re-enqueued requests follow)
+///   client -> daemon   ServeSubmit  (one walker configuration per frame)
+///   daemon -> client   ServeResult  (completed energies, any order)
+///                  or  ServeReject  (admission control: queue full, quota,
+///                                    malformed request, shutdown)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serial.hpp"
+#include "wl/energy_service.hpp"
+
+namespace wlsms::serve {
+
+/// Application frame tags of the serve conversation. Distinct from the
+/// comm::Tag shard/energy range (1..4) so a serve frame routed into a group
+/// stream — or vice versa — is recognizably foreign, and far below the
+/// channel control tags (0xFFFFFFFC..) per the framing.hpp rule.
+enum Tag : std::uint32_t {
+  kTagServeHello = 10,
+  kTagServeWelcome = 11,
+  kTagServeSubmit = 12,
+  kTagServeResult = 13,
+  kTagServeReject = 14,
+};
+
+/// Longest accepted tenant name. Tenant names label per-tenant metric
+/// series, so they are bounded and restricted to printable ASCII.
+inline constexpr std::size_t kMaxTenantBytes = 64;
+
+/// Client -> daemon session handshake.
+struct ServeHello {
+  std::string tenant;                ///< non-empty printable ASCII, <= 64 B
+  std::uint64_t resume_session = 0;  ///< 0 = fresh session
+  std::uint64_t resume_token = 0;    ///< proof of ownership when resuming
+};
+
+/// Daemon -> client session grant.
+struct ServeWelcome {
+  std::uint64_t session = 0;
+  std::uint64_t resume_token = 0;  ///< present this to resume later
+  std::uint64_t n_atoms = 0;       ///< configuration size the daemon serves
+  bool resumed = false;
+  /// On resume: results computed while disconnected, replayed as ServeResult
+  /// frames immediately after this welcome.
+  std::uint64_t n_replayed = 0;
+  /// On resume: checkpointed requests re-enqueued on the client's behalf
+  /// (their results arrive as normal ServeResult frames).
+  std::uint64_t n_pending = 0;
+};
+
+/// Daemon -> client admission rejection for one submitted ticket.
+struct ServeReject {
+  enum class Reason : std::uint8_t {
+    kQueueFull = 0,      ///< daemon-wide pending queue at capacity
+    kQuotaExceeded = 1,  ///< this session's outstanding quota exhausted
+    kBadRequest = 2,     ///< malformed or wrong-sized configuration
+    kShuttingDown = 3,   ///< daemon is draining
+  };
+  std::uint64_t ticket = 0;
+  Reason reason = Reason::kBadRequest;
+};
+
+/// Everything a disconnected session needs to resume: the accepted-but-
+/// uncomputed requests and the computed-but-undelivered results. Written
+/// to `<checkpoint-dir>/session-<id>.wlsm` on disconnect, consumed (and
+/// deleted) by a successful resume. Versioned like every WLSM payload: a
+/// checkpoint from an incompatible build is rejected, not misread.
+struct SessionCheckpoint {
+  std::uint64_t session = 0;
+  std::uint64_t resume_token = 0;
+  std::string tenant;
+  std::vector<wl::EnergyRequest> pending;
+  std::vector<wl::EnergyResult> undelivered;
+};
+
+std::vector<std::byte> encode_serve_hello(const ServeHello&);
+ServeHello decode_serve_hello(const std::vector<std::byte>&);
+
+std::vector<std::byte> encode_serve_welcome(const ServeWelcome&);
+ServeWelcome decode_serve_welcome(const std::vector<std::byte>&);
+
+/// Submit carries walker + ticket + configuration; the session identity is
+/// implied by the connection (the daemon stamps it server-side, so a client
+/// cannot submit into another tenant's session).
+std::vector<std::byte> encode_serve_submit(const wl::EnergyRequest&);
+wl::EnergyRequest decode_serve_submit(const std::vector<std::byte>&);
+
+std::vector<std::byte> encode_serve_result(const wl::EnergyResult&);
+wl::EnergyResult decode_serve_result(const std::vector<std::byte>&);
+
+std::vector<std::byte> encode_serve_reject(const ServeReject&);
+ServeReject decode_serve_reject(const std::vector<std::byte>&);
+
+std::vector<std::byte> encode_session_checkpoint(const SessionCheckpoint&);
+SessionCheckpoint decode_session_checkpoint(const std::vector<std::byte>&);
+
+}  // namespace wlsms::serve

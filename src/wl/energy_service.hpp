@@ -27,6 +27,11 @@ struct EnergyRequest {
   std::size_t walker = 0;      ///< which walker's configuration this is
   std::uint64_t ticket = 0;    ///< driver-assigned id, echoed in the result
   spin::MomentConfiguration config;
+  /// Originating session identity (0 = the single local tenant). The
+  /// serving daemon multiplexes many tenants over one service; downstream
+  /// per-walker state — the distributed delta-scatter caches — must key on
+  /// (session, walker) so two tenants with equal walker ids cannot alias.
+  std::uint64_t session = 0;
 };
 
 /// A completed (or failed) energy calculation.

@@ -22,6 +22,7 @@
 #include "lattice/structure.hpp"
 #include "lsms/fe_parameters.hpp"
 #include "lsms/solver.hpp"
+#include "obs/metrics.hpp"
 #include "wl/energy_service.hpp"
 
 namespace wlsms::comm {
@@ -224,6 +225,58 @@ TEST(DistributedService, DeltaScatterAfterSingleMoveStaysBitIdentical) {
     EXPECT_EQ(result.energy, f.energy->total_energy(moments))
         << "step " << step;
   }
+}
+
+TEST(DistributedService, SessionsWithEqualWalkerIdsDoNotAliasDeltaCaches) {
+  // The serving daemon multiplexes many tenant sessions over one service,
+  // and every session numbers its walkers from zero. The delta caches are
+  // keyed on (session, walker): a new session's first request for walker 0
+  // must be a full scatter, never a delta against some other session's
+  // walker 0 baseline.
+  const Fe16& f = fe16();
+  DistributedConfig config;
+  config.n_groups = 1;
+  config.group_size = 1;
+  config.transport = Transport::kInProcess;
+  DistributedEnergyService distributed(f.solver, config);
+
+  obs::Counter& fulls = obs::Registry::instance().counter("comm.full_scatters");
+  obs::Counter& deltas =
+      obs::Registry::instance().counter("comm.delta_scatters");
+
+  Rng rng(28);
+  auto submit = [&](std::uint64_t session, std::uint64_t ticket,
+                    const spin::MomentConfiguration& moments) {
+    wl::EnergyRequest request;
+    request.walker = 0;  // both sessions use walker id 0
+    request.ticket = ticket;
+    request.config = moments;
+    request.session = session;
+    distributed.submit(request);
+    const wl::EnergyResult result = distributed.retrieve();
+    EXPECT_EQ(result.energy, f.energy->total_energy(moments))
+        << "session " << session << " ticket " << ticket;
+  };
+
+  spin::MomentConfiguration a = spin::MomentConfiguration::random(16, rng);
+  spin::MomentConfiguration b = spin::MomentConfiguration::random(16, rng);
+
+  const std::uint64_t full0 = fulls.value(), delta0 = deltas.value();
+  submit(1, 1, a);  // session 1, first sight of (1, walker 0): full
+  EXPECT_EQ(fulls.value(), full0 + 1);
+
+  a.set(3, rng.unit_vector());
+  submit(1, 2, a);  // same session, one moved site: delta
+  EXPECT_EQ(deltas.value(), delta0 + 1);
+
+  submit(2, 3, b);  // NEW session, same walker id: must be full again
+  EXPECT_EQ(fulls.value(), full0 + 2)
+      << "session 2's first request reused session 1's walker-0 delta cache";
+  EXPECT_EQ(deltas.value(), delta0 + 1);
+
+  b.set(5, rng.unit_vector());
+  submit(2, 4, b);  // and session 2 gets its own delta stream afterwards
+  EXPECT_EQ(deltas.value(), delta0 + 2);
 }
 
 TEST(DistributedService, KilledWorkerIsReroutedAndRequestCompletes) {

@@ -1,0 +1,260 @@
+// The batched-GEMM seam under the serving scheduler: zgemm_view_batch must
+// be bit-identical to issuing the same GEMMs one by one through zgemm_view
+// (with any worker-thread count), the incremental BlockedLuStepper must
+// reproduce the monolithic blocked factorization exactly, and the batched
+// Schur solve must match the singleton path item for item — the arithmetic
+// guarantees DESIGN.md §12's bit-identicality argument rests on.
+#include "linalg/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lattice/structure.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "lsms/kkr.hpp"
+#include "perf/flops.hpp"
+
+namespace wlsms::linalg {
+namespace {
+
+std::vector<Complex> random_matrix(std::size_t rows, std::size_t cols,
+                                   Rng& rng) {
+  std::vector<Complex> m(rows * cols);
+  for (Complex& v : m) v = Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+bool same_bits(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(Complex)) == 0;
+}
+
+TEST(LinalgBatch, BatchMatchesSequentialZgemmViewBitExactly) {
+  Rng rng(301);
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t count = 1 + rng.uniform_index(12);
+    std::vector<std::size_t> ms, ns, ks;
+    std::vector<std::vector<Complex>> as, bs, c_batch, c_loop;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t m = 1 + rng.uniform_index(48);
+      const std::size_t n = 1 + rng.uniform_index(48);
+      const std::size_t k = 1 + rng.uniform_index(48);
+      ms.push_back(m);
+      ns.push_back(n);
+      ks.push_back(k);
+      as.push_back(random_matrix(m, k, rng));
+      bs.push_back(random_matrix(k, n, rng));
+      c_batch.push_back(random_matrix(m, n, rng));
+      c_loop.push_back(c_batch.back());
+    }
+    const Complex alpha(-1.0, 0.25);
+    const Complex beta(0.5, -0.125);
+
+    std::vector<ZgemmBatchItem> items(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      items[i].m = ms[i];
+      items[i].n = ns[i];
+      items[i].k = ks[i];
+      items[i].alpha = alpha;
+      items[i].a = as[i].data();
+      items[i].lda = ms[i];
+      items[i].b = bs[i].data();
+      items[i].ldb = ks[i];
+      items[i].beta = beta;
+      items[i].c = c_batch[i].data();
+      items[i].ldc = ms[i];
+    }
+    zgemm_view_batch(items.data(), items.size());
+
+    for (std::size_t i = 0; i < count; ++i)
+      zgemm_view(ms[i], ns[i], ks[i], alpha, as[i].data(), ms[i],
+                 bs[i].data(), ks[i], beta, c_loop[i].data(), ms[i]);
+
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_TRUE(same_bits(c_batch[i], c_loop[i])) << "item " << i;
+  }
+}
+
+TEST(LinalgBatch, WorkerThreadsDoNotChangeBits) {
+  // The batch only parallelizes BETWEEN items; each item's serial kernel is
+  // unchanged, so any thread count gives the same bytes.
+  Rng rng(302);
+  const std::size_t count = 9;
+  std::vector<std::vector<Complex>> as, bs, c_serial, c_threaded;
+  std::vector<ZgemmBatchItem> serial_items, threaded_items;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t n = 16 + 8 * i;
+    as.push_back(random_matrix(n, n, rng));
+    bs.push_back(random_matrix(n, n, rng));
+    c_serial.push_back(random_matrix(n, n, rng));
+    c_threaded.push_back(c_serial.back());
+    ZgemmBatchItem item;
+    item.m = item.n = item.k = n;
+    item.alpha = Complex(-1.0, 0.0);
+    item.a = as[i].data();
+    item.lda = n;
+    item.b = bs[i].data();
+    item.ldb = n;
+    item.beta = Complex(1.0, 0.0);
+    item.ldc = n;
+    serial_items.push_back(item);
+    threaded_items.push_back(item);
+    serial_items[i].c = c_serial[i].data();
+    threaded_items[i].c = c_threaded[i].data();
+  }
+
+  const std::size_t saved = zgemm_batch_threads();
+  set_zgemm_batch_threads(1);
+  zgemm_view_batch(serial_items.data(), serial_items.size());
+  set_zgemm_batch_threads(4);
+  zgemm_view_batch(threaded_items.data(), threaded_items.size());
+  set_zgemm_batch_threads(saved);
+
+  for (std::size_t i = 0; i < count; ++i)
+    EXPECT_TRUE(same_bits(c_serial[i], c_threaded[i])) << "item " << i;
+}
+
+TEST(LinalgBatch, BatchBooksSameFlopsAsSequential) {
+  Rng rng(303);
+  const std::size_t n = 40;
+  std::vector<Complex> a = random_matrix(n, n, rng);
+  std::vector<Complex> b = random_matrix(n, n, rng);
+  std::vector<Complex> c1 = random_matrix(n, n, rng);
+  std::vector<Complex> c2 = c1;
+
+  const std::uint64_t before_loop = perf::thread_flops();
+  zgemm_view(n, n, n, Complex(1.0, 0.0), a.data(), n, b.data(), n,
+             Complex(0.0, 0.0), c1.data(), n);
+  const std::uint64_t loop_flops = perf::thread_flops() - before_loop;
+
+  ZgemmBatchItem item;
+  item.m = item.n = item.k = n;
+  item.alpha = Complex(1.0, 0.0);
+  item.a = a.data();
+  item.lda = n;
+  item.b = b.data();
+  item.ldb = n;
+  item.beta = Complex(0.0, 0.0);
+  item.c = c2.data();
+  item.ldc = n;
+  const std::uint64_t before_batch = perf::thread_flops();
+  zgemm_view_batch(&item, 1);
+  const std::uint64_t batch_flops = perf::thread_flops() - before_batch;
+
+  EXPECT_GT(loop_flops, 0u);
+  EXPECT_EQ(batch_flops, loop_flops);
+}
+
+TEST(LinalgBatch, EmptyAndDegenerateItemsAreSafe) {
+  zgemm_view_batch(nullptr, 0);  // no-op
+
+  Rng rng(304);
+  std::vector<Complex> c = random_matrix(4, 4, rng);
+  const std::vector<Complex> before = c;
+  ZgemmBatchItem item;  // m == n == k == 0
+  item.c = c.data();
+  item.ldc = 4;
+  zgemm_view_batch(&item, 1);
+  EXPECT_TRUE(same_bits(c, before));
+}
+
+TEST(LinalgBatch, SteppedLuMatchesMonolithicBlockedFactorization) {
+  Rng rng(305);
+  for (const std::size_t n : {kLuBlockedThreshold, std::size_t{100}}) {
+    ZMatrix reference(n, n);
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i)
+        reference(i, j) = Complex(rng.uniform(-1.0, 1.0),
+                                  rng.uniform(-1.0, 1.0)) +
+                          (i == j ? Complex(4.0, 0.0) : Complex(0.0, 0.0));
+    ZMatrix stepped = reference;
+
+    std::vector<std::size_t> ref_pivots;
+    const int ref_parity =
+        zgetrf_in_place(reference, ref_pivots, LuAlgorithm::kBlocked);
+
+    std::vector<std::size_t> pivots;
+    BlockedLuStepper stepper(stepped, pivots);
+    while (!stepper.done()) {
+      const ZgemmBatchItem update = stepper.step();
+      if (update.m != 0)
+        zgemm_view(update.m, update.n, update.k, update.alpha, update.a,
+                   update.lda, update.b, update.ldb, update.beta, update.c,
+                   update.ldc);
+    }
+
+    EXPECT_EQ(stepper.parity(), ref_parity);
+    EXPECT_EQ(pivots, ref_pivots);
+    EXPECT_EQ(std::memcmp(stepped.data(), reference.data(),
+                          n * n * sizeof(Complex)),
+              0)
+        << "order " << n;
+  }
+}
+
+TEST(LinalgBatch, SchurBatchMatchesSingletonBitExactly) {
+  // A real LIZ geometry big enough (2L >= kLuBlockedThreshold) that the
+  // batch takes the lock-step elimination path, with randomized invertible
+  // t^-1 blocks standing in for distinct walker configurations.
+  const lattice::Structure structure = lattice::make_fe_supercell(3);
+  const lsms::LizGeometry liz = lsms::build_liz(structure, 0, 9.1);
+  ASSERT_GE(2 * liz.members.size(), kLuBlockedThreshold);
+  const Complex z(0.65, 0.05);
+  const linalg::ZMatrix propagator =
+      lsms::scalar_propagator_matrix(liz, z);
+  const lsms::SchurTemplates templates =
+      lsms::make_schur_templates(propagator, 0.8);
+
+  Rng rng(306);
+  const std::size_t count = 7;
+  const std::size_t members = liz.members.size();
+  const auto random_spin = [&rng]() {
+    spin::Spin2x2 t;
+    t[0] = Complex(3.0 + rng.uniform(-0.5, 0.5), rng.uniform(-0.2, 0.2));
+    t[1] = Complex(rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3));
+    t[2] = Complex(rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3));
+    t[3] = Complex(3.0 + rng.uniform(-0.5, 0.5), rng.uniform(-0.2, 0.2));
+    return t;
+  };
+  std::vector<spin::Spin2x2> centers(count);
+  std::vector<std::vector<spin::Spin2x2>> member_tables(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    centers[i] = random_spin();
+    member_tables[i].resize(members);
+    for (spin::Spin2x2& t : member_tables[i]) t = random_spin();
+  }
+
+  std::vector<spin::Spin2x2> batched(count), singleton(count);
+  std::vector<lsms::SchurBatchItem> items(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    items[i].center_t_inverse = &centers[i];
+    items[i].member_t_inverse = member_tables[i].data();
+    items[i].tau = &batched[i];
+  }
+  // The batch falls back to per-item singleton solves when there is only
+  // one GEMM worker (nothing to parallelize between items); pin two workers
+  // so this test exercises the lock-step elimination path itself.
+  std::vector<lsms::SchurWorkspace> workspaces;
+  const std::size_t saved_threads = zgemm_batch_threads();
+  set_zgemm_batch_threads(2);
+  lsms::central_tau_schur_batch(templates, items.data(), count, workspaces);
+  set_zgemm_batch_threads(saved_threads);
+
+  lsms::SchurWorkspace workspace;
+  for (std::size_t i = 0; i < count; ++i)
+    singleton[i] = lsms::central_tau_schur(templates, centers[i],
+                                           member_tables[i].data(), workspace);
+
+  for (std::size_t i = 0; i < count; ++i)
+    EXPECT_EQ(std::memcmp(batched[i].data(), singleton[i].data(),
+                          sizeof(spin::Spin2x2)),
+              0)
+        << "item " << i;
+}
+
+}  // namespace
+}  // namespace wlsms::linalg

@@ -1,0 +1,297 @@
+// End-to-end daemon tests over real TCP loopback sockets: hostile byte
+// streams against a live daemon, admission-control backpressure on the
+// wire, checkpointed session resume, a client killed during a batched
+// solve, and a multi-client connect/disconnect soak — the daemon must never
+// crash, leak sessions (the serve.sessions gauge returns to zero), or stall
+// the surviving tenants.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lattice/structure.hpp"
+#include "lsms/fe_parameters.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/socket_util.hpp"
+
+namespace wlsms::serve {
+namespace {
+
+std::shared_ptr<const lsms::LsmsSolver> small_solver() {
+  static const auto solver = std::make_shared<const lsms::LsmsSolver>(
+      lattice::make_fe_supercell(2), lsms::fe_lsms_parameters_fast());
+  return solver;
+}
+
+/// Daemon on an ephemeral loopback port with its poll loop on a thread.
+class DaemonFixture {
+ public:
+  explicit DaemonFixture(ServeOptions options)
+      : daemon_(small_solver(), std::move(options)),
+        thread_([this] { daemon_.run(); }) {}
+
+  ~DaemonFixture() {
+    daemon_.stop();
+    thread_.join();
+  }
+
+  Daemon& daemon() { return daemon_; }
+  const std::string& address() const { return daemon_.address(); }
+
+ private:
+  Daemon daemon_;
+  std::thread thread_;
+};
+
+wl::EnergyRequest make_request(std::uint64_t ticket, Rng& rng) {
+  wl::EnergyRequest request;
+  request.walker = static_cast<std::size_t>(ticket % 8);
+  request.ticket = ticket;
+  request.config =
+      spin::MomentConfiguration::random(small_solver()->n_atoms(), rng);
+  return request;
+}
+
+bool wait_for_sessions_gauge(double expected,
+                             std::chrono::milliseconds timeout) {
+  obs::Gauge& gauge = obs::Registry::instance().gauge("serve.sessions");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (gauge.value() == expected) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return gauge.value() == expected;
+}
+
+TEST(ServeTcp, GarbageStreamsAgainstLiveDaemonNeverCrashIt) {
+  ServeOptions options;
+  options.handshake_timeout = std::chrono::milliseconds(300);
+  DaemonFixture fixture(options);
+  Rng rng(901);
+
+  // A mix of hostile connections: pure garbage, an oversize length field,
+  // a valid frame header with a garbage hello, and a silent half-open
+  // connection that must be expired by the handshake deadline.
+  for (int round = 0; round < 10; ++round) {
+    net::Socket sock = net::connect_with_timeout(
+        fixture.address(), std::chrono::milliseconds(2000));
+    std::vector<char> garbage(16 + rng.uniform_index(256));
+    for (char& c : garbage)
+      c = static_cast<char>(rng.uniform_index(256));
+    if (round % 3 == 0) {
+      // Frame-shaped prefix with a hostile length.
+      const std::uint32_t huge = 0x7FFFFFFFu;
+      std::memcpy(garbage.data(), &huge, sizeof(huge));
+    }
+    (void)!::write(sock.get(), garbage.data(), garbage.size());
+    // Half of them hang up immediately, half linger for the reaper.
+    if (round % 2 == 0) sock.close();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  // The daemon is still alive and serving correct energies.
+  ServeClient client(fixture.address());
+  const wl::EnergyRequest request = make_request(1, rng);
+  client.submit(request);
+  const wl::EnergyResult result = client.retrieve();
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.energy, small_solver()->energy(request.config));
+}
+
+TEST(ServeTcp, QueueFullBackpressureRejectsOnTheWire) {
+  ServeOptions options;
+  options.limits.max_pending = 2;
+  options.limits.max_session_outstanding = 16;
+  options.limits.max_batch = 16;
+  options.limits.batch_window = std::chrono::milliseconds(300);
+  DaemonFixture fixture(options);
+  Rng rng(902);
+
+  ServeClient client(fixture.address());
+  std::vector<wl::EnergyRequest> requests;
+  for (std::uint64_t t = 1; t <= 5; ++t) {
+    requests.push_back(make_request(t, rng));
+    client.submit(requests.back());
+  }
+  std::size_t rejected = 0, succeeded = 0;
+  while (client.outstanding() > 0) {
+    const wl::EnergyResult result = client.retrieve();
+    if (result.failed) {
+      ++rejected;
+    } else {
+      ++succeeded;
+      EXPECT_EQ(result.energy,
+                small_solver()->energy(requests[result.ticket - 1].config));
+    }
+  }
+  EXPECT_EQ(succeeded, 2u);
+  EXPECT_EQ(rejected, 3u);
+}
+
+TEST(ServeTcp, SessionCheckpointResumeRecoversPendingWork) {
+  char dir_template[] = "/tmp/wlsms-serve-XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string checkpoint_dir = dir_template;
+
+  ServeOptions options;
+  options.checkpoint_dir = checkpoint_dir;
+  options.limits.batch_window = std::chrono::milliseconds(500);
+  options.limits.max_batch = 16;
+  DaemonFixture fixture(options);
+  Rng rng(903);
+
+  std::vector<wl::EnergyRequest> requests;
+  std::uint64_t session = 0, token = 0;
+  {
+    ClientOptions client_options;
+    client_options.tenant = "resumer";
+    ServeClient client(fixture.address(), client_options);
+    session = client.session();
+    token = client.resume_token();
+    for (std::uint64_t t = 1; t <= 3; ++t) {
+      requests.push_back(make_request(t, rng));
+      client.submit(requests.back());
+    }
+    client.abort_socket();  // die with 3 requests in flight
+  }
+  ASSERT_TRUE(wait_for_sessions_gauge(0.0, std::chrono::seconds(5)));
+  const std::string checkpoint_file =
+      checkpoint_dir + "/session-" + std::to_string(session) + ".wlsm";
+  ASSERT_EQ(::access(checkpoint_file.c_str(), F_OK), 0);
+
+  // The wrong token must not resurrect the session.
+  {
+    ClientOptions stolen;
+    stolen.tenant = "resumer";
+    stolen.resume_session = session;
+    stolen.resume_token = token ^ 1;
+    EXPECT_THROW(ServeClient(fixture.address(), stolen), comm::CommError);
+  }
+
+  ClientOptions resume_options;
+  resume_options.tenant = "resumer";
+  resume_options.resume_session = session;
+  resume_options.resume_token = token;
+  ServeClient resumed(fixture.address(), resume_options);
+  EXPECT_TRUE(resumed.resumed());
+  EXPECT_EQ(resumed.session(), session);
+  ASSERT_EQ(resumed.outstanding(), 3u);
+  std::size_t received = 0;
+  while (resumed.outstanding() > 0) {
+    const wl::EnergyResult result = resumed.retrieve();
+    ASSERT_FALSE(result.failed);
+    EXPECT_EQ(result.energy,
+              small_solver()->energy(requests[result.ticket - 1].config));
+    ++received;
+  }
+  EXPECT_EQ(received, 3u);
+  // A consumed checkpoint is deleted — it cannot be replayed twice.
+  EXPECT_NE(::access(checkpoint_file.c_str(), F_OK), 0);
+
+  std::remove(checkpoint_file.c_str());
+  ::rmdir(checkpoint_dir.c_str());
+}
+
+TEST(ServeTcp, KillingAClientMidBatchDoesNotStallTheOtherTenant) {
+  ServeOptions options;
+  options.limits.max_batch = 8;
+  options.limits.batch_window = std::chrono::milliseconds(100);
+  DaemonFixture fixture(options);
+  Rng rng(904);
+
+  ClientOptions alice_options;
+  alice_options.tenant = "alice";
+  ServeClient alice(fixture.address(), alice_options);
+  ClientOptions bob_options;
+  bob_options.tenant = "bob";
+  ServeClient bob(fixture.address(), bob_options);
+
+  std::vector<wl::EnergyRequest> bob_requests;
+  for (std::uint64_t t = 1; t <= 4; ++t) {
+    alice.submit(make_request(100 + t, rng));
+    bob_requests.push_back(make_request(t, rng));
+    bob.submit(bob_requests.back());
+  }
+  alice.abort_socket();  // alice dies while her requests are co-batched
+
+  std::size_t received = 0;
+  while (bob.outstanding() > 0) {
+    const wl::EnergyResult result = bob.retrieve();
+    ASSERT_FALSE(result.failed);
+    EXPECT_EQ(
+        result.energy,
+        small_solver()->energy(bob_requests[result.ticket - 1].config));
+    ++received;
+  }
+  EXPECT_EQ(received, 4u);
+}
+
+TEST(ServeTcp, MultiClientChaosSoakLeaksNothingAndStallsNoOne) {
+  ServeOptions options;
+  options.limits.max_batch = 8;
+  options.limits.max_pending = 128;
+  options.limits.batch_window = std::chrono::milliseconds(5);
+  DaemonFixture fixture(options);
+
+  std::atomic<bool> chaos_failed{false};
+  std::vector<std::thread> chaos;
+  for (int c = 0; c < 3; ++c) {
+    chaos.emplace_back([&fixture, &chaos_failed, c] {
+      try {
+        Rng rng(910 + static_cast<std::uint64_t>(c));
+        for (int iteration = 0; iteration < 3; ++iteration) {
+          ClientOptions client_options;
+          client_options.tenant = "chaos" + std::to_string(c);
+          ServeClient client(fixture.address(), client_options);
+          const std::size_t n_submit = 1 + rng.uniform_index(3);
+          for (std::size_t t = 0; t < n_submit; ++t)
+            client.submit(make_request(t + 1, rng));
+          if (rng.uniform_index(2) == 0) {
+            client.abort_socket();  // vanish mid-flight
+          } else {
+            while (client.outstanding() > 0) (void)client.retrieve();
+          }
+        }
+      } catch (const std::exception&) {
+        chaos_failed = true;
+      }
+    });
+  }
+
+  // The stable tenant keeps computing correct energies throughout.
+  Rng rng(909);
+  ClientOptions stable_options;
+  stable_options.tenant = "stable";
+  {
+    ServeClient stable(fixture.address(), stable_options);
+    for (int round = 0; round < 3; ++round) {
+      std::vector<wl::EnergyRequest> requests;
+      for (std::uint64_t t = 1; t <= 4; ++t) {
+        requests.push_back(make_request(t, rng));
+        stable.submit(requests.back());
+      }
+      while (stable.outstanding() > 0) {
+        const wl::EnergyResult result = stable.retrieve();
+        ASSERT_FALSE(result.failed);
+        EXPECT_EQ(
+            result.energy,
+            small_solver()->energy(requests[result.ticket - 1].config));
+      }
+    }
+  }
+  for (std::thread& t : chaos) t.join();
+  EXPECT_FALSE(chaos_failed.load());
+
+  // Every connection is gone; the daemon must not leak a single session.
+  EXPECT_TRUE(wait_for_sessions_gauge(0.0, std::chrono::seconds(5)));
+}
+
+}  // namespace
+}  // namespace wlsms::serve
