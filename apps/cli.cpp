@@ -57,6 +57,27 @@ long Options::get_long(const std::string& key, long fallback) const {
   }
 }
 
+std::uint64_t Options::get_u64(const std::string& key,
+                               std::uint64_t fallback) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  // std::stoull accepts a leading '-' by wrapping modulo 2^64; reject it so
+  // a negative id fails loudly instead of becoming a huge token.
+  const std::string& text = it->second;
+  try {
+    if (text.empty() || text[0] == '-') throw std::invalid_argument(key);
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(key);
+    return static_cast<std::uint64_t>(value);
+  } catch (const std::exception&) {
+    throw std::runtime_error("--" + key +
+                             ": expected an unsigned integer, got '" + text +
+                             "'");
+  }
+}
+
 bool Options::has(const std::string& key) const {
   queried_[key] = true;
   return values_.count(key) > 0;

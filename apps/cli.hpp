@@ -4,6 +4,7 @@
 /// Minimal command-line option parsing for the wlsms driver binary:
 /// --key value pairs with typed lookups and unknown-flag detection.
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -28,6 +29,9 @@ class Options {
                          const std::string& fallback) const;
   double get_double(const std::string& key, double fallback) const;
   long get_long(const std::string& key, long fallback) const;
+  /// Full-range unsigned parse for 64-bit ids such as resume tokens, which
+  /// routinely exceed INT64_MAX and would be rejected by get_long.
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
   bool has(const std::string& key) const;
 
   /// Keys that were provided but never queried; used to reject typos.

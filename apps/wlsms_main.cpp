@@ -178,7 +178,7 @@ int cmd_curie(const cli::Options& options) {
   const double gamma_final = options.get_double("gamma-final", 1e-6);
   const auto walkers = static_cast<std::size_t>(options.get_long("walkers", 8));
   const double flatness = options.get_double("flatness", 0.8);
-  const auto seed = static_cast<std::uint64_t>(options.get_long("seed", 123));
+  const auto seed = options.get_u64("seed", 123);
   const double t_min = options.get_double("tmin", 150.0);
   const std::string dos_path = options.get_string("dos", "");
   const auto rewl_windows =
@@ -349,10 +349,10 @@ int cmd_distributed(const cli::Options& options) {
       static_cast<std::size_t>(options.get_long("group-size", 2));
   const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
   const auto evals = static_cast<std::size_t>(options.get_long("evals", 8));
-  const auto seed = static_cast<std::uint64_t>(options.get_long("seed", 7));
+  const auto seed = options.get_u64("seed", 7);
   const bool check = options.get_long("check", 1) != 0;
   const auto wl_steps =
-      static_cast<std::uint64_t>(options.get_long("wl-steps", 0));
+      options.get_u64("wl-steps", 0);
   const auto wl_walkers =
       static_cast<std::size_t>(options.get_long("wl-walkers", 4));
 
@@ -526,16 +526,16 @@ int cmd_client(const cli::Options& options) {
   const auto evals = static_cast<std::size_t>(options.get_long("evals", 8));
   const auto walkers =
       static_cast<std::size_t>(options.get_long("walkers", 4));
-  const auto seed = static_cast<std::uint64_t>(options.get_long("seed", 11));
+  const auto seed = options.get_u64("seed", 11);
   const bool check = options.get_long("check", 0) != 0;
   const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
 
   serve::ClientOptions client_options;
   client_options.tenant = options.get_string("tenant", "default");
   client_options.resume_session =
-      static_cast<std::uint64_t>(options.get_long("resume-session", 0));
+      options.get_u64("resume-session", 0);
   client_options.resume_token =
-      static_cast<std::uint64_t>(options.get_long("resume-token", 0));
+      options.get_u64("resume-token", 0);
   serve::ServeClient client(connect, client_options);
   std::printf("session %llu as tenant '%s' (%zu atoms served)\n",
               static_cast<unsigned long long>(client.session()),

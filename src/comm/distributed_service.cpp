@@ -63,6 +63,15 @@ void run_shard_worker(WorkerChannel& channel,
   WLSMS_EXPECTS(solver != nullptr);
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<Vec3>> cache;
   while (std::optional<Message> message = channel.recv()) {
+    if (message->tag == kTagShardEvict) {
+      // A tenant session ended: drop its cached configurations so the cache
+      // cannot grow without bound under session churn.
+      const ShardEvict evict = decode_shard_evict(message->payload);
+      for (auto it = cache.lower_bound({evict.session, 0});
+           it != cache.end() && it->first.first == evict.session;)
+        it = cache.erase(it);
+      continue;
+    }
     if (message->tag != kTagShardRequest) continue;
     const ShardRequest request = decode_shard_request(message->payload);
     std::vector<Vec3>& directions =
@@ -165,6 +174,26 @@ wl::EnergyResult DistributedEnergyService::retrieve() {
           std::chrono::steady_clock::now() - enter)
           .count());
   return result;
+}
+
+void DistributedEnergyService::evict_session(std::uint64_t session) {
+  const Message message{kTagShardEvict, encode_shard_evict({session})};
+  for (std::size_t rank = 0; rank < sent_.size(); ++rank) {
+    auto& cache = sent_[rank];
+    for (auto it = cache.lower_bound({session, 0});
+         it != cache.end() && it->first.first == session;)
+      it = cache.erase(it);
+    // Every alive rank gets the evict, even ones with no controller-side
+    // entries: a scatter aborted mid-send can leave a worker holding a
+    // configuration the controller no longer remembers sending.
+    if (comm_->alive(rank)) (void)comm_->send(rank, message);
+  }
+}
+
+std::size_t DistributedEnergyService::delta_cache_entries() const {
+  std::size_t total = 0;
+  for (const auto& cache : sent_) total += cache.size();
+  return total;
 }
 
 std::size_t DistributedEnergyService::idle_group() const {

@@ -56,8 +56,9 @@ struct DistributedConfig {
 };
 
 /// The worker-rank protocol loop of DistributedEnergyService: caches the
-/// last configuration per walker (the basis delta scatters apply to), runs
-/// the serial per-atom shard solves of `solver`, and replies with gathers.
+/// last configuration per (session, walker) (the basis delta scatters apply
+/// to, dropped again on a ShardEvict when that session ends), runs the
+/// serial per-atom shard solves of `solver`, and replies with gathers.
 /// Returns when the channel reports shutdown/EOF; throws on a malformed
 /// request (a throwing worker is a dying worker — the controller reroutes).
 /// Exposed so external TCP workers (`wlsms worker`) run the identical loop
@@ -79,6 +80,17 @@ class DistributedEnergyService final : public wl::EnergyService {
   void submit(wl::EnergyRequest request) override;
   wl::EnergyResult retrieve() override;
   std::size_t outstanding() const override { return outstanding_; }
+
+  /// Drops every (session, walker) delta-cache entry of `session`, on the
+  /// controller and on every alive worker rank. Multiplexers serving many
+  /// short-lived tenant sessions over one service call this when a session
+  /// ends, so the caches cannot grow without bound under session churn; a
+  /// reused (session, walker) key simply scatters full again.
+  void evict_session(std::uint64_t session);
+
+  /// Controller-side delta-cache entries summed over ranks (for tests and
+  /// capacity monitoring).
+  std::size_t delta_cache_entries() const;
 
   /// Requests re-scattered after a detected worker death.
   std::uint64_t reroutes() const { return reroutes_; }

@@ -100,6 +100,22 @@ ShardResult decode_shard_result(const std::vector<std::byte>& buffer) {
   return result;
 }
 
+std::vector<std::byte> encode_shard_evict(const ShardEvict& evict) {
+  Encoder e;
+  serial::write_header(e, PayloadKind::kShardEvict);
+  e.put_u64(evict.session);
+  return e.take();
+}
+
+ShardEvict decode_shard_evict(const std::vector<std::byte>& buffer) {
+  Decoder d(buffer);
+  serial::read_header(d, PayloadKind::kShardEvict);
+  ShardEvict evict;
+  evict.session = d.get_u64();
+  d.expect_end();
+  return evict;
+}
+
 std::vector<std::byte> encode_energy_request(const wl::EnergyRequest& request) {
   Encoder e;
   serial::write_header(e, PayloadKind::kEnergyRequest);

@@ -39,6 +39,7 @@ enum Tag : std::uint32_t {
   kTagEnergyResult = 2,
   kTagShardRequest = 3,
   kTagShardResult = 4,
+  kTagShardEvict = 5,
 };
 
 /// One site whose moment changed: the unit of the delta scatter.
@@ -66,6 +67,14 @@ struct ShardRequest {
   std::uint64_t n_total_atoms = 0;
 };
 
+/// Controller -> worker: forget every delta-cache entry of one tenant
+/// session. A daemon multiplexing many short-lived sessions over one
+/// service sends this when a session ends, so neither side's per-(session,
+/// walker) configuration caches grow without bound under session churn.
+struct ShardEvict {
+  std::uint64_t session = 0;
+};
+
 /// Gather of one shard's per-atom energies.
 struct ShardResult {
   std::uint64_t ticket = 0;
@@ -79,6 +88,9 @@ ShardRequest decode_shard_request(const std::vector<std::byte>&);
 
 std::vector<std::byte> encode_shard_result(const ShardResult&);
 ShardResult decode_shard_result(const std::vector<std::byte>&);
+
+std::vector<std::byte> encode_shard_evict(const ShardEvict&);
+ShardEvict decode_shard_evict(const std::vector<std::byte>&);
 
 /// Whole-request codecs (a full configuration with its ticket), used when a
 /// group has a single rank and by anything that ships an EnergyService

@@ -22,6 +22,7 @@ const char* kind_name(PayloadKind kind) {
     case PayloadKind::kServeResult: return "serve-result";
     case PayloadKind::kServeReject: return "serve-reject";
     case PayloadKind::kServeSession: return "serve-session";
+    case PayloadKind::kShardEvict: return "shard-evict";
   }
   return "unknown";
 }

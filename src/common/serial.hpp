@@ -41,8 +41,9 @@ inline constexpr std::uint32_t kMagic = 0x4D534C57u;
 
 /// Schema version shared by all payload kinds. Version 1 was checkpoint's
 /// bespoke text layout (retired); version 2 the unified binary schema;
-/// version 3 adds the session identity to energy/shard requests and the
-/// serving-daemon payload kinds (9-14).
+/// version 3 adds the session identity to energy/shard requests, the
+/// serving-daemon payload kinds (9-14), and the shard-evict control
+/// payload (15).
 inline constexpr std::uint32_t kSchemaVersion = 3;
 
 /// What a framed buffer carries. The kind is part of the header so a
@@ -63,6 +64,7 @@ enum class PayloadKind : std::uint32_t {
   kServeResult = 12,    ///< serve daemon -> client energy result
   kServeReject = 13,    ///< serve daemon -> client admission rejection
   kServeSession = 14,   ///< serve daemon session-resume checkpoint
+  kShardEvict = 15,     ///< controller -> worker delta-cache eviction
 };
 
 /// Appends primitives to a growing byte buffer.

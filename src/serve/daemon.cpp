@@ -2,17 +2,20 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <random>
 #include <utility>
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <poll.h>
 #include <unistd.h>
 
 #include "comm/framing.hpp"
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/serial.hpp"
 #include "linalg/blas.hpp"
 #include "obs/metrics.hpp"
@@ -36,6 +39,19 @@ ServeReject::Reason reject_reason(BatchScheduler::Admission admission) {
   return admission == BatchScheduler::Admission::kQueueFull
              ? ServeReject::Reason::kQueueFull
              : ServeReject::Reason::kQuotaExceeded;
+}
+
+/// Whole-file slurp; empty on any error (a missing file and an unreadable
+/// one are the same to the resume path: no checkpoint).
+std::vector<std::byte> read_file_bytes(const std::string& path) {
+  std::vector<std::byte> bytes;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return bytes;
+  char chunk[4096];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0)
+    bytes.insert(bytes.end(), reinterpret_cast<std::byte*>(chunk),
+                 reinterpret_cast<std::byte*>(chunk) + in.gcount());
+  return bytes;
 }
 
 /// splitmix64: cheap, well-mixed resume tokens (never zero).
@@ -73,8 +89,41 @@ Daemon::Daemon(std::shared_ptr<const lsms::LsmsSolver> solver,
 
   token_state_ = (static_cast<std::uint64_t>(std::random_device{}()) << 32) ^
                  std::random_device{}();
+  seed_next_session();
 
   if (options_.on_listening) options_.on_listening(address_);
+}
+
+void Daemon::seed_next_session() {
+  if (options_.checkpoint_dir.empty()) return;
+  DIR* dir = ::opendir(options_.checkpoint_dir.c_str());
+  if (dir == nullptr) return;
+  // Checkpoints from previous runs own their session ids: a fresh client
+  // must never be handed one, or it would first block that tenant's resume
+  // and then overwrite the file on disconnect.
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    constexpr std::size_t kFixed = 13;  // "session-" + ".wlsm"
+    if (name.size() <= kFixed || name.compare(0, 8, "session-") != 0 ||
+        name.compare(name.size() - 5, 5, ".wlsm") != 0)
+      continue;
+    const std::string digits = name.substr(8, name.size() - kFixed);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    errno = 0;
+    const unsigned long long id = std::strtoull(digits.c_str(), nullptr, 10);
+    if (errno != 0) continue;  // out-of-range id: not one we issued
+    if (id >= next_session_) next_session_ = id + 1;
+  }
+  ::closedir(dir);
+}
+
+const std::string& Daemon::tenant_label(const std::string& tenant) {
+  static const std::string kOther = "other";
+  const auto it = tenant_labels_.find(tenant);
+  if (it != tenant_labels_.end()) return *it;
+  if (tenant_labels_.size() < options_.max_tenant_series)
+    return *tenant_labels_.insert(tenant).first;
+  return kOther;
 }
 
 Daemon::~Daemon() {
@@ -171,6 +220,10 @@ void Daemon::accept_pending() {
     net::set_nodelay(fd);
     net::set_cloexec(fd);
     set_nonblocking(fd);
+    if (options_.client_sndbuf > 0) {
+      const int bytes = static_cast<int>(options_.client_sndbuf);
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+    }
     Connection conn;
     conn.connected_at = std::chrono::steady_clock::now();
     connections_.emplace(fd, std::move(conn));
@@ -232,15 +285,10 @@ bool Daemon::handle_hello(int fd, const std::vector<std::byte>& payload) {
     bool valid = !options_.checkpoint_dir.empty() &&
                  sessions_.count(hello.resume_session) == 0;
     if (valid) {
-      std::ifstream in(checkpoint_path(hello.resume_session),
-                       std::ios::binary);
-      valid = in.good();
+      const std::vector<std::byte> bytes =
+          read_file_bytes(checkpoint_path(hello.resume_session));
+      valid = !bytes.empty();
       if (valid) {
-        std::vector<std::byte> bytes;
-        char chunk[4096];
-        while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0)
-          bytes.insert(bytes.end(), reinterpret_cast<std::byte*>(chunk),
-                       reinterpret_cast<std::byte*>(chunk) + in.gcount());
         try {
           restored = decode_session_checkpoint(bytes);
         } catch (const serial::SerializationError&) {
@@ -265,17 +313,37 @@ bool Daemon::handle_hello(int fd, const std::vector<std::byte>& payload) {
 
   Session state;
   state.tenant = hello.tenant;
+  state.metric_label = tenant_label(hello.tenant);
   state.resume_token =
       resumed ? restored.resume_token : next_token(token_state_);
   state.fd = fd;
+  if (resumed)
+    state.undelivered.assign(restored.undelivered.begin(),
+                             restored.undelivered.end());
   sessions_.emplace(session, std::move(state));
   if (resumed && session >= next_session_) next_session_ = session + 1;
   conn.handshaken = true;
   conn.session = session;
   sessions_gauge().set(static_cast<double>(sessions_.size()));
   obs::Registry::instance()
-      .counter("serve.tenant." + hello.tenant + ".sessions")
+      .counter("serve.tenant." + sessions_[session].metric_label + ".sessions")
       .inc();
+
+  // Re-enqueue the checkpointed requests before any wire traffic: from here
+  // on the scheduler plus the session's undelivered deque ARE the restored
+  // state, so a disconnect at any point of the replay below re-checkpoints
+  // all of it faithfully. Requests the admission path now refuses (the
+  // daemon may have filled up meanwhile) come back as ordinary rejects
+  // after the replay.
+  std::vector<std::pair<std::uint64_t, BatchScheduler::Admission>> refused;
+  if (resumed)
+    for (wl::EnergyRequest& request : restored.pending) {
+      const std::uint64_t ticket = request.ticket;
+      const BatchScheduler::Admission admission =
+          scheduler_.submit(session, std::move(request));
+      if (admission != BatchScheduler::Admission::kAccepted)
+        refused.emplace_back(ticket, admission);
+    }
 
   ServeWelcome welcome;
   welcome.session = session;
@@ -288,23 +356,22 @@ bool Daemon::handle_hello(int fd, const std::vector<std::byte>& payload) {
     return false;
 
   if (resumed) {
-    // Replay results computed while disconnected, then re-enqueue the
-    // checkpointed requests; any the admission path now refuses (the daemon
-    // may have filled up meanwhile) come back as ordinary rejects.
-    for (const wl::EnergyResult& result : restored.undelivered)
-      if (!send_frame(fd, kTagServeResult, encode_serve_result(result)))
+    // Replay results computed while disconnected; each one leaves the live
+    // deque only once its send lands, so a client that dies mid-replay
+    // keeps the unsent tail checkpointed instead of losing it.
+    Session& live = sessions_[session];
+    while (!live.undelivered.empty()) {
+      if (!send_frame(fd, kTagServeResult,
+                      encode_serve_result(live.undelivered.front())))
         return false;
-    for (wl::EnergyRequest& request : restored.pending) {
-      const std::uint64_t ticket = request.ticket;
-      const BatchScheduler::Admission admission =
-          scheduler_.submit(session, std::move(request));
-      if (admission != BatchScheduler::Admission::kAccepted) {
-        ServeReject reject;
-        reject.ticket = ticket;
-        reject.reason = reject_reason(admission);
-        if (!send_frame(fd, kTagServeReject, encode_serve_reject(reject)))
-          return false;
-      }
+      live.undelivered.pop_front();
+    }
+    for (const auto& [ticket, admission] : refused) {
+      ServeReject reject;
+      reject.ticket = ticket;
+      reject.reason = reject_reason(admission);
+      if (!send_frame(fd, kTagServeReject, encode_serve_reject(reject)))
+        return false;
     }
     (void)std::remove(checkpoint_path(session).c_str());
   }
@@ -318,7 +385,7 @@ bool Daemon::handle_submit(int fd, const std::vector<std::byte>& payload) {
   obs::Registry& registry = obs::Registry::instance();
 
   if (request.config.size() != scheduler_.n_atoms()) {
-    registry.counter("serve.tenant." + state.tenant + ".rejected").inc();
+    registry.counter("serve.tenant." + state.metric_label + ".rejected").inc();
     ServeReject reject;
     reject.ticket = request.ticket;
     reject.reason = ServeReject::Reason::kBadRequest;
@@ -329,10 +396,10 @@ bool Daemon::handle_submit(int fd, const std::vector<std::byte>& payload) {
   const BatchScheduler::Admission admission =
       scheduler_.submit(session, std::move(request));
   if (admission == BatchScheduler::Admission::kAccepted) {
-    registry.counter("serve.tenant." + state.tenant + ".accepted").inc();
+    registry.counter("serve.tenant." + state.metric_label + ".accepted").inc();
     return true;
   }
-  registry.counter("serve.tenant." + state.tenant + ".rejected").inc();
+  registry.counter("serve.tenant." + state.metric_label + ".rejected").inc();
   ServeReject reject;
   reject.ticket = ticket;
   reject.reason = reject_reason(admission);
@@ -380,7 +447,7 @@ void Daemon::deliver(std::uint64_t session, const wl::EnergyResult& result) {
     return;
   }
   obs::Registry::instance()
-      .counter("serve.tenant." + state.tenant + ".results")
+      .counter("serve.tenant." + state.metric_label + ".results")
       .inc();
 }
 
@@ -411,7 +478,8 @@ void Daemon::close_session(std::uint64_t session) {
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) return;
   std::vector<wl::EnergyRequest> pending = scheduler_.take_session(session);
-  if (!options_.checkpoint_dir.empty()) {
+  if (!options_.checkpoint_dir.empty() &&
+      may_write_checkpoint(session, it->second)) {
     SessionCheckpoint checkpoint;
     checkpoint.session = session;
     checkpoint.resume_token = it->second.resume_token;
@@ -428,6 +496,30 @@ void Daemon::close_session(std::uint64_t session) {
   }
   sessions_.erase(it);
   sessions_gauge().set(static_cast<double>(sessions_.size()));
+}
+
+bool Daemon::may_write_checkpoint(std::uint64_t session,
+                                  const Session& state) const {
+  // Defense in depth against id aliasing: never clobber a checkpoint that
+  // proves to belong to a different tenant/token (a stale file from an
+  // earlier daemon run). A corrupt or unreadable file holds nothing
+  // recoverable, so overwriting it is fine.
+  const std::vector<std::byte> bytes =
+      read_file_bytes(checkpoint_path(session));
+  if (bytes.empty()) return true;
+  SessionCheckpoint existing;
+  try {
+    existing = decode_session_checkpoint(bytes);
+  } catch (const serial::SerializationError&) {
+    return true;
+  }
+  if (existing.tenant == state.tenant &&
+      existing.resume_token == state.resume_token)
+    return true;
+  log_warn("serve: refusing to overwrite checkpoint of session ", session,
+           " — it belongs to tenant '", existing.tenant,
+           "', not the departing tenant '", state.tenant, "'");
+  return false;
 }
 
 void Daemon::expire_handshakes() {

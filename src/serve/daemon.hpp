@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -43,8 +44,22 @@ struct ServeOptions {
   /// socket buffer stays full past this is treated as dead.
   std::chrono::milliseconds send_deadline{5000};
   /// Directory for session-resume checkpoints; empty disables resume (a
-  /// dropped session's pending work is discarded).
+  /// dropped session's pending work is discarded). Session ids are seeded
+  /// past any session-<id>.wlsm already present, so a restarted daemon can
+  /// never hand a fresh client an id whose checkpoint belongs to an earlier
+  /// run's tenant.
   std::string checkpoint_dir;
+  /// Most distinct tenant names that get their own serve.tenant.<name>.*
+  /// metric series; tenants beyond the cap are folded into the "other"
+  /// label. Tenant names arrive unauthenticated on the wire, so without a
+  /// cap a hostile client could grow the metrics registry without bound by
+  /// handshaking with fresh names.
+  std::size_t max_tenant_series = 64;
+  /// When nonzero, SO_SNDBUF for accepted client sockets: bounds the
+  /// kernel-side buffering per client, so a stalled reader trips
+  /// send_deadline instead of absorbing results invisibly (0 = kernel
+  /// default).
+  std::size_t client_sndbuf = 0;
   /// Called once the listener is bound, with the resolved "host:port".
   std::function<void(const std::string&)> on_listening;
   /// When nonzero, run() pins linalg::set_zgemm_batch_threads to this for
@@ -92,6 +107,7 @@ class Daemon {
 
   struct Session {
     std::string tenant;
+    std::string metric_label;  ///< tenant, or "other" past max_tenant_series
     std::uint64_t resume_token = 0;
     int fd = -1;  ///< -1 while disconnected (only transiently, mid-teardown)
     std::deque<wl::EnergyResult> undelivered;
@@ -110,6 +126,14 @@ class Daemon {
   void expire_handshakes();
   int poll_timeout_ms() const;
   std::string checkpoint_path(std::uint64_t session) const;
+  /// Advances next_session_ past every session-<id>.wlsm in checkpoint_dir.
+  void seed_next_session();
+  /// The metric label for `tenant`: itself for the first max_tenant_series
+  /// distinct names this daemon sees, "other" afterwards.
+  const std::string& tenant_label(const std::string& tenant);
+  /// False iff a checkpoint file for `session` exists and provably belongs
+  /// to a different tenant/token (never overwrite someone else's state).
+  bool may_write_checkpoint(std::uint64_t session, const Session& state) const;
 
   std::shared_ptr<const lsms::LsmsSolver> solver_;
   ServeOptions options_;
@@ -122,6 +146,7 @@ class Daemon {
   std::map<std::uint64_t, Session> sessions_;      ///< by session id
   std::uint64_t next_session_ = 1;
   std::uint64_t token_state_;  ///< splitmix64 state for resume tokens
+  std::set<std::string> tenant_labels_;  ///< tenants with own metric series
   std::vector<BatchScheduler::Completed> completed_;  ///< reused scratch
 };
 

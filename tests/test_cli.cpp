@@ -65,6 +65,23 @@ TEST(Cli, NegativeNumbersParse) {
   EXPECT_DOUBLE_EQ(options.get_double("shift", 0.0), -3.5);
 }
 
+TEST(Cli, U64ParsesFullRange) {
+  // Resume tokens are raw 64-bit values; about half of them exceed
+  // INT64_MAX, which get_long rejects — get_u64 must take the full range.
+  const Options options =
+      parse({"client", "--resume-token", "18446744073709551615"});
+  EXPECT_EQ(options.get_u64("resume-token", 0), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(options.get_u64("resume-session", 7), 7u);
+}
+
+TEST(Cli, U64RejectsNegativeOverflowAndGarbage) {
+  EXPECT_THROW(parse({"x", "--t", "-1"}).get_u64("t", 0), std::runtime_error);
+  EXPECT_THROW(parse({"x", "--t", "18446744073709551616"}).get_u64("t", 0),
+               std::runtime_error);
+  EXPECT_THROW(parse({"x", "--t", "12abc"}).get_u64("t", 0),
+               std::runtime_error);
+}
+
 TEST(Cli, UnusedKeysReported) {
   const Options options = parse({"curie", "--cells", "2", "--typo", "1"});
   (void)options.get_long("cells", 0);

@@ -279,6 +279,61 @@ TEST(DistributedService, SessionsWithEqualWalkerIdsDoNotAliasDeltaCaches) {
   EXPECT_EQ(deltas.value(), delta0 + 2);
 }
 
+TEST(DistributedService, EvictSessionDropsDeltaCachesAndStaysCorrect) {
+  // Under session churn (a daemon multiplexing many short-lived tenants)
+  // the per-(session, walker) delta caches must not grow without bound:
+  // evict_session drops a closed session's entries on the controller and
+  // every worker, and a later reuse of the key simply scatters full again.
+  const Fe16& f = fe16();
+  DistributedConfig config;
+  config.n_groups = 1;
+  config.group_size = 2;
+  config.transport = Transport::kInProcess;
+  DistributedEnergyService distributed(f.solver, config);
+
+  obs::Counter& fulls = obs::Registry::instance().counter("comm.full_scatters");
+
+  Rng rng(29);
+  auto submit = [&](std::uint64_t session, std::uint64_t ticket,
+                    const spin::MomentConfiguration& moments) {
+    wl::EnergyRequest request;
+    request.walker = 0;
+    request.ticket = ticket;
+    request.config = moments;
+    request.session = session;
+    distributed.submit(request);
+    const wl::EnergyResult result = distributed.retrieve();
+    EXPECT_FALSE(result.failed);
+    EXPECT_EQ(result.energy, f.energy->total_energy(moments))
+        << "session " << session << " ticket " << ticket;
+  };
+
+  spin::MomentConfiguration a = spin::MomentConfiguration::random(16, rng);
+  spin::MomentConfiguration b = spin::MomentConfiguration::random(16, rng);
+  submit(1, 1, a);
+  submit(2, 2, b);
+  // Both ranks cached both sessions' walker-0 configuration.
+  EXPECT_EQ(distributed.delta_cache_entries(), 4u);
+
+  distributed.evict_session(1);
+  EXPECT_EQ(distributed.delta_cache_entries(), 2u);
+  distributed.evict_session(1);  // idempotent
+  EXPECT_EQ(distributed.delta_cache_entries(), 2u);
+
+  // The evicted session's next request is a full scatter (to both ranks)
+  // and still bit-identical; the surviving session's delta stream is
+  // untouched by the eviction.
+  const std::uint64_t full0 = fulls.value();
+  a.set(7, rng.unit_vector());
+  submit(1, 3, a);
+  EXPECT_EQ(fulls.value(), full0 + 2)
+      << "post-evict request must rebuild the basis with full scatters";
+  EXPECT_EQ(distributed.delta_cache_entries(), 4u);
+  b.set(9, rng.unit_vector());
+  submit(2, 4, b);
+  EXPECT_EQ(fulls.value(), full0 + 2);
+}
+
 TEST(DistributedService, KilledWorkerIsReroutedAndRequestCompletes) {
   const Fe16& f = fe16();
   DistributedConfig config;

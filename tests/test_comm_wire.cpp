@@ -104,6 +104,25 @@ TEST(CommWire, ShardResultRoundTripIsBitExact) {
   }
 }
 
+TEST(CommWire, ShardEvictRoundTripTruncationAndWrongKind) {
+  Rng rng(110);
+  for (int round = 0; round < 10; ++round) {
+    ShardEvict evict;
+    evict.session = rng.next();
+    const std::vector<std::byte> bytes = encode_shard_evict(evict);
+    EXPECT_EQ(decode_shard_evict(bytes).session, evict.session);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      const std::vector<std::byte> truncated(
+          bytes.begin(), bytes.begin() + static_cast<long>(cut));
+      EXPECT_THROW(decode_shard_evict(truncated), SerializationError)
+          << "cut at " << cut;
+    }
+    EXPECT_THROW(decode_shard_request(bytes), SerializationError);
+    EXPECT_THROW(decode_shard_evict(encode_shard_result({})),
+                 SerializationError);
+  }
+}
+
 TEST(CommWire, EnergyRequestAndResultRoundTrip) {
   Rng rng(104);
   wl::EnergyRequest request;

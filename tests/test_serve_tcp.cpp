@@ -9,10 +9,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
+
+#include "comm/framing.hpp"
 #include "common/rng.hpp"
 #include "lattice/structure.hpp"
 #include "lsms/fe_parameters.hpp"
@@ -57,6 +62,21 @@ wl::EnergyRequest make_request(std::uint64_t ticket, Rng& rng) {
   request.config =
       spin::MomentConfiguration::random(small_solver()->n_atoms(), rng);
   return request;
+}
+
+/// Unlinks everything inside `dir` and removes it (daemons write session
+/// checkpoints on every clean disconnect, so tests sweep rather than
+/// enumerate).
+void remove_checkpoint_dir(const std::string& dir) {
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      (void)std::remove((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  (void)::rmdir(dir.c_str());
 }
 
 bool wait_for_sessions_gauge(double expected,
@@ -231,6 +251,199 @@ TEST(ServeTcp, KillingAClientMidBatchDoesNotStallTheOtherTenant) {
     ++received;
   }
   EXPECT_EQ(received, 4u);
+}
+
+TEST(ServeTcp, RestartedDaemonNeverReissuesACheckpointedSessionId) {
+  char dir_template[] = "/tmp/wlsms-serve-XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string checkpoint_dir = dir_template;
+  Rng rng(905);
+
+  ServeOptions options;
+  options.checkpoint_dir = checkpoint_dir;
+  options.limits.batch_window = std::chrono::milliseconds(500);
+
+  std::vector<wl::EnergyRequest> requests;
+  std::uint64_t session = 0, token = 0;
+  {
+    DaemonFixture first(options);
+    ClientOptions alice_options;
+    alice_options.tenant = "alice";
+    ServeClient alice(first.address(), alice_options);
+    session = alice.session();
+    token = alice.resume_token();
+    for (std::uint64_t t = 1; t <= 2; ++t) {
+      requests.push_back(make_request(t, rng));
+      alice.submit(requests.back());
+    }
+    alice.abort_socket();  // die with in-flight work checkpointed
+    ASSERT_TRUE(wait_for_sessions_gauge(0.0, std::chrono::seconds(5)));
+  }  // daemon restarts; checkpoint files survive in checkpoint_dir
+
+  {
+    DaemonFixture second(options);
+    // A fresh tenant on the restarted daemon must get a brand-new session
+    // id. Without seeding next_session_ past the surviving checkpoints it
+    // got alice's id, which first blocked her resume and then overwrote
+    // her checkpoint (destroying her in-flight work) on disconnect.
+    ClientOptions bob_options;
+    bob_options.tenant = "bob";
+    {
+      ServeClient bob(second.address(), bob_options);
+      EXPECT_GT(bob.session(), session);
+      const wl::EnergyRequest request = make_request(7, rng);
+      bob.submit(request);
+      EXPECT_EQ(bob.retrieve().energy,
+                small_solver()->energy(request.config));
+    }
+
+    ClientOptions resume_options;
+    resume_options.tenant = "alice";
+    resume_options.resume_session = session;
+    resume_options.resume_token = token;
+    ServeClient resumed(second.address(), resume_options);
+    EXPECT_TRUE(resumed.resumed());
+    EXPECT_EQ(resumed.session(), session);
+    ASSERT_EQ(resumed.outstanding(), 2u);
+    while (resumed.outstanding() > 0) {
+      const wl::EnergyResult result = resumed.retrieve();
+      ASSERT_FALSE(result.failed);
+      EXPECT_EQ(result.energy,
+                small_solver()->energy(requests[result.ticket - 1].config));
+    }
+  }
+  remove_checkpoint_dir(checkpoint_dir);
+}
+
+TEST(ServeTcp, ClientDeathMidResumeReplayKeepsCheckpointRecoverable) {
+  char dir_template[] = "/tmp/wlsms-serve-XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string checkpoint_dir = dir_template;
+  Rng rng(906);
+
+  // A checkpoint with far more undelivered results than the kernel socket
+  // buffers can absorb, plus two pending requests.
+  constexpr std::uint64_t kSession = 777;
+  constexpr std::uint64_t kToken = 0x5EEDF00Dull;
+  constexpr std::size_t kUndelivered = 20000;
+  constexpr std::uint64_t kPendingBase = 999001;
+  SessionCheckpoint checkpoint;
+  checkpoint.session = kSession;
+  checkpoint.resume_token = kToken;
+  checkpoint.tenant = "replay";
+  for (std::size_t k = 0; k < kUndelivered; ++k) {
+    wl::EnergyResult result;
+    result.ticket = k + 1;
+    result.energy = static_cast<double>(k + 1);
+    checkpoint.undelivered.push_back(result);
+  }
+  std::vector<wl::EnergyRequest> pending;
+  for (std::uint64_t t = 0; t < 2; ++t) {
+    pending.push_back(make_request(kPendingBase + t, rng));
+    checkpoint.pending.push_back(pending.back());
+  }
+  {
+    const std::vector<std::byte> bytes = encode_session_checkpoint(checkpoint);
+    std::ofstream out(checkpoint_dir + "/session-777.wlsm", std::ios::binary);
+    ASSERT_TRUE(out.good());
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  ServeOptions options;
+  options.checkpoint_dir = checkpoint_dir;
+  options.send_deadline = std::chrono::milliseconds(200);
+  options.client_sndbuf = 8192;  // keeps the stalled replay's buffering small
+  options.limits.max_pending = 512;
+  options.limits.max_batch = 2;  // both pending solve as soon as both queue
+  options.limits.batch_window = std::chrono::seconds(10);
+  DaemonFixture fixture(options);
+
+  // Victim: resumes the session but never reads a byte, so the replay
+  // stalls against full socket buffers and trips the daemon's send deadline
+  // mid-replay. The daemon must re-checkpoint the unsent remainder and the
+  // pending requests — not clobber the file with a near-empty session.
+  {
+    net::Socket victim = net::connect_with_timeout(
+        fixture.address(), std::chrono::milliseconds(2000));
+    const int rcvbuf = 4096;
+    (void)::setsockopt(victim.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                       sizeof(rcvbuf));
+    ServeHello hello;
+    hello.tenant = "replay";
+    hello.resume_session = kSession;
+    hello.resume_token = kToken;
+    const std::vector<std::byte> frame =
+        comm::frame_bytes({kTagServeHello, encode_serve_hello(hello)});
+    ASSERT_TRUE(comm::write_all(
+        victim.get(), frame.data(), frame.size(),
+        comm::StreamClock::now() + std::chrono::seconds(2)));
+    ASSERT_TRUE(wait_for_sessions_gauge(1.0, std::chrono::seconds(5)));
+    ASSERT_TRUE(wait_for_sessions_gauge(0.0, std::chrono::seconds(10)));
+  }
+
+  ClientOptions resume_options;
+  resume_options.tenant = "replay";
+  resume_options.resume_session = kSession;
+  resume_options.resume_token = kToken;
+  ServeClient resumed(fixture.address(), resume_options);
+  EXPECT_TRUE(resumed.resumed());
+  // The unsent tail of the replay and both pending requests survived (the
+  // victim absorbed at most a bounded prefix into its kernel buffers).
+  ASSERT_GE(resumed.outstanding(), 3u);
+  std::size_t replayed = 0, solved = 0;
+  while (resumed.outstanding() > 0) {
+    const wl::EnergyResult result = resumed.retrieve();
+    ASSERT_FALSE(result.failed);
+    if (result.ticket >= kPendingBase) {
+      EXPECT_EQ(result.energy,
+                small_solver()->energy(
+                    pending[result.ticket - kPendingBase].config));
+      ++solved;
+    } else {
+      EXPECT_EQ(result.energy, static_cast<double>(result.ticket));
+      ++replayed;
+    }
+  }
+  EXPECT_EQ(solved, 2u);
+  EXPECT_GT(replayed, 0u);
+  remove_checkpoint_dir(checkpoint_dir);
+}
+
+TEST(ServeTcp, TenantMetricSeriesAreCappedAtMaxTenantSeries) {
+  ServeOptions options;
+  options.max_tenant_series = 2;
+  DaemonFixture fixture(options);
+  Rng rng(907);
+
+  for (const char* tenant : {"cap-a", "cap-b", "cap-c", "cap-d"}) {
+    ClientOptions client_options;
+    client_options.tenant = tenant;
+    ServeClient client(fixture.address(), client_options);
+    const wl::EnergyRequest request = make_request(1, rng);
+    client.submit(request);
+    EXPECT_EQ(client.retrieve().energy,
+              small_solver()->energy(request.config));
+  }
+
+  // The daemon increments .results after the socket write, so the last
+  // retrieve can race the counter; wait for it to settle.
+  obs::Counter& other_results =
+      obs::Registry::instance().counter("serve.tenant.other.results");
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (other_results.value() < 2 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  // Tenant names arrive unauthenticated, so only the first
+  // max_tenant_series distinct names get their own metric series; the rest
+  // fold into "other" and cannot grow the registry without bound.
+  const obs::MetricsSnapshot snapshot = obs::Registry::instance().snapshot();
+  EXPECT_EQ(snapshot.counters.at("serve.tenant.cap-a.sessions"), 1u);
+  EXPECT_EQ(snapshot.counters.at("serve.tenant.cap-b.sessions"), 1u);
+  EXPECT_EQ(snapshot.counters.count("serve.tenant.cap-c.sessions"), 0u);
+  EXPECT_EQ(snapshot.counters.count("serve.tenant.cap-d.sessions"), 0u);
+  EXPECT_EQ(snapshot.counters.at("serve.tenant.other.sessions"), 2u);
+  EXPECT_EQ(snapshot.counters.at("serve.tenant.other.results"), 2u);
 }
 
 TEST(ServeTcp, MultiClientChaosSoakLeaksNothingAndStallsNoOne) {
