@@ -1,5 +1,6 @@
 #include "cli.hpp"
 
+#include <charconv>
 #include <stdexcept>
 
 namespace wlsms::cli {
@@ -31,15 +32,17 @@ double Options::get_double(const std::string& key, double fallback) const {
   queried_[key] = true;
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument(key);
-    return value;
-  } catch (const std::exception&) {
-    throw std::runtime_error("--" + key + ": expected a number, got '" +
-                             it->second + "'");
-  }
+  // std::from_chars, unlike std::stod, skips no leading whitespace, takes no
+  // hex floats, and flags overflow — so "1e999", " 1.5", "0x10", a lone "-",
+  // and trailing garbage all fail loudly instead of half-parsing.
+  const std::string& text = it->second;
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size())
+    throw std::runtime_error("--" + key + ": expected a number, got '" + text +
+                             "'");
+  return value;
 }
 
 long Options::get_long(const std::string& key, long fallback) const {

@@ -40,6 +40,7 @@
 
 #include "cli.hpp"
 #include "cluster/des.hpp"
+#include "options.hpp"
 #include "comm/distributed_service.hpp"
 #include "comm/factory.hpp"
 #include "common/logging.hpp"
@@ -83,6 +84,10 @@ int usage() {
       "           [--listen HOST:PORT] [--external 0|1]   (tcp only;\n"
       "           --external 1 waits for `wlsms worker` processes to join\n"
       "           instead of forking local workers)\n"
+      "           [--speculate 0|1] [--spec-band B] [--spec-audit-frac F]\n"
+      "           [--spec-refit-interval N] [--spec-budget RY]\n"
+      "           (--speculate screens the --wl-steps run's proposals with\n"
+      "           the online Heisenberg surrogate; exact mode is default)\n"
       "  worker   --connect HOST:PORT [--cells C]   (one TCP worker rank;\n"
       "           --cells must match the controller's)\n"
       "  serve    [--cells C] [--listen HOST:PORT] [--max-pending N]\n"
@@ -173,43 +178,31 @@ wl::HeisenbergEnergy surrogate(std::size_t cells) {
       heisenberg::HeisenbergModel(lattice::make_fe_supercell(cells), j));
 }
 
-int cmd_curie(const cli::Options& options) {
-  const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
-  const double gamma_final = options.get_double("gamma-final", 1e-6);
-  const auto walkers = static_cast<std::size_t>(options.get_long("walkers", 8));
-  const double flatness = options.get_double("flatness", 0.8);
-  const auto seed = options.get_u64("seed", 123);
-  const double t_min = options.get_double("tmin", 150.0);
-  const std::string dos_path = options.get_string("dos", "");
-  const auto rewl_windows =
-      static_cast<std::size_t>(options.get_long("rewl-windows", 1));
-  const double rewl_overlap = options.get_double("rewl-overlap", 0.75);
-  const auto rewl_interval = static_cast<std::uint64_t>(
-      options.get_long("rewl-exchange-interval", 2000));
-
-  wl::HeisenbergEnergy energy = surrogate(cells);
+int cmd_curie(const cli::CurieOptions& opt) {
+  wl::HeisenbergEnergy energy = surrogate(opt.cells);
   std::printf("system: %zu bcc Fe atoms (%zu^3 cells)\n", energy.n_sites(),
-              cells);
+              opt.cells);
 
   Rng window_rng(5);
   wl::WangLandauConfig config;
   config.grid = wl::thermal_window(
-      energy, energy.model().ferromagnetic_energy(), t_min, window_rng);
-  config.n_walkers = walkers;
-  config.flatness = flatness;
+      energy, energy.model().ferromagnetic_energy(), opt.t_min, window_rng);
+  config.n_walkers = opt.walkers;
+  config.flatness = opt.flatness;
   config.check_interval = 5000;
   config.max_iteration_steps = 2000000;
 
   thermo::DosTable dos;
-  if (rewl_windows > 1) {
+  if (opt.rewl_windows > 1) {
     // Replica-exchange windowed decomposition (rewl.hpp).
     wl::RewlConfig rewl;
     rewl.base = config;
-    rewl.n_windows = rewl_windows;
-    rewl.overlap = rewl_overlap;
-    rewl.exchange_interval = rewl_interval;
-    const wl::RewlResult result = wl::run_rewl(
-        energy, rewl, wl::HalvingSchedule(1.0, gamma_final), Rng(seed));
+    rewl.n_windows = opt.rewl_windows;
+    rewl.overlap = opt.rewl_overlap;
+    rewl.exchange_interval = opt.rewl_interval;
+    const wl::RewlResult result =
+        wl::run_rewl(energy, rewl, wl::HalvingSchedule(1.0, opt.gamma_final),
+                     Rng(opt.seed));
     std::uint64_t total_steps = 0;
     std::size_t iterations = 0;
     for (const wl::WangLandauStats& stats : result.per_window) {
@@ -220,23 +213,24 @@ int cmd_curie(const cli::Options& options) {
         "converged: %llu WL steps over %zu windows (overlap %.0f %%), "
         "%zu gamma levels; %llu/%llu exchanges accepted\n",
         static_cast<unsigned long long>(total_steps), result.windows.size(),
-        100.0 * rewl_overlap, iterations,
+        100.0 * opt.rewl_overlap, iterations,
         static_cast<unsigned long long>(result.exchange_accepts),
         static_cast<unsigned long long>(result.exchange_attempts));
     dos = thermo::dos_table(result.stitched);
   } else {
     wl::WangLandau sampler(
         energy, config,
-        std::make_unique<wl::HalvingSchedule>(1.0, gamma_final), Rng(seed));
+        std::make_unique<wl::HalvingSchedule>(1.0, opt.gamma_final),
+        Rng(opt.seed));
     sampler.run();
     std::printf("converged: %llu WL steps, %zu gamma levels (%zu forced)\n",
                 static_cast<unsigned long long>(sampler.stats().total_steps),
                 sampler.stats().iterations, sampler.stats().forced_iterations);
     dos = thermo::dos_table(sampler.dos());
   }
-  if (!dos_path.empty()) {
-    io::save_dos(dos_path, dos);
-    std::printf("DOS written to %s (%zu bins)\n", dos_path.c_str(),
+  if (!opt.dos_path.empty()) {
+    io::save_dos(opt.dos_path, dos);
+    std::printf("DOS written to %s (%zu bins)\n", opt.dos_path.c_str(),
                 dos.energy.size());
   }
 
@@ -253,24 +247,15 @@ int cmd_curie(const cli::Options& options) {
   return 0;
 }
 
-int cmd_thermo(const cli::Options& options) {
-  const std::string dos_path = options.get_string("dos", "");
-  if (dos_path.empty()) {
-    std::fprintf(stderr, "thermo: --dos <file.csv> is required\n");
-    return 2;
-  }
-  const double t_min = options.get_double("tmin", 200.0);
-  const double t_max = options.get_double("tmax", 3000.0);
-  const auto points = static_cast<std::size_t>(options.get_long("points", 15));
-
-  const thermo::DosTable dos = io::load_dos(dos_path);
+int cmd_thermo(const cli::ThermoOptions& opt) {
+  const thermo::DosTable dos = io::load_dos(opt.dos_path);
   std::printf("loaded %zu DOS bins from %s (E in [%.4f, %.4f] Ry)\n",
-              dos.energy.size(), dos_path.c_str(), dos.energy.front(),
+              dos.energy.size(), opt.dos_path.c_str(), dos.energy.front(),
               dos.energy.back());
 
   io::TextTable table({"T [K]", "F' [Ry]", "U [Ry]", "c [Ry/K]", "S' [Ry/K]"});
   for (const thermo::Observables& obs :
-       thermo::temperature_sweep(dos, t_min, t_max, points)) {
+       thermo::temperature_sweep(dos, opt.t_min, opt.t_max, opt.points)) {
     table.row({io::format_double(obs.temperature, 0),
                io::format_double(obs.free_energy, 4),
                io::format_double(obs.internal_energy, 5),
@@ -279,31 +264,24 @@ int cmd_thermo(const cli::Options& options) {
   }
   table.print();
   const thermo::CurieEstimate tc =
-      thermo::estimate_curie_temperature(dos, t_min, t_max);
+      thermo::estimate_curie_temperature(dos, opt.t_min, opt.t_max);
   std::printf("c-peak: %.0f K\n", tc.tc);
   return 0;
 }
 
-int cmd_extract(const cli::Options& options) {
-  const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
-  const double liz = options.get_double("liz", 5.6);
-  const auto contour = static_cast<std::size_t>(options.get_long("contour", 8));
-  const auto shells = static_cast<std::size_t>(options.get_long("shells", 2));
-  const auto samples =
-      static_cast<std::size_t>(options.get_long("samples", 24));
-
+int cmd_extract(const cli::ExtractOptions& opt) {
   lsms::LsmsParameters params = lsms::fe_lsms_parameters_fast();
-  params.liz_radius = liz;
-  params.contour_points = contour;
-  const lsms::LsmsSolver solver(lattice::make_fe_supercell(cells), params);
+  params.liz_radius = opt.liz;
+  params.contour_points = opt.contour;
+  const lsms::LsmsSolver solver(lattice::make_fe_supercell(opt.cells), params);
   std::printf("substrate: %zu atoms, %zu-atom LIZ, %zu contour points "
               "(%.2f GFlop per energy evaluation)\n",
-              solver.n_atoms(), solver.liz_size(0), contour,
+              solver.n_atoms(), solver.liz_size(0), opt.contour,
               static_cast<double>(solver.flops_per_energy()) / 1e9);
 
   Rng rng(42);
   const lsms::ExtractedExchange exchange =
-      lsms::extract_exchange(solver, shells, samples, rng);
+      lsms::extract_exchange(solver, opt.shells, opt.samples, rng);
   io::TextTable table({"shell", "radius [a0]", "bonds", "J [mRy]"});
   for (std::size_t s = 0; s < exchange.shells.size(); ++s)
     table.row({std::to_string(s + 1),
@@ -312,20 +290,16 @@ int cmd_extract(const cli::Options& options) {
                io::format_double(1e3 * exchange.shells[s].j, 4)});
   table.print();
   std::printf("fit rms: %.3e Ry over %zu samples\n", exchange.fit_rms,
-              samples);
+              opt.samples);
   return 0;
 }
 
-int cmd_scaling(const cli::Options& options) {
-  const auto walkers = static_cast<std::size_t>(options.get_long("walkers", 144));
-  const auto steps = static_cast<std::size_t>(options.get_long("steps", 20));
-  const auto atoms = static_cast<std::size_t>(options.get_long("atoms", 1024));
-
+int cmd_scaling(const cli::ScalingOptions& opt) {
   const cluster::MachineDescription machine = cluster::jaguar_xt5();
   cluster::JobDescription job;
-  job.n_atoms = atoms;
-  job.n_walkers = walkers;
-  job.steps_per_walker = steps;
+  job.n_atoms = opt.atoms;
+  job.n_walkers = opt.walkers;
+  job.steps_per_walker = opt.steps;
   job.fidelity.contour_points = 20;
   const cluster::SimulationResult r = cluster::simulate_wl_lsms(machine, job);
 
@@ -341,23 +315,9 @@ int cmd_scaling(const cli::Options& options) {
   return 0;
 }
 
-int cmd_distributed(const cli::Options& options) {
-  const std::string transport_str =
-      options.get_string("transport", "inprocess");
-  const auto groups = static_cast<std::size_t>(options.get_long("groups", 2));
-  const auto group_size =
-      static_cast<std::size_t>(options.get_long("group-size", 2));
-  const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
-  const auto evals = static_cast<std::size_t>(options.get_long("evals", 8));
-  const auto seed = options.get_u64("seed", 7);
-  const bool check = options.get_long("check", 1) != 0;
-  const auto wl_steps =
-      options.get_u64("wl-steps", 0);
-  const auto wl_walkers =
-      static_cast<std::size_t>(options.get_long("wl-walkers", 4));
-
+int cmd_distributed(const cli::DistributedOptions& opt) {
   const auto solver = std::make_shared<const lsms::LsmsSolver>(
-      lattice::make_fe_supercell(cells), lsms::fe_lsms_parameters_fast());
+      lattice::make_fe_supercell(opt.cells), lsms::fe_lsms_parameters_fast());
   const wl::LsmsEnergy energy(solver);
   std::printf("substrate: %zu atoms, %zu-atom LIZ, %zu contour points\n",
               solver->n_atoms(), solver->liz_size(0),
@@ -366,16 +326,16 @@ int cmd_distributed(const cli::Options& options) {
   comm::EnergyServiceSpec spec;
   spec.kind = comm::ServiceKind::kDistributed;
   spec.energy = &energy;
-  spec.distributed.n_groups = groups;
-  spec.distributed.group_size = group_size;
-  spec.distributed.transport = comm::parse_transport(transport_str);
+  spec.distributed.n_groups = opt.groups;
+  spec.distributed.group_size = opt.group_size;
+  spec.distributed.transport = comm::parse_transport(opt.transport);
   if (spec.distributed.transport == comm::Transport::kTcp) {
-    spec.distributed.tcp.listen =
-        options.get_string("listen", "127.0.0.1:0");
-    if (options.get_long("external", 0) != 0) {
+    spec.distributed.tcp.listen = opt.listen;
+    if (opt.external) {
       // External workers: print where to point `wlsms worker` and wait for
       // the operator to start one per rank (possibly on other nodes).
-      const std::size_t n_ranks = groups * group_size;
+      const std::size_t n_ranks = opt.groups * opt.group_size;
+      const std::size_t cells = opt.cells;
       spec.distributed.tcp.spawn_workers = false;
       spec.distributed.tcp.accept_timeout = std::chrono::minutes(10);
       spec.distributed.tcp.on_listening =
@@ -388,20 +348,27 @@ int cmd_distributed(const cli::Options& options) {
           };
     }
   }
+  if (opt.speculate.enabled) {
+    spec.speculate = true;
+    spec.speculation.band = opt.speculate.band;
+    spec.speculation.audit_fraction = opt.speculate.audit_fraction;
+    spec.speculation.refit_interval = opt.speculate.refit_interval;
+    spec.speculation.error_budget = opt.speculate.error_budget;
+  }
   const std::unique_ptr<wl::EnergyService> service =
       comm::make_energy_service(spec);
 
-  Rng rng(seed);
+  Rng rng(opt.seed);
   std::vector<spin::MomentConfiguration> configs;
-  configs.reserve(evals);
-  for (std::size_t k = 0; k < evals; ++k)
+  configs.reserve(opt.evals);
+  for (std::size_t k = 0; k < opt.evals; ++k)
     configs.push_back(spin::MomentConfiguration::random(solver->n_atoms(), rng));
 
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t k = 0; k < evals; ++k)
-    service->submit({k % std::max<std::size_t>(groups, 1), k + 1, configs[k]});
-  std::vector<double> energies(evals, 0.0);
-  for (std::size_t k = 0; k < evals; ++k) {
+  for (std::size_t k = 0; k < opt.evals; ++k)
+    service->submit({k % opt.groups, k + 1, configs[k]});
+  std::vector<double> energies(opt.evals, 0.0);
+  for (std::size_t k = 0; k < opt.evals; ++k) {
     const wl::EnergyResult result = service->retrieve();
     energies[result.ticket - 1] = result.energy;
   }
@@ -412,16 +379,17 @@ int cmd_distributed(const cli::Options& options) {
   io::TextTable table({"quantity", "value"});
   table.row({"transport", comm::transport_name(spec.distributed.transport)});
   table.row({"worker ranks",
-             std::to_string(groups) + " groups x " +
-                 std::to_string(group_size)});
-  table.row({"evaluations", std::to_string(evals)});
+             std::to_string(opt.groups) + " groups x " +
+                 std::to_string(opt.group_size)});
+  table.row({"evaluations", std::to_string(opt.evals)});
   table.row({"wall time", io::format_double(seconds, 3) + " s"});
-  table.row({"evals/s", io::format_double(evals / std::max(seconds, 1e-9), 2)});
+  table.row(
+      {"evals/s", io::format_double(opt.evals / std::max(seconds, 1e-9), 2)});
   table.print();
 
-  if (check) {
+  if (opt.check) {
     double max_diff = 0.0;
-    for (std::size_t k = 0; k < evals; ++k)
+    for (std::size_t k = 0; k < opt.evals; ++k)
       max_diff = std::max(
           max_diff, std::fabs(energies[k] - energy.total_energy(configs[k])));
     std::printf("max |E_distributed - E_serial| = %.3e Ry%s\n", max_diff,
@@ -429,7 +397,7 @@ int cmd_distributed(const cli::Options& options) {
     if (max_diff != 0.0) return 1;
   }
 
-  if (wl_steps > 0) {
+  if (opt.wl_steps > 0) {
     // Short Wang-Landau run over the distributed service (the paper's §IV
     // benchmark schedule) so --metrics-out / --trace-out capture the whole
     // two-level stack: WL acceptance and flatness, comm frame traffic and
@@ -447,13 +415,13 @@ int cmd_distributed(const cli::Options& options) {
     wl_config.grid.e_max = e_rand_max + 0.01;
     wl_config.grid.bins = 64;
     wl_config.grid.kernel_width_fraction = 0.5 / 64.0;
-    wl_config.n_walkers = wl_walkers;
-    wl_config.max_steps = wl_steps;
-    wl_config.check_interval = std::max<std::uint64_t>(wl_steps / 4, 1);
+    wl_config.n_walkers = opt.wl_walkers;
+    wl_config.max_steps = opt.wl_steps;
+    wl_config.check_interval = std::max<std::uint64_t>(opt.wl_steps / 4, 1);
 
     wl::WlDriver driver(n, *service, wl_config,
                         std::make_unique<wl::HalvingSchedule>(1.0, 1e-8),
-                        Rng(seed + 1));
+                        Rng(opt.seed + 1));
     const wl::DriverStats& stats = driver.run();
     std::printf(
         "WL over distributed service: %llu steps, %llu accepted, "
@@ -461,6 +429,21 @@ int cmd_distributed(const cli::Options& options) {
         static_cast<unsigned long long>(stats.total_steps),
         static_cast<unsigned long long>(stats.accepted_steps),
         static_cast<unsigned long long>(stats.resubmissions));
+    if (const auto* speculative =
+            dynamic_cast<const wl::SpeculativeEnergyService*>(service.get())) {
+      const wl::SpeculationStats& spec_stats = speculative->stats();
+      std::printf(
+          "speculation: %llu proposed, %llu resolved by surrogate "
+          "(hit rate %.1f %%), %llu audits, %llu refits, %llu trips; "
+          "residual rms %.3e Ry\n",
+          static_cast<unsigned long long>(spec_stats.proposed),
+          static_cast<unsigned long long>(spec_stats.speculated),
+          100.0 * spec_stats.hit_rate(),
+          static_cast<unsigned long long>(spec_stats.audits),
+          static_cast<unsigned long long>(spec_stats.refits),
+          static_cast<unsigned long long>(spec_stats.trips),
+          speculative->speculator().residual_rms());
+    }
   }
   return 0;
 }
@@ -472,29 +455,23 @@ extern "C" void serve_sigint(int) {
   if (g_serve_daemon != nullptr) g_serve_daemon->stop();
 }
 
-int cmd_serve(const cli::Options& options) {
-  const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
-
+int cmd_serve(const cli::ServeOptions& opt) {
   serve::ServeOptions serve_options;
-  serve_options.listen = options.get_string("listen", "127.0.0.1:7878");
-  serve_options.limits.max_pending =
-      static_cast<std::size_t>(options.get_long("max-pending", 256));
-  serve_options.limits.max_session_outstanding =
-      static_cast<std::size_t>(options.get_long("max-outstanding", 64));
-  serve_options.limits.max_batch =
-      static_cast<std::size_t>(options.get_long("max-batch", 16));
+  serve_options.listen = opt.listen;
+  serve_options.limits.max_pending = opt.max_pending;
+  serve_options.limits.max_session_outstanding = opt.max_outstanding;
+  serve_options.limits.max_batch = opt.max_batch;
   serve_options.limits.batch_window =
-      std::chrono::milliseconds(options.get_long("batch-window", 5));
-  serve_options.checkpoint_dir = options.get_string("checkpoint-dir", "");
-  serve_options.gemm_batch_threads =
-      static_cast<std::size_t>(options.get_long("batch-threads", 0));
+      std::chrono::milliseconds(opt.batch_window_ms);
+  serve_options.checkpoint_dir = opt.checkpoint_dir;
+  serve_options.gemm_batch_threads = opt.batch_threads;
   serve_options.on_listening = [](const std::string& address) {
     std::printf("serving on %s\n", address.c_str());
     std::fflush(stdout);
   };
 
   const auto solver = std::make_shared<const lsms::LsmsSolver>(
-      lattice::make_fe_supercell(cells), lsms::fe_lsms_parameters_fast());
+      lattice::make_fe_supercell(opt.cells), lsms::fe_lsms_parameters_fast());
   std::printf("substrate: %zu atoms, %zu-atom LIZ, %zu contour points\n",
               solver->n_atoms(), solver->liz_size(0),
               solver->contour().size());
@@ -517,29 +494,22 @@ int cmd_serve(const cli::Options& options) {
   return 0;
 }
 
-int cmd_client(const cli::Options& options) {
-  const std::string connect = options.get_string("connect", "");
-  if (connect.empty()) {
-    std::fprintf(stderr, "client: --connect <host:port> is required\n");
-    return 2;
-  }
-  const auto evals = static_cast<std::size_t>(options.get_long("evals", 8));
-  const auto walkers =
-      static_cast<std::size_t>(options.get_long("walkers", 4));
-  const auto seed = options.get_u64("seed", 11);
-  const bool check = options.get_long("check", 0) != 0;
-  const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
-
-  serve::ClientOptions client_options;
-  client_options.tenant = options.get_string("tenant", "default");
-  client_options.resume_session =
-      options.get_u64("resume-session", 0);
-  client_options.resume_token =
-      options.get_u64("resume-token", 0);
-  serve::ServeClient client(connect, client_options);
+int cmd_client(const cli::ClientOptions& opt) {
+  // Built through the factory like every other service realization; the
+  // serve-specific accessors (session, resume token) come back via the
+  // concrete type.
+  comm::EnergyServiceSpec spec;
+  spec.kind = comm::ServiceKind::kServeClient;
+  spec.serve_address = opt.connect;
+  spec.serve_client.tenant = opt.tenant;
+  spec.serve_client.resume_session = opt.resume_session;
+  spec.serve_client.resume_token = opt.resume_token;
+  const std::unique_ptr<wl::EnergyService> service =
+      comm::make_energy_service(spec);
+  auto& client = dynamic_cast<serve::ServeClient&>(*service);
   std::printf("session %llu as tenant '%s' (%zu atoms served)\n",
               static_cast<unsigned long long>(client.session()),
-              client_options.tenant.c_str(), client.n_atoms());
+              opt.tenant.c_str(), client.n_atoms());
   std::printf("resume with: --resume-session %llu --resume-token %llu\n",
               static_cast<unsigned long long>(client.session()),
               static_cast<unsigned long long>(client.resume_token()));
@@ -547,23 +517,23 @@ int cmd_client(const cli::Options& options) {
     std::printf("resumed: %zu result(s) replayed or re-enqueued\n",
                 client.outstanding());
 
-  Rng rng(seed);
+  Rng rng(opt.seed);
   std::vector<spin::MomentConfiguration> configs;
-  configs.reserve(evals);
-  for (std::size_t k = 0; k < evals; ++k)
+  configs.reserve(opt.evals);
+  for (std::size_t k = 0; k < opt.evals; ++k)
     configs.push_back(
         spin::MomentConfiguration::random(client.n_atoms(), rng));
 
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t k = 0; k < evals; ++k)
-    client.submit({k % std::max<std::size_t>(walkers, 1), k + 1, configs[k]});
-  std::vector<double> energies(evals, 0.0);
+  for (std::size_t k = 0; k < opt.evals; ++k)
+    client.submit({k % opt.walkers, k + 1, configs[k]});
+  std::vector<double> energies(opt.evals, 0.0);
   std::size_t failures = 0;
   while (client.outstanding() > 0) {
     const wl::EnergyResult result = client.retrieve();
     if (result.failed)
       ++failures;
-    else if (result.ticket >= 1 && result.ticket <= evals)
+    else if (result.ticket >= 1 && result.ticket <= opt.evals)
       energies[result.ticket - 1] = result.energy;
   }
   const double seconds =
@@ -571,24 +541,25 @@ int cmd_client(const cli::Options& options) {
           .count();
 
   io::TextTable table({"quantity", "value"});
-  table.row({"evaluations", std::to_string(evals)});
+  table.row({"evaluations", std::to_string(opt.evals)});
   table.row({"failures/rejects", std::to_string(failures)});
   table.row({"wall time", io::format_double(seconds, 3) + " s"});
-  table.row({"evals/s", io::format_double(evals / std::max(seconds, 1e-9), 2)});
+  table.row(
+      {"evals/s", io::format_double(opt.evals / std::max(seconds, 1e-9), 2)});
   table.print();
 
-  if (check) {
-    const lsms::LsmsSolver solver(lattice::make_fe_supercell(cells),
+  if (opt.check) {
+    const lsms::LsmsSolver solver(lattice::make_fe_supercell(opt.cells),
                                   lsms::fe_lsms_parameters_fast());
     if (solver.n_atoms() != client.n_atoms()) {
       std::fprintf(stderr,
                    "client: --cells %zu gives %zu atoms but the daemon "
                    "serves %zu\n",
-                   cells, solver.n_atoms(), client.n_atoms());
+                   opt.cells, solver.n_atoms(), client.n_atoms());
       return 2;
     }
     double max_diff = 0.0;
-    for (std::size_t k = 0; k < evals; ++k)
+    for (std::size_t k = 0; k < opt.evals; ++k)
       max_diff = std::max(max_diff,
                           std::fabs(energies[k] - solver.energy(configs[k])));
     std::printf("max |E_daemon - E_serial| = %.3e Ry%s\n", max_diff,
@@ -598,24 +569,17 @@ int cmd_client(const cli::Options& options) {
   return 0;
 }
 
-int cmd_worker(const cli::Options& options) {
-  const std::string connect = options.get_string("connect", "");
-  if (connect.empty()) {
-    std::fprintf(stderr, "worker: --connect <host:port> is required\n");
-    return 2;
-  }
-  const auto cells = static_cast<std::size_t>(options.get_long("cells", 2));
-
+int cmd_worker(const cli::WorkerOptions& opt) {
   // The worker builds its own solver (there is no shared address space over
   // TCP); --cells must match the controller so shard atom ranges agree.
   const auto solver = std::make_shared<const lsms::LsmsSolver>(
-      lattice::make_fe_supercell(cells), lsms::fe_lsms_parameters_fast());
+      lattice::make_fe_supercell(opt.cells), lsms::fe_lsms_parameters_fast());
   std::printf("worker: %zu atoms (%zu^3 cells), connecting to %s\n",
-              solver->n_atoms(), cells, connect.c_str());
+              solver->n_atoms(), opt.cells, opt.connect.c_str());
   std::fflush(stdout);
 
   const std::size_t rank = comm::run_tcp_worker(
-      connect, [solver](comm::WorkerChannel& channel) {
+      opt.connect, [solver](comm::WorkerChannel& channel) {
         std::printf("worker: joined as rank %zu\n", channel.rank());
         std::fflush(stdout);
         comm::run_shard_worker(channel, solver);
@@ -634,23 +598,25 @@ int main(int argc, char** argv) {
     const std::unique_ptr<ObsScope> obs_scope = ObsScope::from_options(options);
     if (!obs_scope) return 2;
 
+    // Parse the whole stringly map into one validated struct per subcommand
+    // before any work starts; the command bodies never touch raw options.
     int status = 2;
     if (options.command() == "curie")
-      status = cmd_curie(options);
+      status = cmd_curie(cli::CurieOptions::parse(options));
     else if (options.command() == "thermo")
-      status = cmd_thermo(options);
+      status = cmd_thermo(cli::ThermoOptions::parse(options));
     else if (options.command() == "extract")
-      status = cmd_extract(options);
+      status = cmd_extract(cli::ExtractOptions::parse(options));
     else if (options.command() == "scaling")
-      status = cmd_scaling(options);
+      status = cmd_scaling(cli::ScalingOptions::parse(options));
     else if (options.command() == "distributed")
-      status = cmd_distributed(options);
+      status = cmd_distributed(cli::DistributedOptions::parse(options));
     else if (options.command() == "worker")
-      status = cmd_worker(options);
+      status = cmd_worker(cli::WorkerOptions::parse(options));
     else if (options.command() == "serve")
-      status = cmd_serve(options);
+      status = cmd_serve(cli::ServeOptions::parse(options));
     else if (options.command() == "client")
-      status = cmd_client(options);
+      status = cmd_client(cli::ClientOptions::parse(options));
     else {
       std::fprintf(stderr, "unknown command '%s'\n\n",
                    options.command().c_str());

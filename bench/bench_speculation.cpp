@@ -1,0 +1,204 @@
+// Speculative mixed-fidelity evaluation measured at the paper geometry: the
+// same Wang-Landau schedule driven twice over the 16-atom multiple-
+// scattering substrate — once exact-only through the synchronous service,
+// once with the Heisenberg speculator screening proposals in front of it —
+// and the screening accounted for: hit rate (moves resolved without an
+// exact LSMS call), audited surrogate mismatch vs the error budget, and
+// effective WL steps per second both ways.
+//
+// The surrogate warm-starts from the shipped reference exchange constants
+// (what a production run would do; the online refit keeps improving them
+// from the audit stream), and the driver's forced-iteration cap walks gamma
+// down so the run samples both the rough-ln-g and the converged regime.
+//
+// Writes BENCH_spec.json (path = argv[1], default ./BENCH_spec.json) for
+// regression tracking; `ctest -L perf` runs it as perf_speculation. Fails
+// loudly when the hit rate drops below the 40 % acceptance floor or the
+// audited mismatch leaves the error budget.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "comm/factory.hpp"
+#include "io/table.hpp"
+#include "lsms/solver.hpp"
+#include "wl/driver.hpp"
+#include "wl/speculator.hpp"
+
+namespace {
+
+using namespace wlsms;
+
+constexpr std::size_t kCells = 2;        // paper geometry: 2x2x2 bcc = 16 atoms
+constexpr std::uint64_t kSteps = 8000;   // WL steps per run
+constexpr double kHitFloor = 0.40;       // acceptance: >= 40 % resolved
+constexpr double kErrorBudget = 2e-3;    // [Ry] audited-mismatch trip level
+
+struct RunResult {
+  double seconds = 0.0;
+  wl::DriverStats stats;
+  wl::SpeculationStats speculation;
+  double residual_rms = 0.0;
+};
+
+RunResult run(const wl::LsmsEnergy& energy, const wl::WangLandauConfig& config,
+              std::size_t n_atoms, bool speculate) {
+  comm::EnergyServiceSpec spec;
+  spec.kind = comm::ServiceKind::kSynchronous;
+  spec.energy = &energy;
+  if (speculate) {
+    spec.speculate = true;
+    spec.speculation.band = 1.5;
+    spec.speculation.audit_fraction = 0.05;
+    spec.speculation.refit_interval = 32;
+    spec.speculation.error_budget = kErrorBudget;
+    spec.speculation.n_shells = 4;  // 2 extra shells below the 2-shell floor
+    std::vector<double> j = lsms::fe_reference_exchange();
+    for (double& v : j) v *= lsms::fe_exchange_energy_scale;
+    spec.speculation.initial_j = std::move(j);
+  }
+  const auto service = comm::make_energy_service(spec);
+
+  RunResult out;
+  perf::Timer timer;
+  wl::WlDriver driver(n_atoms, *service, config,
+                      std::make_unique<wl::HalvingSchedule>(1.0, 1e-8),
+                      Rng(2024));
+  out.stats = driver.run();
+  out.seconds = timer.seconds();
+  if (const auto* speculative =
+          dynamic_cast<const wl::SpeculativeEnergyService*>(service.get())) {
+    out.speculation = speculative->stats();
+    out.residual_rms = speculative->speculator().residual_rms();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "speculative mixed-fidelity evaluation (Heisenberg screen before LSMS)",
+      "surrogate resolves accept/reject away from the WL boundary; exact "
+      "solves only for boundary moves plus a deterministic audit stream");
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_spec.json";
+
+  const auto solver = std::make_shared<const lsms::LsmsSolver>(
+      lattice::make_fe_supercell(kCells), lsms::fe_lsms_parameters_fast());
+  const wl::LsmsEnergy energy(solver);
+  const std::size_t n = solver->n_atoms();
+  std::printf("substrate: %zu atoms, %zu-atom LIZ, %zu contour points\n",
+              n, solver->liz_size(0), solver->contour().size());
+
+  Rng rng(7);
+  const double e_fm =
+      energy.total_energy(spin::MomentConfiguration::ferromagnetic(n));
+  double e_max = -1e300;
+  for (int k = 0; k < 8; ++k)
+    e_max = std::max(
+        e_max, energy.total_energy(spin::MomentConfiguration::random(n, rng)));
+
+  wl::WangLandauConfig config;
+  config.grid.e_min = e_fm - 0.002;
+  config.grid.e_max = e_max + 0.01;
+  config.grid.bins = 64;
+  config.grid.kernel_width_fraction = 0.5 / 64.0;
+  config.n_walkers = 4;
+  config.max_steps = kSteps;
+  config.check_interval = 200;
+  config.max_iteration_steps = 400;  // force gamma down over the run
+  std::printf("workload: %llu WL steps, %zu walkers, window [%.3f, %.3f] Ry\n\n",
+              static_cast<unsigned long long>(kSteps), config.n_walkers,
+              config.grid.e_min, config.grid.e_max);
+
+  const RunResult exact = run(energy, config, n, /*speculate=*/false);
+  const RunResult spec = run(energy, config, n, /*speculate=*/true);
+  const wl::SpeculationStats& s = spec.speculation;
+
+  const double exact_rate =
+      static_cast<double>(exact.stats.total_steps) / exact.seconds;
+  const double spec_rate =
+      static_cast<double>(spec.stats.total_steps) / spec.seconds;
+
+  io::TextTable table({"mode", "s total", "WL steps/s", "exact calls"});
+  table.row({"exact-only", io::format_double(exact.seconds, 3),
+             io::format_double(exact_rate, 2),
+             std::to_string(exact.stats.total_steps)});
+  const std::uint64_t exact_calls =
+      s.proposed - s.speculated + s.forwarded + s.retries;
+  table.row({"speculative", io::format_double(spec.seconds, 3),
+             io::format_double(spec_rate, 2), std::to_string(exact_calls)});
+  table.print();
+
+  std::printf(
+      "\nscreened %llu proposals: %llu resolved by surrogate (hit rate "
+      "%.1f %%), %llu audited, %llu boundary, %llu warmup, %llu tripped\n",
+      static_cast<unsigned long long>(s.proposed),
+      static_cast<unsigned long long>(s.speculated), 100.0 * s.hit_rate(),
+      static_cast<unsigned long long>(s.audits),
+      static_cast<unsigned long long>(s.boundary_exact),
+      static_cast<unsigned long long>(s.warmup_exact),
+      static_cast<unsigned long long>(s.tripped_exact));
+  std::printf(
+      "surrogate upkeep: %llu refits adopted, %llu rejected; residual rms "
+      "%.3e Ry (budget %.1e), %llu trips / %llu recoveries\n",
+      static_cast<unsigned long long>(s.refits),
+      static_cast<unsigned long long>(s.refits_rejected), spec.residual_rms,
+      kErrorBudget, static_cast<unsigned long long>(s.trips),
+      static_cast<unsigned long long>(s.untrips));
+  std::printf("effective WL throughput: %.2fx exact-only\n",
+              spec_rate / exact_rate);
+
+  const bool hit_ok = s.hit_rate() >= kHitFloor;
+  const bool budget_ok = spec.residual_rms <= kErrorBudget;
+  if (!hit_ok)
+    std::printf("** hit rate %.1f %% below the %.0f %% acceptance floor **\n",
+                100.0 * s.hit_rate(), 100.0 * kHitFloor);
+  if (!budget_ok)
+    std::printf("** audited mismatch rms %.3e over the %.1e Ry budget **\n",
+                spec.residual_rms, kErrorBudget);
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"atoms\": %zu,\n"
+      "  \"wl_steps\": %llu,\n"
+      "  \"proposed\": %llu,\n"
+      "  \"speculated\": %llu,\n"
+      "  \"hit_rate\": %.4f,\n"
+      "  \"audits\": %llu,\n"
+      "  \"audited_mismatch_rms_ry\": %.6e,\n"
+      "  \"error_budget_ry\": %.6e,\n"
+      "  \"trips\": %llu,\n"
+      "  \"untrips\": %llu,\n"
+      "  \"refits_adopted\": %llu,\n"
+      "  \"refits_rejected\": %llu,\n"
+      "  \"exact_only\": {\"s_total\": %.6e, \"steps_per_s\": %.4f},\n"
+      "  \"speculative\": {\"s_total\": %.6e, \"steps_per_s\": %.4f, "
+      "\"exact_calls\": %llu},\n"
+      "  \"effective_speedup\": %.4f\n"
+      "}\n",
+      n, static_cast<unsigned long long>(kSteps),
+      static_cast<unsigned long long>(s.proposed),
+      static_cast<unsigned long long>(s.speculated), s.hit_rate(),
+      static_cast<unsigned long long>(s.audits), spec.residual_rms,
+      kErrorBudget, static_cast<unsigned long long>(s.trips),
+      static_cast<unsigned long long>(s.untrips),
+      static_cast<unsigned long long>(s.refits),
+      static_cast<unsigned long long>(s.refits_rejected), exact.seconds,
+      exact_rate, spec.seconds, spec_rate,
+      static_cast<unsigned long long>(exact_calls), spec_rate / exact_rate);
+  std::fclose(json);
+  std::printf("results written to %s\n", json_path.c_str());
+
+  return (hit_ok && budget_ok) ? 0 : 1;
+}

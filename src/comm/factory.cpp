@@ -36,7 +36,7 @@ class OwningFailureService final : public wl::EnergyService {
 
 std::unique_ptr<wl::EnergyService> make_energy_service(
     const EnergyServiceSpec& spec) {
-  if (spec.energy == nullptr)
+  if (spec.energy == nullptr && spec.kind != ServiceKind::kServeClient)
     throw Error("make_energy_service: spec.energy is required");
   if (!(spec.failure_probability >= 0.0 && spec.failure_probability < 1.0))
     throw Error("make_energy_service: failure_probability outside [0, 1)");
@@ -68,6 +68,13 @@ std::unique_ptr<wl::EnergyService> make_energy_service(
           lsms_energy->solver_ptr(), spec.distributed);
       break;
     }
+    case ServiceKind::kServeClient: {
+      if (spec.serve_address.empty())
+        throw Error("make_energy_service: kServeClient requires serve_address");
+      service = std::make_unique<serve::ServeClient>(spec.serve_address,
+                                                     spec.serve_client);
+      break;
+    }
   }
   if (service == nullptr)
     throw Error("make_energy_service: unknown service kind");
@@ -75,6 +82,20 @@ std::unique_ptr<wl::EnergyService> make_energy_service(
   if (spec.failure_probability > 0.0)
     service = std::make_unique<OwningFailureService>(
         std::move(service), spec.failure_probability, Rng(spec.failure_seed));
+
+  if (spec.speculate) {
+    const lattice::Structure* structure = spec.speculation_structure;
+    if (structure == nullptr)
+      if (const auto* lsms_energy =
+              dynamic_cast<const wl::LsmsEnergy*>(spec.energy))
+        structure = &lsms_energy->solver().structure();
+    if (structure == nullptr)
+      throw Error(
+          "make_energy_service: speculation requires speculation_structure "
+          "(or an LsmsEnergy backend to take the lattice from)");
+    service = std::make_unique<wl::SpeculativeEnergyService>(
+        std::move(service), wl::Speculator(*structure, spec.speculation));
+  }
   return service;
 }
 

@@ -68,34 +68,24 @@ std::vector<ExchangeBond> enumerate_bonds(const lattice::Structure& structure,
   return bonds;
 }
 
-ExtractedExchange extract_exchange(const LsmsSolver& solver,
-                                   std::size_t n_shells,
-                                   std::size_t n_samples, Rng& rng) {
-  WLSMS_EXPECTS(n_samples >= n_shells + 2);
-  const lattice::Structure& structure = solver.structure();
+std::vector<double> exchange_fit_row(const std::vector<ExchangeBond>& bonds,
+                                     std::size_t n_shells,
+                                     const spin::MomentConfiguration& config) {
+  std::vector<double> row(n_shells + 1, 0.0);
+  row[0] = 1.0;
+  for (const ExchangeBond& bond : bonds)
+    row[bond.shell + 1] -= config[bond.site_a].dot(config[bond.site_b]);
+  return row;
+}
 
-  std::vector<double> radii;
-  std::vector<ExchangeBond> bonds = enumerate_bonds(structure, n_shells, &radii);
-  WLSMS_ENSURES(!bonds.empty());
-
+ExchangeFit fit_exchange_rows(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& targets,
+                              std::size_t n_shells, double ridge) {
   const std::size_t n_params = n_shells + 1;  // e0 plus one J per shell
-
-  // Build the regression rows: y = E_lsms, x = [1, -b_1, ..., -b_S] with
-  // b_s the shell bond sum, so the coefficient of column s+1 is J_s.
-  std::vector<std::vector<double>> rows;
-  std::vector<double> targets;
-  const auto add_sample = [&](const spin::MomentConfiguration& config) {
-    std::vector<double> row(n_params, 0.0);
-    row[0] = 1.0;
-    for (const ExchangeBond& bond : bonds)
-      row[bond.shell + 1] -= config[bond.site_a].dot(config[bond.site_b]);
-    rows.push_back(std::move(row));
-    targets.push_back(solver.energy(config));
-  };
-
-  add_sample(spin::MomentConfiguration::ferromagnetic(structure.size()));
-  for (std::size_t s = 0; s + 1 < n_samples; ++s)
-    add_sample(spin::MomentConfiguration::random(structure.size(), rng));
+  WLSMS_EXPECTS(rows.size() == targets.size());
+  WLSMS_EXPECTS(rows.size() >= n_params);
+  for (const std::vector<double>& row : rows)
+    WLSMS_EXPECTS(row.size() == n_params);
 
   // Normal equations (A^T A) p = A^T y, solved with the complex LU kept
   // real. The system is tiny (n_shells + 1 square).
@@ -108,20 +98,20 @@ ExtractedExchange extract_exchange(const LsmsSolver& solver,
         ata(a, b) += linalg::Complex{rows[r][a] * rows[r][b], 0.0};
     }
   }
+  if (ridge > 0.0) {
+    double max_diag = 0.0;
+    for (std::size_t a = 0; a < n_params; ++a)
+      max_diag = std::max(max_diag, ata(a, a).real());
+    for (std::size_t a = 0; a < n_params; ++a)
+      ata(a, a) += linalg::Complex{ridge * max_diag, 0.0};
+  }
   linalg::LuFactorization lu(ata);
   lu.solve_in_place(aty.data());
 
-  ExtractedExchange result;
-  result.e0 = aty[0].real();
-  result.shells.resize(n_shells);
-  std::vector<std::size_t> bond_counts(n_shells, 0);
-  for (const ExchangeBond& bond : bonds) ++bond_counts[bond.shell];
-  for (std::size_t s = 0; s < n_shells; ++s) {
-    result.shells[s].radius = radii[s];
-    result.shells[s].bonds = bond_counts[s];
-    result.shells[s].j = aty[s + 1].real();
-  }
-  result.bond_list = std::move(bonds);
+  ExchangeFit fit;
+  fit.e0 = aty[0].real();
+  fit.j.resize(n_shells);
+  for (std::size_t s = 0; s < n_shells; ++s) fit.j[s] = aty[s + 1].real();
 
   double ss = 0.0;
   for (std::size_t r = 0; r < rows.size(); ++r) {
@@ -131,7 +121,47 @@ ExtractedExchange extract_exchange(const LsmsSolver& solver,
     const double resid = targets[r] - predicted;
     ss += resid * resid;
   }
-  result.fit_rms = std::sqrt(ss / static_cast<double>(rows.size()));
+  fit.rms = std::sqrt(ss / static_cast<double>(rows.size()));
+  return fit;
+}
+
+ExtractedExchange extract_exchange(const LsmsSolver& solver,
+                                   std::size_t n_shells,
+                                   std::size_t n_samples, Rng& rng) {
+  WLSMS_EXPECTS(n_samples >= n_shells + 2);
+  const lattice::Structure& structure = solver.structure();
+
+  std::vector<double> radii;
+  std::vector<ExchangeBond> bonds = enumerate_bonds(structure, n_shells, &radii);
+  WLSMS_ENSURES(!bonds.empty());
+
+  // Build the regression rows: y = E_lsms, x = [1, -b_1, ..., -b_S] with
+  // b_s the shell bond sum, so the coefficient of column s+1 is J_s.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  const auto add_sample = [&](const spin::MomentConfiguration& config) {
+    rows.push_back(exchange_fit_row(bonds, n_shells, config));
+    targets.push_back(solver.energy(config));
+  };
+
+  add_sample(spin::MomentConfiguration::ferromagnetic(structure.size()));
+  for (std::size_t s = 0; s + 1 < n_samples; ++s)
+    add_sample(spin::MomentConfiguration::random(structure.size(), rng));
+
+  const ExchangeFit fit = fit_exchange_rows(rows, targets, n_shells);
+
+  ExtractedExchange result;
+  result.e0 = fit.e0;
+  result.shells.resize(n_shells);
+  std::vector<std::size_t> bond_counts(n_shells, 0);
+  for (const ExchangeBond& bond : bonds) ++bond_counts[bond.shell];
+  for (std::size_t s = 0; s < n_shells; ++s) {
+    result.shells[s].radius = radii[s];
+    result.shells[s].bonds = bond_counts[s];
+    result.shells[s].j = fit.j[s];
+  }
+  result.bond_list = std::move(bonds);
+  result.fit_rms = fit.rms;
   return result;
 }
 

@@ -54,6 +54,31 @@ struct ExtractedExchange {
   std::vector<double> j_values() const;
 };
 
+/// Result of a shell-coupling least-squares fit over precomputed samples.
+struct ExchangeFit {
+  double e0 = 0.0;        ///< configuration-independent offset [Ry]
+  std::vector<double> j;  ///< one coupling per shell [Ry]
+  double rms = 0.0;       ///< rms residual of the fit [Ry]
+};
+
+/// Solves the shell-coupling regression shared by extract_exchange and the
+/// online speculator refit (wl/speculator.hpp): each row is
+/// [1, -b_1, ..., -b_S] with b_s the shell-s bond sum of one configuration,
+/// each target the exact energy of that configuration. `ridge` scales a
+/// Tikhonov term (ridge * max diagonal of A^T A added to the diagonal) that
+/// keeps the normal equations solvable on the correlated samples a random
+/// walk produces. Throws linalg::SingularMatrixError when the (possibly
+/// ridged) system is still singular, wlsms::Error on shape mismatches.
+ExchangeFit fit_exchange_rows(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& targets,
+                              std::size_t n_shells, double ridge = 0.0);
+
+/// Builds one regression row for fit_exchange_rows: [1, -b_1, ..., -b_S]
+/// with b_s = sum over shell-s bonds of e_i . e_j.
+std::vector<double> exchange_fit_row(const std::vector<ExchangeBond>& bonds,
+                                     std::size_t n_shells,
+                                     const spin::MomentConfiguration& config);
+
 /// Enumerates the unordered exchange bonds of `structure` out to
 /// `n_shells` neighbour shells and tags each with its shell index. Bonds
 /// whose two ends are periodic images of the same site contribute a

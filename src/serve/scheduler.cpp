@@ -1,8 +1,8 @@
 #include "serve/scheduler.hpp"
 
+#include <memory>
 #include <utility>
 
-#include "comm/factory.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -49,10 +49,7 @@ BatchScheduler::BatchScheduler(std::shared_ptr<const lsms::LsmsSolver> solver,
   WLSMS_EXPECTS(limits_.max_pending >= 1);
   WLSMS_EXPECTS(limits_.max_session_outstanding >= 1);
   WLSMS_EXPECTS(limits_.max_batch >= 1);
-  comm::EnergyServiceSpec spec;
-  spec.kind = comm::ServiceKind::kSynchronous;
-  spec.energy = &energy_;
-  singleton_ = comm::make_energy_service(spec);
+  singleton_ = std::make_unique<wl::SynchronousEnergyService>(energy_);
 }
 
 BatchScheduler::Admission BatchScheduler::submit(std::uint64_t session,

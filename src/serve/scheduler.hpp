@@ -105,8 +105,9 @@ class BatchScheduler {
   std::shared_ptr<const lsms::LsmsSolver> solver_;
   ServeLimits limits_;
   /// The singleton / retry path: a real SynchronousEnergyService over the
-  /// same solver, built through make_energy_service like every other
-  /// service in the tree.
+  /// same solver, constructed directly — the factory (wlsms_factory) sits
+  /// above the serve client and thus above this library, so the daemon
+  /// cannot link back into it.
   wl::LsmsEnergy energy_;
   std::unique_ptr<wl::EnergyService> singleton_;
 

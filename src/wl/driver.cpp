@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "wl/speculator.hpp"
 
 namespace wlsms::wl {
 
@@ -19,6 +20,12 @@ WlDriver::WlDriver(std::size_t n_sites, EnergyService& service,
   WLSMS_EXPECTS(n_sites >= 1);
   WLSMS_EXPECTS(config.n_walkers >= 1);
   WLSMS_EXPECTS(schedule_ != nullptr);
+
+  // A speculating service screens proposals against the live ln g estimate;
+  // hand it ours. The driver outlives every run() call, so the pointer stays
+  // valid for the whole working life of the service.
+  if (auto* speculative = dynamic_cast<SpeculativeEnergyService*>(&service))
+    speculative->attach_dos(&dos_);
 
   walkers_.resize(config.n_walkers);
   for (std::size_t w = 0; w < walkers_.size(); ++w) {
@@ -40,7 +47,17 @@ void WlDriver::submit_trial(std::size_t w) {
   walker.trial = walker.current;
   walker.trial.set(walker.pending_move.site, walker.pending_move.new_direction);
   walker.ticket = next_ticket_++;
-  service_.submit({w, walker.ticket, walker.trial});
+  service_.submit(trial_request(w));
+}
+
+EnergyRequest WlDriver::trial_request(std::size_t w) const {
+  const Walker& walker = walkers_[w];
+  EnergyRequest request{w, walker.ticket, walker.trial};
+  request.hint.valid = true;
+  request.hint.current_energy = walker.energy;
+  request.hint.site = walker.pending_move.site;
+  request.hint.old_direction = walker.current[walker.pending_move.site];
+  return request;
 }
 
 void WlDriver::record_visit(Walker& walker) {
@@ -108,10 +125,15 @@ void WlDriver::process(const EnergyResult& result) {
   WLSMS_EXPECTS(result.ticket == walker.ticket);
 
   if (result.failed) {
-    // Resilience: the computing instance died; repost the same trial.
+    // Resilience: the computing instance died; repost the same trial. A
+    // seeded walker's repost carries the same move provenance, so a
+    // screening decorator recognizes it as a retry, not a fresh proposal.
     ++stats_.resubmissions;
     walker.ticket = next_ticket_++;
-    service_.submit({result.walker, walker.ticket, walker.trial});
+    service_.submit(walker.seeded
+                        ? trial_request(result.walker)
+                        : EnergyRequest{result.walker, walker.ticket,
+                                        walker.trial});
     return;
   }
 

@@ -68,6 +68,8 @@ class WlDriver {
 
   void submit_initial(std::size_t w);
   void submit_trial(std::size_t w);
+  /// The in-flight trial of walker `w` as a hinted request (fresh or retry).
+  EnergyRequest trial_request(std::size_t w) const;
   void process(const EnergyResult& result);
   void record_visit(Walker& walker);
   void publish_metrics();

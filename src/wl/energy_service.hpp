@@ -22,6 +22,20 @@
 
 namespace wlsms::wl {
 
+/// Move provenance attached to a trial-configuration request: everything a
+/// screening decorator (wl/speculator.hpp) needs to price the move with an
+/// O(coordination) surrogate instead of a full evaluation. The driver fills
+/// it for every trial proposal (it owns the data and the cost is O(1));
+/// non-screening services simply ignore it, and it never crosses a wire —
+/// the wire codecs ship the plain request, because every inner service only
+/// ever sees moves the decorator already chose to evaluate exactly.
+struct SpeculationHint {
+  bool valid = false;          ///< false for seeds and raw (non-move) evals
+  double current_energy = 0.0; ///< energy of the pre-move configuration
+  std::size_t site = 0;        ///< the single site the move touched
+  Vec3 old_direction;          ///< its direction before the move
+};
+
 /// A posted energy calculation.
 struct EnergyRequest {
   std::size_t walker = 0;      ///< which walker's configuration this is
@@ -32,6 +46,7 @@ struct EnergyRequest {
   /// per-walker state — the distributed delta-scatter caches — must key on
   /// (session, walker) so two tenants with equal walker ids cannot alias.
   std::uint64_t session = 0;
+  SpeculationHint hint = {};  ///< move provenance for screening decorators
 };
 
 /// A completed (or failed) energy calculation.

@@ -1,0 +1,377 @@
+#include "wl/speculator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "linalg/lu.hpp"
+#include "obs/metrics.hpp"
+#include "spin/moves.hpp"
+
+namespace wlsms::wl {
+namespace {
+
+/// Tikhonov scale of the online refit. The rows a random walk produces are
+/// correlated (consecutive configurations differ by one moment), so the
+/// unregularized normal equations go near-singular early in a window.
+constexpr double kRefitRidge = 1e-10;
+
+/// Shared log-spaced bounds [Ry] of the residual histograms. The paper's
+/// energies are O(1) Ry per cell; surrogate residuals of interest span
+/// sub-uRy (converged fit) to ~0.1 Ry (cold or broken fit).
+std::vector<double> residual_bounds() {
+  return {1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5,
+          1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1};
+}
+
+std::vector<double> initial_couplings(const SpeculationConfig& config) {
+  std::vector<double> j = config.initial_j;
+  j.resize(config.n_shells, 0.0);
+  return j;
+}
+
+}  // namespace
+
+Speculator::Speculator(const lattice::Structure& structure,
+                       SpeculationConfig config)
+    : config_(std::move(config)),
+      structure_(structure),
+      j_(initial_couplings(config_)),
+      model_(structure_, j_),
+      bonds_(lsms::enumerate_bonds(structure_, config_.n_shells, nullptr)) {
+  WLSMS_EXPECTS(config_.band >= 0.0);
+  WLSMS_EXPECTS(config_.audit_fraction >= 0.0 && config_.audit_fraction <= 1.0);
+  WLSMS_EXPECTS(config_.error_budget >= 0.0);
+  WLSMS_EXPECTS(config_.accept_tol >= 0.0);
+  WLSMS_EXPECTS(config_.min_audits >= 1);
+  WLSMS_EXPECTS(config_.residual_window >= config_.min_audits);
+  WLSMS_EXPECTS(config_.refit_window >= config_.n_shells + 2);
+  WLSMS_EXPECTS(config_.n_shells >= 1);
+}
+
+double Speculator::delta(const spin::MomentConfiguration& trial,
+                         std::size_t site, const Vec3& old_direction) const {
+  // Applying (site -> old_direction) to the trial configuration restores the
+  // pre-move one, so that reverse delta is -(E_trial - E_current).
+  return -model_.energy_delta(trial, spin::TrialMove{site, old_direction});
+}
+
+std::vector<double> Speculator::fit_row(
+    const spin::MomentConfiguration& config) const {
+  return lsms::exchange_fit_row(bonds_, config_.n_shells, config);
+}
+
+double Speculator::residual_rms() const {
+  if (residuals_.empty()) return 0.0;
+  return std::sqrt(residual_sum_sq_ /
+                   static_cast<double>(residuals_.size()));
+}
+
+void Speculator::clear_residual_window() {
+  residuals_.clear();
+  residual_sum_sq_ = 0.0;
+}
+
+SpeculatorRecordOutcome Speculator::record(std::vector<double> row,
+                                           double exact_energy,
+                                           double residual) {
+  SpeculatorRecordOutcome outcome;
+
+  residuals_.push_back(residual);
+  residual_sum_sq_ += residual * residual;
+  while (residuals_.size() > config_.residual_window) {
+    const double old = residuals_.front();
+    residuals_.pop_front();
+    residual_sum_sq_ -= old * old;
+  }
+  // The incremental sum of squares accumulates cancellation error over a
+  // long run; re-sum periodically so the rms stays honest.
+  if (++residual_pushes_ % 4096 == 0) {
+    residual_sum_sq_ = 0.0;
+    for (const double r : residuals_) residual_sum_sq_ += r * r;
+  }
+
+  fit_rows_.push_back(std::move(row));
+  fit_targets_.push_back(exact_energy);
+  while (fit_rows_.size() > config_.refit_window) {
+    fit_rows_.pop_front();
+    fit_targets_.pop_front();
+  }
+
+  ++measured_;
+
+  const std::size_t n_params = config_.n_shells + 1;
+  if (config_.refit_interval > 0 && measured_ % config_.refit_interval == 0 &&
+      fit_rows_.size() >= n_params + 1) {
+    outcome.refit = true;
+    const std::vector<std::vector<double>> rows(fit_rows_.begin(),
+                                                fit_rows_.end());
+    const std::vector<double> targets(fit_targets_.begin(),
+                                      fit_targets_.end());
+    // In-window rms of the *current* couplings with the offset fitted
+    // closed-form (the offset never enters move deltas, so only the J error
+    // should decide adoption).
+    std::vector<double> resid(rows.size());
+    double mean = 0.0;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      double shell_part = 0.0;
+      for (std::size_t s = 0; s < config_.n_shells; ++s)
+        shell_part += rows[r][s + 1] * j_[s];
+      resid[r] = targets[r] - shell_part;
+      mean += resid[r];
+    }
+    mean /= static_cast<double>(rows.size());
+    double old_ss = 0.0;
+    for (const double r : resid) old_ss += (r - mean) * (r - mean);
+    const double old_rms =
+        std::sqrt(old_ss / static_cast<double>(rows.size()));
+
+    try {
+      const lsms::ExchangeFit fit = lsms::fit_exchange_rows(
+          rows, targets, config_.n_shells, kRefitRidge);
+      if (fit.rms <= old_rms) {
+        // How much the adoption moves the window's predictions. When the
+        // shift is small against the tracked residual scale the old window
+        // still describes the new model, and keeping it avoids re-entering
+        // warmup after every routine refit (the steady state: a converged
+        // fit re-adopted every cadence with near-identical couplings).
+        double shift_ss = 0.0;
+        for (const std::vector<double>& r : rows) {
+          double shift = 0.0;
+          for (std::size_t s = 0; s < config_.n_shells; ++s)
+            shift += r[s + 1] * (fit.j[s] - j_[s]);
+          shift_ss += shift * shift;
+        }
+        const double shift_rms =
+            std::sqrt(shift_ss / static_cast<double>(rows.size()));
+        j_ = fit.j;
+        model_ = heisenberg::HeisenbergModel(structure_, j_);
+        if (shift_rms > 0.5 * residual_rms()) clear_residual_window();
+        outcome.refit_adopted = true;
+      }
+    } catch (const linalg::SingularMatrixError&) {
+      // Degenerate window (e.g. every sample the same configuration); keep
+      // the current couplings and try again next cadence.
+    }
+  }
+
+  if (config_.error_budget > 0.0 && warmed_up()) {
+    const double rms = residual_rms();
+    if (!tripped_ && rms > config_.error_budget) {
+      tripped_ = true;
+      outcome.tripped = true;
+      // Demand a full fresh window of in-budget residuals to recover.
+      clear_residual_window();
+    } else if (tripped_ && rms <= config_.error_budget) {
+      tripped_ = false;
+      outcome.untripped = true;
+    }
+  }
+
+  return outcome;
+}
+
+SpeculativeEnergyService::SpeculativeEnergyService(
+    std::unique_ptr<EnergyService> inner, Speculator speculator)
+    : inner_(std::move(inner)),
+      speculator_(std::move(speculator)),
+      m_proposed_(obs::Registry::instance().counter("spec.proposed")),
+      m_hits_(obs::Registry::instance().counter("spec.hits")),
+      m_audits_(obs::Registry::instance().counter("spec.audits")),
+      m_exact_(obs::Registry::instance().counter("spec.exact")),
+      m_retries_(obs::Registry::instance().counter("spec.retries")),
+      m_refits_(obs::Registry::instance().counter("spec.refits")),
+      m_trips_(obs::Registry::instance().counter("spec.trips")),
+      m_hit_rate_(obs::Registry::instance().gauge("spec.hit_rate")),
+      m_residual_rms_(obs::Registry::instance().gauge("spec.residual_rms")),
+      m_tripped_(obs::Registry::instance().gauge("spec.tripped")),
+      m_residual_(obs::Registry::instance().histogram("spec.residual",
+                                                      residual_bounds())),
+      m_audit_mismatch_(obs::Registry::instance().histogram(
+          "spec.audit_mismatch", residual_bounds())) {
+  WLSMS_EXPECTS(inner_ != nullptr);
+}
+
+bool SpeculativeEnergyService::matches_retry(
+    const InFlight& saved, const EnergyRequest& request) const {
+  // The driver resubmits a failed trial without re-deriving provenance, so a
+  // hintless request from a walker with a pending retry IS that retry. A
+  // hinted request must carry the same move identity; anything else is a
+  // fresh proposal racing a stale entry.
+  if (!request.hint.valid) return true;
+  return request.hint.site == saved.site &&
+         request.hint.old_direction == saved.old_direction &&
+         request.hint.current_energy == saved.current_energy;
+}
+
+bool SpeculativeEnergyService::resolvable(double current_energy,
+                                          double predicted) const {
+  const double band = speculator_.band_width();
+  const double lo = predicted - band;
+  const double hi = predicted + band;
+  // Entirely outside the energy window on one side: the driver rejects an
+  // out-of-range energy deterministically, whatever the exact value is.
+  if (hi < dos_->e_min() || lo >= dos_->e_max()) return true;
+  // Straddling a window edge: in-range and out-of-range outcomes differ.
+  if (!dos_->contains(lo) || !dos_->contains(hi)) return false;
+  if (!dos_->contains(current_energy)) return false;
+
+  // ln g is piecewise linear (or gated-constant) between bin centres, so its
+  // extrema over [lo, hi] are attained at the endpoints or at bin centres
+  // strictly inside.
+  double g_min = dos_->ln_g(lo);
+  double g_max = g_min;
+  const auto consider = [&](double e) {
+    const double g = dos_->ln_g(e);
+    g_min = std::min(g_min, g);
+    g_max = std::max(g_max, g);
+  };
+  consider(hi);
+  const double width = dos_->bin_width();
+  const double first = (lo - dos_->e_min()) / width - 0.5;
+  std::size_t b = first <= 0.0 ? 0 : static_cast<std::size_t>(first) + 1;
+  for (; b < dos_->bins(); ++b) {
+    const double center = dos_->bin_center(b);
+    if (center >= hi) break;
+    if (center > lo) consider(center);
+  }
+
+  const double ln_cur = dos_->ln_g(current_energy);
+  const double lr_min = ln_cur - g_max;
+  if (lr_min >= 0.0) return true;  // accepted across the whole band
+  const double lr_max = ln_cur - g_min;
+  const double p_hi = std::exp(std::min(lr_max, 0.0));
+  const double p_lo = std::exp(lr_min);
+  return p_hi - p_lo <= speculator_.config().accept_tol;
+}
+
+void SpeculativeEnergyService::dispatch_exact(EnergyRequest request,
+                                              InFlight entry) {
+  if (entry.role != Role::kForward) m_exact_.inc();
+  in_flight_.emplace(request.ticket, std::move(entry));
+  inner_->submit(std::move(request));
+}
+
+void SpeculativeEnergyService::submit(EnergyRequest request) {
+  // A walker whose last exact dispatch failed resubmits the same trial; that
+  // resubmission must reuse the saved role so the move is not re-counted in
+  // proposed / hit_rate.
+  if (const auto retry = retry_pending_.find(request.walker);
+      retry != retry_pending_.end()) {
+    if (matches_retry(retry->second, request)) {
+      InFlight entry = std::move(retry->second);
+      retry_pending_.erase(retry);
+      ++stats_.retries;
+      m_retries_.inc();
+      dispatch_exact(std::move(request), std::move(entry));
+      return;
+    }
+    // Stale entry from a move the driver abandoned; treat as fresh.
+    retry_pending_.erase(retry);
+  }
+
+  if (!request.hint.valid || dos_ == nullptr) {
+    ++stats_.forwarded;
+    dispatch_exact(std::move(request), InFlight{});
+    return;
+  }
+
+  ++stats_.proposed;
+  m_proposed_.inc();
+
+  InFlight entry;
+  entry.has_prediction = true;
+  entry.predicted = request.hint.current_energy +
+                    speculator_.delta(request.config, request.hint.site,
+                                      request.hint.old_direction);
+  entry.row = speculator_.fit_row(request.config);
+  entry.site = request.hint.site;
+  entry.old_direction = request.hint.old_direction;
+  entry.current_energy = request.hint.current_energy;
+
+  // Tripped wins the attribution: a trip clears the residual window, so the
+  // recovery phase is simultaneously "over budget" and "warming up" — and
+  // over-budget is the state the operator needs to see.
+  if (speculator_.tripped()) {
+    entry.role = Role::kTripped;
+    ++stats_.tripped_exact;
+  } else if (!speculator_.warmed_up()) {
+    entry.role = Role::kWarmup;
+    ++stats_.warmup_exact;
+  } else if (!resolvable(request.hint.current_energy, entry.predicted)) {
+    entry.role = Role::kBoundary;
+    ++stats_.boundary_exact;
+  } else {
+    audit_accumulator_ += speculator_.config().audit_fraction;
+    if (audit_accumulator_ >= 1.0) {
+      audit_accumulator_ -= 1.0;
+      entry.role = Role::kAudit;
+      ++stats_.audits;
+      m_audits_.inc();
+    } else {
+      // Resolved by the surrogate alone: synthesize the result, touch no
+      // exact instance.
+      ++stats_.speculated;
+      m_hits_.inc();
+      ready_.push_back({request.walker, request.ticket, entry.predicted,
+                        /*failed=*/false});
+      publish_gauges();
+      return;
+    }
+  }
+  dispatch_exact(std::move(request), std::move(entry));
+}
+
+EnergyResult SpeculativeEnergyService::retrieve() {
+  if (!ready_.empty()) {
+    const EnergyResult result = ready_.front();
+    ready_.pop_front();
+    return result;
+  }
+
+  EnergyResult result = inner_->retrieve();
+  const auto it = in_flight_.find(result.ticket);
+  if (it == in_flight_.end()) return result;  // not ours (defensive)
+  InFlight entry = std::move(it->second);
+  in_flight_.erase(it);
+
+  if (result.failed) {
+    // Park the provenance; the driver's resubmission reclaims it.
+    retry_pending_[result.walker] = std::move(entry);
+    return result;
+  }
+
+  if (entry.has_prediction) {
+    const double residual = result.energy - entry.predicted;
+    m_residual_.observe(std::abs(residual));
+    if (entry.role == Role::kAudit)
+      m_audit_mismatch_.observe(std::abs(residual));
+
+    const SpeculatorRecordOutcome outcome =
+        speculator_.record(std::move(entry.row), result.energy, residual);
+    if (outcome.refit) {
+      if (outcome.refit_adopted) {
+        ++stats_.refits;
+        m_refits_.inc();
+      } else {
+        ++stats_.refits_rejected;
+      }
+    }
+    if (outcome.tripped) {
+      ++stats_.trips;
+      m_trips_.inc();
+    }
+    if (outcome.untripped) ++stats_.untrips;
+    publish_gauges();
+  }
+  return result;  // the exact energy is always authoritative
+}
+
+void SpeculativeEnergyService::publish_gauges() {
+  m_hit_rate_.set(stats_.hit_rate());
+  m_residual_rms_.set(speculator_.residual_rms());
+  m_tripped_.set(speculator_.tripped() ? 1.0 : 0.0);
+}
+
+}  // namespace wlsms::wl

@@ -1,0 +1,271 @@
+#pragma once
+
+/// \file speculator.hpp
+/// Speculative mixed-fidelity evaluation: an online Heisenberg surrogate in
+/// front of the exact LSMS path.
+///
+/// The paper's driver spends essentially all wall-clock on full LSMS energy
+/// evaluations, yet the repo already extracts an effective Heisenberg model
+/// from the substrate (lsms/exchange.hpp, PAPER.md §2) that prices a
+/// single-moment move in O(coordination). This module promotes that model
+/// from offline stand-in to an online *speculator* (ROADMAP "mixed-fidelity
+/// speculative evaluation"; the same accept-reject speculation shape the
+/// real WL-LSMS lineage used to keep accelerators fed):
+///
+///   driver proposal ──hint──▶ SpeculativeEnergyService
+///        │                         │ surrogate ΔE  (HeisenbergModel::energy_delta)
+///        │                         ├─ far from the WL accept boundary
+///        │                         │    └─ resolve locally (no LSMS call)
+///        │                         ├─ boundary-adjacent, warming up, or
+///        │                         │  tripped ─▶ exact inner service
+///        │                         └─ deterministic audit fraction
+///        ◀──result────────────────┘    └─ exact inner service, residual
+///                                          measured, J_ij refit fed
+///
+/// The accept boundary is evaluated against the *live* ln g estimate: the
+/// driver attaches its DosGrid (attach_dos), and a move resolves only when
+/// every energy inside the confidence band [E_pred - band, E_pred + band]
+/// yields the same accept decision to within `accept_tol` acceptance
+/// probability. The band is `band` times the tracked rms residual of the
+/// surrogate over recent exact measurements, so the speculator prices its
+/// own trustworthiness.
+///
+/// Audited (and every other exact) result feeds an online J_ij refit — the
+/// same shell-coupling regression as lsms::extract_exchange
+/// (lsms::fit_exchange_rows) over the last `refit_window` measured
+/// configurations, adopted only when it improves the in-window rms. A
+/// telemetry-tracked error budget trips the service back to exact-only mode
+/// when the residual rms exceeds it; recovery requires a fresh window of
+/// residuals back inside the budget (typically after a refit).
+///
+/// Exact mode stays the default and remains bit-identical: with speculation
+/// disabled this module is never constructed, and with `audit_fraction` 1
+/// every move is dispatched exactly and the exact result is authoritative.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "heisenberg/heisenberg.hpp"
+#include "lattice/structure.hpp"
+#include "lsms/exchange.hpp"
+#include "wl/dos_grid.hpp"
+#include "wl/energy_service.hpp"
+
+namespace wlsms::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace wlsms::obs
+
+namespace wlsms::wl {
+
+/// Knobs of the speculation pipeline.
+struct SpeculationConfig {
+  /// Confidence half-width in units of the tracked rms residual: a move is
+  /// resolvable only if the accept decision is stable over
+  /// [E_pred - band * rms, E_pred + band * rms]. 0 trusts the surrogate
+  /// blindly (useful with audit_fraction 1, which makes every result exact).
+  double band = 2.0;
+  /// Deterministic fraction of otherwise-resolvable moves dispatched
+  /// exactly anyway (counter-based, no RNG: every 1/audit_fraction-th).
+  /// Audits keep the residual estimate honest while speculation runs.
+  /// 1.0 audits everything — bit-identical to the plain driver.
+  double audit_fraction = 0.05;
+  /// Measured (exact-with-prediction) samples between J_ij refits; 0 never
+  /// refits.
+  std::uint64_t refit_interval = 64;
+  /// Error budget [Ry]: when the windowed residual rms exceeds it, the
+  /// service trips to exact-only mode until a fresh window of residuals
+  /// fits the budget again. 0 disables the trip.
+  double error_budget = 0.0;
+  /// Maximum spread of the WL acceptance probability across the confidence
+  /// band for a move to still resolve speculatively.
+  double accept_tol = 0.05;
+  /// Residual samples required before speculation starts (and again after
+  /// every trip or adopted refit clears the window).
+  std::size_t min_audits = 16;
+  /// Residual samples kept for the rms estimate.
+  std::size_t residual_window = 256;
+  /// Measured configurations kept for the refit regression.
+  std::size_t refit_window = 512;
+  /// Neighbour shells of the surrogate model.
+  std::size_t n_shells = 2;
+  /// Initial per-shell couplings [Ry] (resized to n_shells with zeros).
+  /// All-zero couplings predict ΔE = 0 for every move; the warmup
+  /// measurements then produce large residuals and the first refit learns
+  /// the couplings from scratch.
+  std::vector<double> initial_j;
+};
+
+/// Counters of the speculation pipeline (one decorator instance).
+struct SpeculationStats {
+  std::uint64_t proposed = 0;      ///< unique hinted trial moves screened
+  std::uint64_t speculated = 0;    ///< resolved by the surrogate alone
+  std::uint64_t audits = 0;        ///< resolvable but dispatched for audit
+  std::uint64_t boundary_exact = 0;///< accept-boundary-adjacent dispatches
+  std::uint64_t warmup_exact = 0;  ///< dispatched while the window refills
+  std::uint64_t tripped_exact = 0; ///< dispatched while over budget
+  std::uint64_t forwarded = 0;     ///< hintless submissions passed through
+  std::uint64_t retries = 0;       ///< failed-result resubmissions (never
+                                   ///< re-counted in proposed/hit_rate)
+  std::uint64_t refits = 0;        ///< refits adopted
+  std::uint64_t refits_rejected = 0;///< refits computed but not adopted
+  std::uint64_t trips = 0;
+  std::uint64_t untrips = 0;
+
+  /// Fraction of screened moves resolved without an exact call.
+  double hit_rate() const {
+    return proposed > 0 ? static_cast<double>(speculated) /
+                              static_cast<double>(proposed)
+                        : 0.0;
+  }
+};
+
+/// What one recorded measurement changed (decorator telemetry hooks).
+struct SpeculatorRecordOutcome {
+  bool refit = false;          ///< a refit regression ran
+  bool refit_adopted = false;  ///< ... and improved the in-window rms
+  bool tripped = false;        ///< the error budget tripped on this sample
+  bool untripped = false;      ///< a fresh window fit the budget again
+};
+
+/// The surrogate model plus its bookkeeping: move pricing, residual
+/// tracking, online refit, error-budget trip. Owns no service machinery, so
+/// it unit-tests standalone.
+class Speculator {
+ public:
+  /// Builds the surrogate for `structure` with config.initial_j couplings.
+  Speculator(const lattice::Structure& structure, SpeculationConfig config);
+
+  const SpeculationConfig& config() const { return config_; }
+  const heisenberg::HeisenbergModel& model() const { return model_; }
+  const std::vector<double>& j_shells() const { return j_; }
+
+  /// Surrogate energy change of the move that produced `trial` from the
+  /// configuration that had `old_direction` at `site` (O(coordination)).
+  double delta(const spin::MomentConfiguration& trial, std::size_t site,
+               const Vec3& old_direction) const;
+
+  /// Regression row of `config` for the online refit.
+  std::vector<double> fit_row(const spin::MomentConfiguration& config) const;
+
+  /// Records one exact measurement: `residual` = E_exact - E_predicted.
+  /// Updates the residual window, checks the error budget, and runs the
+  /// refit cadence.
+  SpeculatorRecordOutcome record(std::vector<double> row, double exact_energy,
+                                 double residual);
+
+  /// True when the residual window holds enough samples to speculate.
+  bool warmed_up() const { return residuals_.size() >= config_.min_audits; }
+  bool tripped() const { return tripped_; }
+  /// Whether a resolvable move may actually be resolved right now.
+  bool ready() const { return warmed_up() && !tripped_; }
+
+  /// rms of the residual window (0 when empty).
+  double residual_rms() const;
+  /// Confidence half-width [Ry]: band * residual_rms().
+  double band_width() const { return config_.band * residual_rms(); }
+
+  std::uint64_t measured() const { return measured_; }
+
+ private:
+  void clear_residual_window();
+
+  SpeculationConfig config_;
+  lattice::Structure structure_;
+  std::vector<double> j_;  ///< current couplings; model_ is built from them
+  heisenberg::HeisenbergModel model_;
+  std::vector<lsms::ExchangeBond> bonds_;
+
+  std::deque<double> residuals_;  ///< |window| most recent residuals
+  double residual_sum_sq_ = 0.0;
+  std::uint64_t residual_pushes_ = 0;  ///< drives periodic exact resummation
+
+  std::deque<std::vector<double>> fit_rows_;
+  std::deque<double> fit_targets_;
+
+  std::uint64_t measured_ = 0;
+  bool tripped_ = false;
+};
+
+/// EnergyService decorator realizing the speculation pipeline in front of
+/// any exact inner service (synchronous, thread farm, distributed, serve
+/// client — composed by make_energy_service). Single-threaded like every
+/// EnergyService.
+class SpeculativeEnergyService final : public EnergyService {
+ public:
+  /// Owns `inner`; `speculator` carries the surrogate and the knobs.
+  SpeculativeEnergyService(std::unique_ptr<EnergyService> inner,
+                           Speculator speculator);
+
+  /// Binds the live ln g estimate the accept-boundary screen reads. The
+  /// driver calls this with its own DosGrid; without a grid every hinted
+  /// submission is forwarded exactly (there is no boundary to be far from).
+  void attach_dos(const DosGrid* dos) { dos_ = dos; }
+
+  void submit(EnergyRequest request) override;
+  EnergyResult retrieve() override;
+  std::size_t outstanding() const override {
+    return inner_->outstanding() + ready_.size();
+  }
+
+  const SpeculationStats& stats() const { return stats_; }
+  const Speculator& speculator() const { return speculator_; }
+  EnergyService& inner() { return *inner_; }
+
+ private:
+  enum class Role : std::uint8_t {
+    kForward,   ///< no hint (seed or raw evaluation): pure passthrough
+    kWarmup,    ///< residual window refilling
+    kTripped,   ///< error budget exceeded
+    kBoundary,  ///< accept decision unstable inside the confidence band
+    kAudit,     ///< resolvable, dispatched exactly by the audit cadence
+  };
+
+  struct InFlight {
+    Role role = Role::kForward;
+    bool has_prediction = false;
+    double predicted = 0.0;
+    std::vector<double> row;  ///< refit regression row (prediction roles)
+    // Retry identity: a resubmission after a failed result must re-use this
+    // entry instead of being re-counted as a fresh proposal.
+    std::size_t site = 0;
+    Vec3 old_direction;
+    double current_energy = 0.0;
+  };
+
+  bool matches_retry(const InFlight& saved, const EnergyRequest& request) const;
+  /// True when the accept decision is band-stable at `predicted` given the
+  /// walker's current energy (requires an attached DosGrid).
+  bool resolvable(double current_energy, double predicted) const;
+  void dispatch_exact(EnergyRequest request, InFlight entry);
+  void publish_gauges();
+
+  std::unique_ptr<EnergyService> inner_;
+  Speculator speculator_;
+  const DosGrid* dos_ = nullptr;
+  SpeculationStats stats_;
+  double audit_accumulator_ = 0.0;
+  std::map<std::uint64_t, InFlight> in_flight_;        ///< by ticket
+  std::map<std::size_t, InFlight> retry_pending_;      ///< by walker
+  std::deque<EnergyResult> ready_;  ///< locally resolved, not yet retrieved
+
+  // Cached process-wide metrics (obs registry).
+  obs::Counter& m_proposed_;
+  obs::Counter& m_hits_;
+  obs::Counter& m_audits_;
+  obs::Counter& m_exact_;
+  obs::Counter& m_retries_;
+  obs::Counter& m_refits_;
+  obs::Counter& m_trips_;
+  obs::Gauge& m_hit_rate_;
+  obs::Gauge& m_residual_rms_;
+  obs::Gauge& m_tripped_;
+  obs::Histogram& m_residual_;
+  obs::Histogram& m_audit_mismatch_;
+};
+
+}  // namespace wlsms::wl

@@ -1,10 +1,13 @@
-// Tests for the wlsms command-line option parser.
+// Tests for the wlsms command-line option parser and the typed
+// per-subcommand option structs built on top of it.
 #include "cli.hpp"
 
 #include <gtest/gtest.h>
 
 #include <stdexcept>
 #include <vector>
+
+#include "options.hpp"
 
 namespace wlsms::cli {
 namespace {
@@ -99,6 +102,99 @@ TEST(Cli, QueriedKeysNotReported) {
 TEST(Cli, LastDuplicateWins) {
   const Options options = parse({"x", "--n", "1", "--n", "2"});
   EXPECT_EQ(options.get_long("n", 0), 2);
+}
+
+TEST(Cli, DoubleParsesScientificNotation) {
+  EXPECT_DOUBLE_EQ(parse({"x", "--v", "1e-3"}).get_double("v", 0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(parse({"x", "--v", "-3.5e2"}).get_double("v", 0.0), -350.0);
+}
+
+TEST(Cli, DoubleRejectsOverflowWhitespaceHexAndLoneSign) {
+  // std::stod would half-accept every one of these: "1e999" returns inf or
+  // throws late, " 1.5" skips the space, "0x10" parses as hex, and a lone
+  // "-" used to slip through partial parses. get_double fails loudly.
+  EXPECT_THROW(parse({"x", "--v", "1e999"}).get_double("v", 0.0),
+               std::runtime_error);
+  EXPECT_THROW(parse({"x", "--v", " 1.5"}).get_double("v", 0.0),
+               std::runtime_error);
+  EXPECT_THROW(parse({"x", "--v", "0x10"}).get_double("v", 0.0),
+               std::runtime_error);
+  EXPECT_THROW(parse({"x", "--v", "-"}).get_double("v", 0.0),
+               std::runtime_error);
+  EXPECT_THROW(parse({"x", "--v", ""}).get_double("v", 0.0),
+               std::runtime_error);
+  EXPECT_THROW(parse({"x", "--v", "1.5.2"}).get_double("v", 0.0),
+               std::runtime_error);
+}
+
+// --- Typed per-subcommand structs: parse once, validate once --------------
+
+TEST(CliOptions, SpeculateDefaultsAndOverrides) {
+  const SpeculateOptions defaults = SpeculateOptions::parse(parse({"x"}));
+  EXPECT_FALSE(defaults.enabled);
+  EXPECT_DOUBLE_EQ(defaults.band, 2.0);
+  EXPECT_DOUBLE_EQ(defaults.audit_fraction, 0.05);
+
+  const SpeculateOptions set = SpeculateOptions::parse(
+      parse({"x", "--speculate", "1", "--spec-band", "1.5", "--spec-audit-frac",
+             "0.2", "--spec-refit-interval", "128", "--spec-budget", "1e-3"}));
+  EXPECT_TRUE(set.enabled);
+  EXPECT_DOUBLE_EQ(set.band, 1.5);
+  EXPECT_DOUBLE_EQ(set.audit_fraction, 0.2);
+  EXPECT_EQ(set.refit_interval, 128u);
+  EXPECT_DOUBLE_EQ(set.error_budget, 1e-3);
+}
+
+TEST(CliOptions, SpeculateValidatesRanges) {
+  EXPECT_THROW(SpeculateOptions::parse(parse({"x", "--spec-band", "-1"})),
+               std::runtime_error);
+  EXPECT_THROW(
+      SpeculateOptions::parse(parse({"x", "--spec-audit-frac", "1.5"})),
+      std::runtime_error);
+  EXPECT_THROW(SpeculateOptions::parse(parse({"x", "--spec-budget", "-1e-3"})),
+               std::runtime_error);
+}
+
+TEST(CliOptions, DistributedSpeculationNeedsAWlDriver) {
+  // The screen sits in front of a WL driver's accept boundary; a bare
+  // evaluation sweep has nothing to screen.
+  EXPECT_THROW(
+      DistributedOptions::parse(parse({"distributed", "--speculate", "1"})),
+      std::runtime_error);
+  const DistributedOptions ok = DistributedOptions::parse(parse(
+      {"distributed", "--speculate", "1", "--wl-steps", "100"}));
+  EXPECT_TRUE(ok.speculate.enabled);
+  EXPECT_EQ(ok.wl_steps, 100u);
+}
+
+TEST(CliOptions, RequiredStringsAreEnforced) {
+  EXPECT_THROW(ThermoOptions::parse(parse({"thermo"})), std::runtime_error);
+  EXPECT_THROW(WorkerOptions::parse(parse({"worker"})), std::runtime_error);
+  EXPECT_THROW(ClientOptions::parse(parse({"client"})), std::runtime_error);
+  const ClientOptions client = ClientOptions::parse(
+      parse({"client", "--connect", "127.0.0.1:7878", "--tenant", "w1"}));
+  EXPECT_EQ(client.connect, "127.0.0.1:7878");
+  EXPECT_EQ(client.tenant, "w1");
+}
+
+TEST(CliOptions, CountsValidateLowerBounds) {
+  EXPECT_THROW(CurieOptions::parse(parse({"curie", "--cells", "0"})),
+               std::runtime_error);
+  EXPECT_THROW(CurieOptions::parse(parse({"curie", "--flatness", "1.2"})),
+               std::runtime_error);
+  EXPECT_THROW(ThermoOptions::parse(parse({"thermo", "--dos", "d.csv",
+                                           "--tmin", "500", "--tmax", "400"})),
+               std::runtime_error);
+  EXPECT_THROW(ServeOptions::parse(parse({"serve", "--batch-window", "-5"})),
+               std::runtime_error);
+}
+
+TEST(CliOptions, ParseMarksKeysQueried) {
+  // A fully typed parse must leave no false "unrecognized option" warnings.
+  const Options options = parse(
+      {"distributed", "--groups", "2", "--wl-steps", "50", "--speculate", "1"});
+  (void)DistributedOptions::parse(options);
+  EXPECT_TRUE(options.unused_keys().empty());
 }
 
 }  // namespace
