@@ -9,6 +9,7 @@ Options Options::parse(int argc, char** argv) {
   Options options;
   int i = 1;
   if (i < argc && argv[i][0] != '-') options.command_ = argv[i++];
+  if (i < argc && argv[i][0] != '-') options.positional_ = argv[i++];
   while (i < argc) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) != 0)

@@ -15,13 +15,17 @@ namespace wlsms::cli {
 /// Parsed command line: one subcommand plus --key value options.
 class Options {
  public:
-  /// Parses argv[1] as the subcommand and the rest as --key value pairs.
-  /// Throws std::runtime_error on malformed input (missing value, token
-  /// without a leading --).
+  /// Parses argv[1] as the subcommand, an optional bare token right after
+  /// it as the positional argument (e.g. `wlsms status host:port`), and the
+  /// rest as --key value pairs. Throws std::runtime_error on malformed
+  /// input (missing value, bare token after the options started).
   static Options parse(int argc, char** argv);
 
   const std::string& command() const { return command_; }
   bool empty_command() const { return command_.empty(); }
+
+  /// The bare token following the subcommand, or "" when none was given.
+  const std::string& positional() const { return positional_; }
 
   /// Typed lookups with defaults; throw std::runtime_error on a present
   /// but unparseable value.
@@ -39,6 +43,7 @@ class Options {
 
  private:
   std::string command_;
+  std::string positional_;
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> queried_;
 };

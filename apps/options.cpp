@@ -124,6 +124,7 @@ DistributedOptions DistributedOptions::parse(const Options& options) {
   parsed.wl_walkers = get_size(options, "wl-walkers", parsed.wl_walkers, 1);
   parsed.listen = options.get_string("listen", parsed.listen);
   parsed.external = get_bool(options, "external", parsed.external);
+  parsed.status_listen = options.get_string("status-listen", "");
   parsed.speculate = SpeculateOptions::parse(options);
   if (parsed.speculate.enabled && parsed.wl_steps == 0)
     throw std::runtime_error(
@@ -152,6 +153,20 @@ ServeOptions ServeOptions::parse(const Options& options) {
   parsed.checkpoint_dir = options.get_string("checkpoint-dir", "");
   parsed.batch_threads =
       get_size(options, "batch-threads", parsed.batch_threads, 0);
+  return parsed;
+}
+
+StatusOptions StatusOptions::parse(const Options& options) {
+  StatusOptions parsed;
+  parsed.connect = options.positional().empty()
+                       ? options.get_string("connect", "")
+                       : options.positional();
+  if (parsed.connect.empty())
+    throw std::runtime_error("status: give the target as `wlsms status "
+                             "host:port` or via --connect");
+  parsed.timeout_ms = options.get_long("timeout", parsed.timeout_ms);
+  if (parsed.timeout_ms < 1)
+    throw std::runtime_error("--timeout: must be >= 1 (milliseconds)");
   return parsed;
 }
 

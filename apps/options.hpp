@@ -86,6 +86,10 @@ struct DistributedOptions {
   std::size_t wl_walkers = 4;
   std::string listen = "127.0.0.1:0";
   bool external = false;
+  /// When non-empty, the controller also serves live Prometheus text on
+  /// this address (answered by serve::StatusServer; probe with
+  /// `wlsms status host:port`).
+  std::string status_listen;
   SpeculateOptions speculate;
 
   static DistributedOptions parse(const Options& options);
@@ -109,6 +113,15 @@ struct ServeOptions {
   std::size_t batch_threads = 0;
 
   static ServeOptions parse(const Options& options);
+};
+
+/// `wlsms status <host:port>`: fetch a daemon's or controller's live
+/// metrics as Prometheus text and print them.
+struct StatusOptions {
+  std::string connect;  ///< required (positional or --connect)
+  long timeout_ms = 5000;
+
+  static StatusOptions parse(const Options& options);
 };
 
 struct ClientOptions {

@@ -19,6 +19,8 @@
 //   client   drive a running daemon: submit random configurations as one
 //            tenant and (optionally) cross-check the energies against a
 //            local serial solver
+//   status   fetch a running daemon's (or a --status-listen controller's)
+//            live metrics as Prometheus text and print them
 //
 // Examples:
 //   wlsms curie --cells 5 --gamma-final 1e-6 --dos fe250.csv
@@ -56,6 +58,7 @@
 #include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
+#include "serve/status.hpp"
 #include "thermo/observables.hpp"
 #include "wl/driver.hpp"
 #include "wl/rewl.hpp"
@@ -81,6 +84,8 @@ int usage() {
       "  distributed  [--transport inprocess|process|tcp] [--groups M]\n"
       "           [--group-size N] [--cells C] [--evals K] [--seed S]\n"
       "           [--check 0|1] [--wl-steps N] [--wl-walkers W]\n"
+      "           [--status-listen HOST:PORT]   (live Prometheus endpoint;\n"
+      "           probe it with `wlsms status`)\n"
       "           [--listen HOST:PORT] [--external 0|1]   (tcp only;\n"
       "           --external 1 waits for `wlsms worker` processes to join\n"
       "           instead of forking local workers)\n"
@@ -100,6 +105,8 @@ int usage() {
       "           [--resume-session ID --resume-token TOK]\n"
       "           (--check needs --cells matching the daemon's; resume\n"
       "           reclaims a checkpointed session's in-flight work)\n"
+      "  status   HOST:PORT [--timeout MS]   (print a running daemon's or\n"
+      "           --status-listen controller's metrics as Prometheus text)\n"
       "\n"
       "observability (any command):\n"
       "  --metrics-out FILE.jsonl   periodic run-health snapshots (metrics\n"
@@ -316,6 +323,16 @@ int cmd_scaling(const cli::ScalingOptions& opt) {
 }
 
 int cmd_distributed(const cli::DistributedOptions& opt) {
+  // Live introspection: the controller has no listener of its own, so the
+  // Prometheus endpoint is a background StatusServer over the same framing.
+  std::unique_ptr<serve::StatusServer> status_server;
+  if (!opt.status_listen.empty()) {
+    status_server = std::make_unique<serve::StatusServer>(opt.status_listen);
+    std::printf("status endpoint on %s (probe: wlsms status %s)\n",
+                status_server->address().c_str(),
+                status_server->address().c_str());
+    std::fflush(stdout);
+  }
   const auto solver = std::make_shared<const lsms::LsmsSolver>(
       lattice::make_fe_supercell(opt.cells), lsms::fe_lsms_parameters_fast());
   const wl::LsmsEnergy energy(solver);
@@ -569,6 +586,13 @@ int cmd_client(const cli::ClientOptions& opt) {
   return 0;
 }
 
+int cmd_status(const cli::StatusOptions& opt) {
+  const std::string text = serve::fetch_status(
+      opt.connect, std::chrono::milliseconds(opt.timeout_ms));
+  std::fputs(text.c_str(), stdout);
+  return 0;
+}
+
 int cmd_worker(const cli::WorkerOptions& opt) {
   // The worker builds its own solver (there is no shared address space over
   // TCP); --cells must match the controller so shard atom ranges agree.
@@ -595,6 +619,9 @@ int main(int argc, char** argv) {
     const cli::Options options = cli::Options::parse(argc, argv);
     if (options.empty_command()) return usage();
 
+    // Label this process's trace file by subcommand, so a merged timeline
+    // reads "distributed / worker / serve" instead of three "wlsms" rows.
+    obs::set_trace_process_name(options.command());
     const std::unique_ptr<ObsScope> obs_scope = ObsScope::from_options(options);
     if (!obs_scope) return 2;
 
@@ -617,6 +644,8 @@ int main(int argc, char** argv) {
       status = cmd_serve(cli::ServeOptions::parse(options));
     else if (options.command() == "client")
       status = cmd_client(cli::ClientOptions::parse(options));
+    else if (options.command() == "status")
+      status = cmd_status(cli::StatusOptions::parse(options));
     else {
       std::fprintf(stderr, "unknown command '%s'\n\n",
                    options.command().c_str());

@@ -30,13 +30,31 @@ constexpr std::size_t kMaxReps = 20;
 constexpr double kBudgetPercent = 2.0;
 
 /// Wall seconds for one repetition of the workload: kEvalsPerRep full
-/// energy evaluations of random moment configurations.
-double run_workload(const lsms::LsmsSolver& solver, Rng& rng) {
+/// energy evaluations of random moment configurations. When `stamped`,
+/// each evaluation additionally pays the full distributed-tracing tax a
+/// request pays in production: the driver's context capture (propagated on
+/// the wire), the scheduler's six critical-path stage stamps, and the
+/// daemon's per-request span emission.
+double run_workload(const lsms::LsmsSolver& solver, Rng& rng,
+                    bool stamped = false) {
   double sink = 0.0;
   perf::Timer timer;
-  for (std::size_t k = 0; k < kEvalsPerRep; ++k)
+  for (std::size_t k = 0; k < kEvalsPerRep; ++k) {
+    obs::TraceContext context;
+    std::uint64_t begin_us = 0;
+    if (stamped) {
+      context = obs::current_trace_context();
+      begin_us = obs::trace_now_us();
+    }
     sink += solver.energy(
         spin::MomentConfiguration::random(solver.n_atoms(), rng));
+    if (stamped) {
+      // admitted / queued / batch-formed / solved / serialized / sent.
+      std::uint64_t last = begin_us;
+      for (int stage = 0; stage < 6; ++stage) last = obs::trace_now_us();
+      obs::emit_span("bench.request", begin_us, last, context);
+    }
+  }
   const double seconds = timer.seconds();
   // Keep the optimizer honest.
   if (sink == 0.1234567) std::printf("%f\n", sink);
@@ -97,7 +115,7 @@ int main(int argc, char** argv) {
       config.interval = std::chrono::milliseconds(100);
       obs::SnapshotWriter writer(config);
       Rng rng(42 + rep);
-      instr_s = std::min(instr_s, run_workload(solver, rng));
+      instr_s = std::min(instr_s, run_workload(solver, rng, true));
       obs::disable_tracing();
       obs::reset_trace_for_testing();
     }
@@ -123,6 +141,21 @@ int main(int argc, char** argv) {
   obs::enable_tracing();
   const double span_enabled_ns =
       op_latency_ns(200000, [] { const obs::Span span("bench.span"); });
+  // The distributed-tracing primitives added by the propagation layer:
+  // context capture (what the driver stamps onto every outgoing request),
+  // remote-parent adoption (what the worker/daemon pays per request),
+  // stage stamping (six per request in the serve scheduler), and
+  // retrospective span emission (one per request on the daemon).
+  const double context_ns =
+      op_latency_ns(200000, [] { (void)obs::current_trace_context(); });
+  const obs::TraceContext remote{0x123456789ull, 0x42ull};
+  const double span_adopt_ns = op_latency_ns(
+      200000, [&] { const obs::Span span("bench.adopt", remote); });
+  const double stamp_ns =
+      op_latency_ns(kOps, [] { (void)obs::trace_now_us(); });
+  const double emit_span_ns = op_latency_ns(200000, [&] {
+    obs::emit_span("bench.emit", 1000, 2000, remote);
+  });
   obs::disable_tracing();
   obs::reset_trace_for_testing();
 
@@ -136,6 +169,10 @@ int main(int argc, char** argv) {
   table.row({"histogram observe", io::format_double(histogram_ns, 1) + " ns"});
   table.row({"span (disabled)", io::format_double(span_disabled_ns, 1) + " ns"});
   table.row({"span (enabled)", io::format_double(span_enabled_ns, 1) + " ns"});
+  table.row({"context capture", io::format_double(context_ns, 1) + " ns"});
+  table.row({"span (adopted)", io::format_double(span_adopt_ns, 1) + " ns"});
+  table.row({"stage stamp", io::format_double(stamp_ns, 1) + " ns"});
+  table.row({"emit span", io::format_double(emit_span_ns, 1) + " ns"});
   table.print();
 
   obs::JsonValue::Object ops;
@@ -144,6 +181,10 @@ int main(int argc, char** argv) {
   ops.emplace("histogram_observe", obs::JsonValue(histogram_ns));
   ops.emplace("span_disabled", obs::JsonValue(span_disabled_ns));
   ops.emplace("span_enabled", obs::JsonValue(span_enabled_ns));
+  ops.emplace("context_capture", obs::JsonValue(context_ns));
+  ops.emplace("span_adopted", obs::JsonValue(span_adopt_ns));
+  ops.emplace("stage_stamp", obs::JsonValue(stamp_ns));
+  ops.emplace("emit_span", obs::JsonValue(emit_span_ns));
 
   obs::JsonValue::Object workload;
   workload.emplace("atoms",

@@ -88,10 +88,15 @@ void run_shard_worker(WorkerChannel& channel,
     result.ticket = request.ticket;
     result.attempt = request.attempt;
     result.first_atom = request.first_atom;
-    result.energies = solver->shard_energies(
-        spin::MomentConfiguration::from_raw_directions(directions),
-        static_cast<std::size_t>(request.first_atom),
-        static_cast<std::size_t>(request.n_shard_atoms));
+    {
+      // Adopted from the originating driver span (possibly in another
+      // process), so the merged trace nests this rank's solve under it.
+      const obs::Span span("comm.shard_solve", request.trace);
+      result.energies = solver->shard_energies(
+          spin::MomentConfiguration::from_raw_directions(directions),
+          static_cast<std::size_t>(request.first_atom),
+          static_cast<std::size_t>(request.n_shard_atoms));
+    }
     channel.send({kTagShardResult, encode_shard_result(result)});
   }
 }
@@ -259,6 +264,7 @@ bool DistributedEnergyService::dispatch(std::size_t g,
       shard.ticket = request.ticket;
       shard.attempt = group.attempt;
       shard.session = request.session;
+      shard.trace = request.trace;
       shard.walker = request.walker;
       shard.first_atom = first;
       shard.n_shard_atoms = count;

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace wlsms::comm {
 
@@ -45,6 +46,27 @@ int remaining_poll_ms(StreamClock::time_point deadline) {
   // if the clock jumps between poll and the recheck.
   return static_cast<int>(std::min<std::int64_t>(remaining.count(), 1000));
 }
+
+// Raw little-endian u64 helpers for the fixed-layout heartbeat clock
+// payloads (too small and too hot for the WLSM-headered serial codec).
+void put_u64_le(std::byte* out, std::uint64_t v) {
+  for (int k = 0; k < 8; ++k)
+    out[k] = static_cast<std::byte>((v >> (8 * k)) & 0xFFu);
+}
+
+std::uint64_t get_u64_le(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int k = 0; k < 8; ++k)
+    v |= static_cast<std::uint64_t>(p[k]) << (8 * k);
+  return v;
+}
+
+// Heartbeat payload shapes: a controller probe is [t0] (8 bytes, controller
+// clock); a worker echo is [t0][t1][t2] (24 bytes, t1/t2 worker clock); an
+// empty heartbeat is plain liveness (the worker's own idle beats, and any
+// peer predating the probes). Anything else is ignored as liveness only.
+constexpr std::size_t kClockProbeBytes = 8;
+constexpr std::size_t kClockEchoBytes = 24;
 
 }  // namespace
 
@@ -205,7 +227,22 @@ std::optional<Message> StreamWorkerChannel::recv() {
         !read_all(fd_, message.payload.data(), message.payload.size()))
       return std::nullopt;
     if (message.tag == kTagShutdown) return std::nullopt;
-    if (message.tag == kTagHeartbeat) continue;  // controller liveness only
+    if (message.tag == kTagHeartbeat) {
+      // A probe heartbeat carries the controller's send timestamp; echo it
+      // back with our receive/reply timestamps so the controller can close
+      // an NTP-style offset estimate for this rank. Empty (or unknown)
+      // payloads are plain liveness.
+      if (message.payload.size() == kClockProbeBytes) {
+        const std::uint64_t t0 = get_u64_le(message.payload.data());
+        const std::uint64_t t1 = obs::trace_now_us();
+        Message echo{kTagHeartbeat, std::vector<std::byte>(kClockEchoBytes)};
+        put_u64_le(echo.payload.data(), t0);
+        put_u64_le(echo.payload.data() + 8, t1);
+        put_u64_le(echo.payload.data() + 16, obs::trace_now_us());
+        send(echo);
+      }
+      continue;
+    }
     return message;
   }
 }
@@ -286,11 +323,23 @@ void StreamCommunicatorBase::heartbeat_tick() {
   for (std::size_t r = 0; r < peers_.size(); ++r) {
     Peer& peer = peers_[r];
     if (!peer.alive) continue;
-    if (now - peer.last_sent < kHeartbeatInterval) continue;
+    if (now - peer.last_sent < kHeartbeatInterval &&
+        now - peer.last_probe < kHeartbeatInterval)
+      continue;
     if (peer.tx.empty()) peer.cork_started = now;
-    append_frame(peer.tx, Message{kTagHeartbeat, {}});
+    // Each heartbeat doubles as a clock probe: it carries our send
+    // timestamp, and the worker's echo closes the four-timestamp offset
+    // estimate in drain(). Probes run on their own cadence (last_probe)
+    // so a busy link — where data traffic suppresses idle heartbeats —
+    // still refreshes the offset estimate every interval. The cork flushes
+    // within this poll cycle, so the stamped t0 is at most the flush
+    // latency stale.
+    Message probe{kTagHeartbeat, std::vector<std::byte>(kClockProbeBytes)};
+    put_u64_le(probe.payload.data(), obs::trace_now_us());
+    append_frame(peer.tx, probe);
     ++peer.tx_frames;
     peer.last_sent = now;
+    peer.last_probe = now;
     stream_metrics().frames.inc();
     stream_metrics().heartbeats.inc();
   }
@@ -318,8 +367,12 @@ void StreamCommunicatorBase::drain(std::size_t rank) {
   try {
     while (peer.rx.pop(message)) {
       peer.last_heard = StreamClock::now();
-      if (message.tag != kTagHeartbeat)
-        pending_.push_back({rank, std::move(message)});
+      if (message.tag == kTagHeartbeat) {
+        if (message.payload.size() == kClockEchoBytes)
+          observe_clock_echo(rank, message.payload);
+        continue;
+      }
+      pending_.push_back({rank, std::move(message)});
     }
   } catch (const CommError& error) {
     if (!shut_down_)
@@ -372,6 +425,23 @@ std::optional<Incoming> StreamCommunicatorBase::recv(
     for (std::size_t k = 0; k < fds.size(); ++k)
       if (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) drain(fd_rank[k]);
   }
+}
+
+void StreamCommunicatorBase::observe_clock_echo(
+    std::size_t rank, const std::vector<std::byte>& payload) {
+  const std::uint64_t t0 = get_u64_le(payload.data());
+  const std::uint64_t t1 = get_u64_le(payload.data() + 8);
+  const std::uint64_t t2 = get_u64_le(payload.data() + 16);
+  const std::uint64_t t3 = obs::trace_now_us();
+  // NTP four-timestamp estimate: offset = worker clock - controller clock,
+  // assuming symmetric one-way delays. t0/t3 are our clock, t1/t2 theirs.
+  const double offset_us =
+      ((static_cast<double>(t1) - static_cast<double>(t0)) +
+       (static_cast<double>(t2) - static_cast<double>(t3))) /
+      2.0;
+  obs::Registry::instance()
+      .gauge("comm.clock_offset_us.rank" + std::to_string(rank))
+      .set(offset_us);
 }
 
 std::uint64_t StreamCommunicatorBase::millis_since_heard(

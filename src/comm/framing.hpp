@@ -139,6 +139,10 @@ class StreamCommunicatorBase : public Communicator {
     StreamClock::time_point cork_started{};
     StreamClock::time_point last_sent = StreamClock::now();
     StreamClock::time_point last_heard = StreamClock::now();
+    /// Clock probes run on their own cadence: data traffic suppresses idle
+    /// heartbeats (last_sent keeps advancing) but must not starve the
+    /// offset estimate, or a busy run never refreshes its per-rank gauges.
+    StreamClock::time_point last_probe{};
   };
 
   /// Registers a connected peer fd as the next rank. Construction-time only.
@@ -161,6 +165,12 @@ class StreamCommunicatorBase : public Communicator {
   /// (send failure or deadline). True when nothing was corked.
   bool flush(std::size_t rank);
   void flush_all();
+
+  /// Closes one heartbeat clock probe ([t0][t1][t2] echo from `rank`):
+  /// estimates the rank's clock offset NTP-style and publishes it as the
+  /// `comm.clock_offset_us.rank<k>` gauge.
+  void observe_clock_echo(std::size_t rank,
+                          const std::vector<std::byte>& payload);
 
   /// Marks every rank dead (closing every fd); the shutdown() preamble.
   void close_all_peers();

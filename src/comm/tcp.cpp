@@ -9,9 +9,16 @@
 // death detection feeding alive()/millis_since_heard (comm/framing).
 //
 // Handshake (before any framing trust is extended):
-//   worker -> controller   frame{kTagHello,   WLSM header kTcpHello + u64 0}
+//   worker -> controller   frame{kTagHello,   WLSM header kTcpHello +
+//                                             u64 trace_node + u64 t0}
 //   controller -> worker   frame{kTagWelcome, WLSM header kTcpWelcome +
-//                                             u64 rank + u64 n_ranks}
+//                                             u64 rank + u64 n_ranks +
+//                                             u64 trace_node + u64 t1 +
+//                                             u64 t2}
+// The trace_node/t0..t2 fields double the handshake as an NTP-style clock
+// probe: the worker samples t3 at welcome receipt and records its offset to
+// the controller clock (obs::set_clock_offset + comm.clock_offset_us), so
+// its trace file can be merged into the controller's timebase.
 // A connection that sends anything else — wrong magic, wrong schema
 // version, garbage, or nothing within the per-connection window — is
 // closed and never occupies a rank slot; the controller keeps accepting
@@ -36,6 +43,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/serial.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace wlsms::comm {
 
@@ -181,19 +190,24 @@ std::optional<Message> read_one_frame_exact(int fd,
   return message;
 }
 
-std::vector<std::byte> hello_payload() {
+std::vector<std::byte> hello_payload(std::uint64_t t0_us) {
   serial::Encoder encoder;
   serial::write_header(encoder, serial::PayloadKind::kTcpHello);
-  encoder.put_u64(0);  // reserved
+  encoder.put_u64(obs::local_trace_node());
+  encoder.put_u64(t0_us);  // worker clock at hello send
   return encoder.take();
 }
 
 std::vector<std::byte> welcome_payload(std::uint64_t rank,
-                                       std::uint64_t n_ranks) {
+                                       std::uint64_t n_ranks,
+                                       std::uint64_t t1_us) {
   serial::Encoder encoder;
   serial::write_header(encoder, serial::PayloadKind::kTcpWelcome);
   encoder.put_u64(rank);
   encoder.put_u64(n_ranks);
+  encoder.put_u64(obs::local_trace_node());
+  encoder.put_u64(t1_us);                // controller clock at hello receipt
+  encoder.put_u64(obs::trace_now_us());  // t2: controller clock at send
   return encoder.take();
 }
 
@@ -327,6 +341,7 @@ TcpCommunicator::TcpCommunicator(std::size_t n_ranks,
     // Validate the hello before the connection becomes a rank.
     const std::optional<Message> hello = read_frame_with_deadline(
         conn.get(), StreamClock::now() + kHandshakeTimeout);
+    const std::uint64_t t1_us = obs::trace_now_us();
     if (!hello || hello->tag != kTagHello) {
       log_warn("comm: tcp connection rejected (no valid hello frame)");
       continue;
@@ -334,7 +349,8 @@ TcpCommunicator::TcpCommunicator(std::size_t n_ranks,
     try {
       serial::Decoder decoder(hello->payload);
       serial::read_header(decoder, serial::PayloadKind::kTcpHello);
-      (void)decoder.get_u64();  // reserved
+      (void)decoder.get_u64();  // worker trace node
+      (void)decoder.get_u64();  // t0: the worker keeps its own copy
       decoder.expect_end();
     } catch (const serial::SerializationError& error) {
       log_warn("comm: tcp connection rejected (bad hello: ", error.what(),
@@ -342,7 +358,7 @@ TcpCommunicator::TcpCommunicator(std::size_t n_ranks,
       continue;
     }
     const std::vector<std::byte> welcome = frame_bytes(
-        Message{kTagWelcome, welcome_payload(accepted, n_ranks)});
+        Message{kTagWelcome, welcome_payload(accepted, n_ranks, t1_us)});
     if (!write_all(conn.get(), welcome.data(), welcome.size(),
                    StreamClock::now() + kHandshakeTimeout)) {
       log_warn("comm: tcp connection rejected (welcome write failed)");
@@ -459,14 +475,18 @@ std::size_t run_tcp_worker(const std::string& address,
   set_nodelay(sock.get());
   set_cloexec(sock.get());
 
-  // Handshake: hello out, welcome (rank assignment) back.
+  // Handshake: hello out, welcome (rank assignment) back. The welcome also
+  // closes the four-timestamp clock probe opened by the hello, giving this
+  // worker its offset to the controller clock before any spans are emitted.
+  const std::uint64_t t0_us = obs::trace_now_us();
   const std::vector<std::byte> hello =
-      frame_bytes(Message{kTagHello, hello_payload()});
+      frame_bytes(Message{kTagHello, hello_payload(t0_us)});
   if (!write_all(sock.get(), hello.data(), hello.size(),
                  StreamClock::now() + kHandshakeTimeout))
     throw CommError("tcp: handshake hello to '" + address + "' failed");
   const std::optional<Message> welcome = read_one_frame_exact(
       sock.get(), StreamClock::now() + kHandshakeTimeout);
+  const std::uint64_t t3_us = obs::trace_now_us();
   if (!welcome || welcome->tag != kTagWelcome)
     throw CommError("tcp: no welcome from controller at '" + address + "'");
   std::uint64_t rank = 0;
@@ -475,7 +495,18 @@ std::size_t run_tcp_worker(const std::string& address,
     serial::read_header(decoder, serial::PayloadKind::kTcpWelcome);
     rank = decoder.get_u64();
     (void)decoder.get_u64();  // n_ranks; informational
+    const std::uint64_t controller_node = decoder.get_u64();
+    const std::uint64_t t1_us = decoder.get_u64();
+    const std::uint64_t t2_us = decoder.get_u64();
     decoder.expect_end();
+    const double offset_us =
+        ((static_cast<double>(t1_us) - static_cast<double>(t0_us)) +
+         (static_cast<double>(t2_us) - static_cast<double>(t3_us))) /
+        2.0;
+    obs::set_clock_offset(offset_us, controller_node);
+    obs::Registry::instance()
+        .gauge("comm.clock_offset_us")
+        .set(offset_us);
   } catch (const serial::SerializationError& error) {
     throw CommError(std::string("tcp: malformed welcome: ") + error.what());
   }

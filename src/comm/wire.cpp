@@ -15,6 +15,8 @@ std::vector<std::byte> encode_shard_request(const ShardRequest& request) {
   e.put_u64(request.ticket);
   e.put_u32(request.attempt);
   e.put_u64(request.session);
+  e.put_u64(request.trace.trace_id);
+  e.put_u64(request.trace.span_id);
   e.put_u64(request.walker);
   e.put_u64(request.first_atom);
   e.put_u64(request.n_shard_atoms);
@@ -41,6 +43,8 @@ ShardRequest decode_shard_request(const std::vector<std::byte>& buffer) {
   request.ticket = d.get_u64();
   request.attempt = d.get_u32();
   request.session = d.get_u64();
+  request.trace.trace_id = d.get_u64();
+  request.trace.span_id = d.get_u64();
   request.walker = d.get_u64();
   request.first_atom = d.get_u64();
   request.n_shard_atoms = d.get_u64();
@@ -122,6 +126,8 @@ std::vector<std::byte> encode_energy_request(const wl::EnergyRequest& request) {
   e.put_u64(request.walker);
   e.put_u64(request.ticket);
   e.put_u64(request.session);
+  e.put_u64(request.trace.trace_id);
+  e.put_u64(request.trace.span_id);
   spin::encode_moments(e, request.config);
   return e.take();
 }
@@ -133,6 +139,8 @@ wl::EnergyRequest decode_energy_request(const std::vector<std::byte>& buffer) {
   request.walker = static_cast<std::size_t>(d.get_u64());
   request.ticket = d.get_u64();
   request.session = d.get_u64();
+  request.trace.trace_id = d.get_u64();
+  request.trace.span_id = d.get_u64();
   request.config = spin::decode_moments(d);
   d.expect_end();
   return request;

@@ -28,6 +28,7 @@
 
 #include "common/serial.hpp"
 #include "common/vec3.hpp"
+#include "obs/trace.hpp"
 #include "spin/moments.hpp"
 #include "wl/energy_service.hpp"
 
@@ -53,6 +54,10 @@ struct ShardRequest {
   std::uint64_t ticket = 0;   ///< driver-level request id
   std::uint32_t attempt = 0;  ///< scatter generation (reroute bumps it)
   std::uint64_t session = 0;  ///< tenant-session id (0 = single local tenant)
+  /// Originating span of the submitted request: the worker's shard-solve
+  /// span adopts it, so a merged trace nests the remote solve under the
+  /// driver span that caused it. Zero/zero when tracing is off.
+  obs::TraceContext trace = {};
   std::uint64_t walker = 0;   ///< with session, keys the worker's config cache
   std::uint64_t first_atom = 0;
   std::uint64_t n_shard_atoms = 0;  ///< this rank solves [first, first+n)

@@ -75,15 +75,22 @@ void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
   // Render the whole record first so one fwrite emits it: interleaved
   // worker-rank processes share stderr, and partial lines from two ranks
-  // must never splice. Timestamps use a process-local monotonic clock —
-  // wall time can step, which would scramble the narration of a failover.
+  // must never splice. Two timestamps per record: a process-local monotonic
+  // clock for ordering within one process (wall time can step, which would
+  // scramble the narration of a failover), and a wall-clock epoch stamp so
+  // lines from different processes — and metrics snapshots, which carry the
+  // same wall_ms field — line up on one timeline.
   const double t_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - log_epoch())
                           .count();
-  char prefix[64];
+  const double wall_s =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  char prefix[80];
   const int prefix_len =
-      std::snprintf(prefix, sizeof prefix, "[wlsms %12.3f %-5s] ", t_ms,
-                    log_level_name(level));
+      std::snprintf(prefix, sizeof prefix, "[wlsms %.3f %12.3f %-5s] ",
+                    wall_s, t_ms, log_level_name(level));
   std::string record;
   record.reserve(static_cast<std::size_t>(prefix_len) + message.size() + 1);
   record.append(prefix, static_cast<std::size_t>(prefix_len));

@@ -27,9 +27,10 @@ const char* log_level_name(LogLevel level);
 bool parse_log_level(std::string_view text, LogLevel& out);
 
 /// Emits `message` to stderr if `level` passes the global threshold. The
-/// whole record — a monotonic-timestamp + level prefix and the message — is
-/// written with a single write under one mutex, so concurrent ranks and
-/// threads never interleave partial lines.
+/// whole record — a wall-clock epoch stamp (seconds, for cross-process
+/// alignment with metrics snapshots' wall_ms), a monotonic timestamp, the
+/// level, and the message — is written with a single write under one mutex,
+/// so concurrent ranks and threads never interleave partial lines.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

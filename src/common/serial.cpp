@@ -23,6 +23,8 @@ const char* kind_name(PayloadKind kind) {
     case PayloadKind::kServeReject: return "serve-reject";
     case PayloadKind::kServeSession: return "serve-session";
     case PayloadKind::kShardEvict: return "shard-evict";
+    case PayloadKind::kServeStatus: return "serve-status";
+    case PayloadKind::kServeStatusText: return "serve-status-text";
   }
   return "unknown";
 }

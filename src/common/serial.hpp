@@ -43,8 +43,12 @@ inline constexpr std::uint32_t kMagic = 0x4D534C57u;
 /// bespoke text layout (retired); version 2 the unified binary schema;
 /// version 3 adds the session identity to energy/shard requests, the
 /// serving-daemon payload kinds (9-14), and the shard-evict control
-/// payload (15).
-inline constexpr std::uint32_t kSchemaVersion = 3;
+/// payload (15); version 4 adds trace-context propagation (trace node +
+/// parent span on energy/shard/submit requests), the four-timestamp clock
+/// probe fields on the TCP and serve handshakes, the per-request stage
+/// breakdown on serve results, and the status introspection payloads
+/// (16-17).
+inline constexpr std::uint32_t kSchemaVersion = 4;
 
 /// What a framed buffer carries. The kind is part of the header so a
 /// message routed to the wrong decoder fails loudly instead of
@@ -65,6 +69,8 @@ enum class PayloadKind : std::uint32_t {
   kServeReject = 13,    ///< serve daemon -> client admission rejection
   kServeSession = 14,   ///< serve daemon session-resume checkpoint
   kShardEvict = 15,     ///< controller -> worker delta-cache eviction
+  kServeStatus = 16,    ///< status client -> daemon metrics request
+  kServeStatusText = 17,  ///< daemon -> status client Prometheus text
 };
 
 /// Appends primitives to a growing byte buffer.

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file prometheus.hpp
+/// Dependency-free Prometheus text exposition (version 0.0.4) of the
+/// metrics registry, so a live daemon or controller can be scraped — or
+/// inspected by `wlsms status` — without a metrics file path fixed at
+/// launch.
+///
+/// Name mapping: registry names are dotted (`serve.accepted`); Prometheus
+/// names allow [a-zA-Z0-9_:], so dots (and any other outlaw byte) become
+/// underscores. Two dotted families carry an identity segment that maps to
+/// a label instead of a name fragment, keeping cardinality out of the
+/// metric namespace:
+///
+///   serve.tenant.<tenant>.<rest>  ->  serve_tenant_<rest>{tenant="<tenant>"}
+///   comm.clock_offset_us.rank<k>  ->  comm_clock_offset_us{rank="<k>"}
+///
+/// Histograms render as the canonical cumulative `_bucket{le="..."}`
+/// series plus `_sum` and `_count`.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace wlsms::obs {
+
+/// Renders one registry snapshot as Prometheus text exposition.
+std::string expose_prometheus(const MetricsSnapshot& snapshot);
+
+/// Convenience: snapshots Registry::instance() and renders it.
+std::string expose_prometheus();
+
+/// `count` strictly increasing histogram bucket bounds starting at `start`
+/// and multiplying by `factor` (> 1): start, start*factor, ... — the
+/// exponential edges latency histograms need to resolve a p99 that spans
+/// decades. Throws wlsms::Error on a non-positive start, factor <= 1, or
+/// count == 0.
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count);
+
+}  // namespace wlsms::obs

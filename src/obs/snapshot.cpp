@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace wlsms::obs {
 
@@ -89,7 +90,31 @@ std::string SnapshotWriter::render_record(const char* reason) {
       "t_ms",
       JsonValue(std::chrono::duration<double, std::milli>(now - start_)
                     .count()));
+  // Wall-clock epoch stamp, so records from different processes (and the
+  // log stream, which carries the same field) line up on one timeline.
+  root.emplace("wall_ms",
+               JsonValue(std::chrono::duration<double, std::milli>(
+                             std::chrono::system_clock::now()
+                                 .time_since_epoch())
+                             .count()));
   root.emplace("reason", JsonValue(std::string(reason)));
+
+  // Trace health + clock alignment, present in EVERY record (not only once
+  // drops or offsets happen): dropped span count, this process's estimated
+  // offset to its reference clock, and every per-rank offset gauge the
+  // controller has observed via heartbeat echoes.
+  {
+    JsonValue::Object trace;
+    trace.emplace("dropped_events", JsonValue(dropped_trace_events()));
+    trace.emplace("clock_offset_us", JsonValue(clock_offset_us()));
+    JsonValue::Object offsets;
+    for (const auto& [name, value] : metrics.gauges)
+      if (name.rfind("comm.clock_offset_us.", 0) == 0)
+        offsets.emplace(name.substr(sizeof("comm.clock_offset_us.") - 1),
+                        JsonValue(value));
+    trace.emplace("rank_clock_offsets_us", JsonValue(std::move(offsets)));
+    root.emplace("trace", JsonValue(std::move(trace)));
+  }
 
   JsonValue::Object counters;
   for (const auto& [name, value] : metrics.counters)

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <random>
 
 #include "common/error.hpp"
 #include "obs/json.hpp"
@@ -38,10 +39,22 @@ struct ThreadRing {
 
 struct TraceState {
   std::atomic<bool> enabled{false};
-  std::mutex mutex;  ///< guards rings registration and capacity
+  std::mutex mutex;  ///< guards rings registration, capacity, and metadata
   std::vector<std::unique_ptr<ThreadRing>> rings;
   std::size_t capacity = kDefaultTraceRingCapacity;
   Clock::time_point epoch = Clock::now();
+  /// Wall-clock instant of `epoch`, so merged traces and logs can line up
+  /// on real time even across machines.
+  std::uint64_t wall_epoch_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  /// Random nonzero per-process id; 0 = not yet drawn (lazily, and re-drawn
+  /// after fork so child ranks never collide with the parent).
+  std::atomic<std::uint64_t> trace_node{0};
+  std::atomic<double> clock_offset_us{0.0};
+  std::atomic<std::uint64_t> clock_reference{0};
+  std::string process_name = "wlsms";
 };
 
 TraceState& state() {
@@ -65,6 +78,9 @@ TraceState& state() {
           for (std::unique_ptr<ThreadRing>& ring : state().rings)
             ring->mutex.unlock();
           state().mutex.unlock();
+          // The child is a new process: force a fresh trace-node draw so
+          // its spans never alias the parent's in a merged trace.
+          state().trace_node.store(0, std::memory_order_relaxed);
         });
     return new TraceState();
   }();
@@ -99,6 +115,24 @@ Counter& dropped_counter() {
   return counter;
 }
 
+// Pushes one completed event into `ring`, counting an overwritten oldest
+// event as dropped. The ring mutex is taken inside.
+void record_event(ThreadRing& ring, const TraceEvent& event) {
+  bool dropped = false;
+  {
+    const std::scoped_lock lock(ring.mutex);
+    ring.buf[ring.next] = event;
+    ring.next = (ring.next + 1) % ring.capacity;
+    if (ring.size < ring.capacity) {
+      ++ring.size;
+    } else {
+      ++ring.dropped;  // the slot we just overwrote held the oldest event
+      dropped = true;
+    }
+  }
+  if (dropped) dropped_counter().inc();
+}
+
 }  // namespace
 
 void enable_tracing(std::size_t ring_capacity) {
@@ -119,6 +153,50 @@ bool tracing_enabled() {
   return state().enabled.load(std::memory_order_relaxed);
 }
 
+std::uint64_t trace_now_us() { return now_us(); }
+
+std::uint64_t local_trace_node() {
+  TraceState& s = state();
+  std::uint64_t node = s.trace_node.load(std::memory_order_relaxed);
+  if (node != 0) return node;
+  // Draw a 48-bit nonzero id: the JSON writer stores numbers as doubles,
+  // and 48 bits round-trip exactly where a full u64 would not.
+  std::random_device rd;
+  do {
+    node = (static_cast<std::uint64_t>(rd()) << 32 | rd()) &
+           ((std::uint64_t{1} << 48) - 1);
+  } while (node == 0);
+  std::uint64_t expected = 0;
+  // Lost race: another thread drew first; use theirs.
+  if (!s.trace_node.compare_exchange_strong(expected, node,
+                                            std::memory_order_relaxed))
+    node = expected;
+  return node;
+}
+
+void set_clock_offset(double offset_us, std::uint64_t reference_node) {
+  TraceState& s = state();
+  s.clock_offset_us.store(offset_us, std::memory_order_relaxed);
+  s.clock_reference.store(reference_node, std::memory_order_relaxed);
+}
+
+double clock_offset_us() {
+  return state().clock_offset_us.load(std::memory_order_relaxed);
+}
+
+void set_trace_process_name(const std::string& name) {
+  TraceState& s = state();
+  const std::scoped_lock lock(s.mutex);
+  s.process_name = name;
+}
+
+TraceContext current_trace_context() {
+  if (!state().enabled.load(std::memory_order_relaxed)) return {};
+  ThreadRing& ring = ring_for_this_thread();
+  return {local_trace_node(),
+          ring.span_stack.empty() ? 0 : ring.span_stack.back()};
+}
+
 Span::Span(const char* name) {
   if (!state().enabled.load(std::memory_order_relaxed)) return;
   ThreadRing& ring = ring_for_this_thread();
@@ -128,6 +206,28 @@ Span::Span(const char* name) {
   parent_ = ring.span_stack.empty() ? 0 : ring.span_stack.back();
   // Ids are allocated per thread (tid in the high bits), so no global
   // atomic sits on the span hot path.
+  id_ = (static_cast<std::uint64_t>(ring.tid) << 32) | ring.next_local_id++;
+  ring.span_stack.push_back(id_);
+  ring_ = &ring;
+  begin_us_ = now_us();
+}
+
+Span::Span(const char* name, const TraceContext& remote_parent) {
+  if (!state().enabled.load(std::memory_order_relaxed)) return;
+  ThreadRing& ring = ring_for_this_thread();
+  std::strncpy(name_, name, kTraceNameCapacity);
+  if (remote_parent.trace_id != 0 &&
+      remote_parent.trace_id == local_trace_node()) {
+    // The "remote" parent lives in this very process (in-process transport,
+    // or a client and daemon sharing a binary in tests): link it locally so
+    // the single-file trace already nests without a merge step.
+    parent_ = remote_parent.span_id;
+  } else if (remote_parent.trace_id != 0) {
+    remote_trace_ = remote_parent.trace_id;
+    remote_parent_ = remote_parent.span_id;
+  } else {
+    parent_ = ring.span_stack.empty() ? 0 : ring.span_stack.back();
+  }
   id_ = (static_cast<std::uint64_t>(ring.tid) << 32) | ring.next_local_id++;
   ring.span_stack.push_back(id_);
   ring_ = &ring;
@@ -148,20 +248,31 @@ Span::~Span() {
   event.tid = ring.tid;
   event.id = id_;
   event.parent = parent_;
+  event.remote_trace = remote_trace_;
+  event.remote_parent = remote_parent_;
+  record_event(ring, event);
+}
 
-  bool dropped = false;
-  {
-    const std::scoped_lock lock(ring.mutex);
-    ring.buf[ring.next] = event;
-    ring.next = (ring.next + 1) % ring.capacity;
-    if (ring.size < ring.capacity) {
-      ++ring.size;
-    } else {
-      ++ring.dropped;  // the slot we just overwrote held the oldest event
-      dropped = true;
-    }
+void emit_span(const char* name, std::uint64_t begin_us, std::uint64_t end_us,
+               const TraceContext& remote_parent) {
+  if (!state().enabled.load(std::memory_order_relaxed)) return;
+  ThreadRing& ring = ring_for_this_thread();
+
+  TraceEvent event;
+  std::strncpy(event.name, name, kTraceNameCapacity);
+  event.begin_us = begin_us;
+  event.dur_us = end_us > begin_us ? end_us - begin_us : 0;
+  event.tid = ring.tid;
+  event.id = (static_cast<std::uint64_t>(ring.tid) << 32) |
+             ring.next_local_id++;
+  if (remote_parent.trace_id != 0 &&
+      remote_parent.trace_id == local_trace_node()) {
+    event.parent = remote_parent.span_id;
+  } else if (remote_parent.trace_id != 0) {
+    event.remote_trace = remote_parent.trace_id;
+    event.remote_parent = remote_parent.span_id;
   }
-  if (dropped) dropped_counter().inc();
+  record_event(ring, event);
 }
 
 std::vector<TraceEvent> collect_trace_events() {
@@ -228,6 +339,12 @@ void write_chrome_trace(const std::string& path) {
     JsonValue::Object args;
     args.emplace("id", JsonValue(static_cast<double>(event.id)));
     args.emplace("parent", JsonValue(static_cast<double>(event.parent)));
+    if (event.remote_trace != 0) {
+      args.emplace("remote_trace",
+                   JsonValue(static_cast<double>(event.remote_trace)));
+      args.emplace("remote_parent",
+                   JsonValue(static_cast<double>(event.remote_parent)));
+    }
     entry.emplace("args", JsonValue(std::move(args)));
     array.push_back(JsonValue(std::move(entry)));
   }
@@ -236,6 +353,21 @@ void write_chrome_trace(const std::string& path) {
   root.emplace("displayTimeUnit", JsonValue(std::string("ms")));
   root.emplace("droppedEvents",
                JsonValue(static_cast<double>(dropped_trace_events())));
+  // Merge metadata (tools/trace_merge.py); Perfetto ignores unknown keys.
+  TraceState& s = state();
+  root.emplace("trace_node",
+               JsonValue(static_cast<double>(local_trace_node())));
+  root.emplace("clock_offset_us",
+               JsonValue(s.clock_offset_us.load(std::memory_order_relaxed)));
+  root.emplace("clock_reference",
+               JsonValue(static_cast<double>(
+                   s.clock_reference.load(std::memory_order_relaxed))));
+  root.emplace("wall_epoch_ms",
+               JsonValue(static_cast<double>(s.wall_epoch_ms)));
+  {
+    const std::scoped_lock lock(s.mutex);
+    root.emplace("process", JsonValue(s.process_name));
+  }
 
   const std::string text = JsonValue(std::move(root)).dump();
   std::FILE* file = std::fopen(path.c_str(), "w");

@@ -23,6 +23,16 @@
 /// until reset, so export after a thread pool is torn down still sees its
 /// spans. fork(): handlers mirror metrics.cpp, so forked worker ranks can
 /// trace their shard solves.
+///
+/// Distributed traces: every process draws one random nonzero
+/// `local_trace_node()` id stamped into its trace file. A TraceContext
+/// (node id + span id) travels on the WLSM wire; the receiving process
+/// adopts it with the two-argument Span constructor or emit_span(), which
+/// records the remote parent on the event. tools/trace_merge.py resolves
+/// those cross-file links and shifts each file by its recorded clock
+/// offset (set_clock_offset(), estimated NTP-style on the transport
+/// handshake/heartbeats), producing one Perfetto timeline in the reference
+/// process's timebase.
 
 #include <cstddef>
 #include <cstdint>
@@ -35,6 +45,16 @@ namespace wlsms::obs {
 /// are copied into the event, so dynamically built names are safe.
 inline constexpr std::size_t kTraceNameCapacity = 47;
 
+/// A span's identity as it travels between processes: which process's
+/// trace file the parent span lives in (`trace_id` == that process's
+/// local_trace_node()) and its span id within that file. A default
+/// (zero/zero) context means "no remote parent"; zeros travel the wire
+/// when tracing is off, so propagation costs nothing unobserved.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
 /// One completed span.
 struct TraceEvent {
   char name[kTraceNameCapacity + 1] = {};
@@ -43,6 +63,11 @@ struct TraceEvent {
   std::uint32_t tid = 0;     ///< small sequential id per tracing thread
   std::uint64_t id = 0;      ///< unique span id (non-zero)
   std::uint64_t parent = 0;  ///< enclosing span's id; 0 = top-level
+  /// Adopted remote parent: the trace-node id of the originating process
+  /// and the parent span's id in that process's file. Zero when the parent
+  /// (if any) is local.
+  std::uint64_t remote_trace = 0;
+  std::uint64_t remote_parent = 0;
 };
 
 /// Default per-thread ring capacity (events).
@@ -62,6 +87,11 @@ bool tracing_enabled();
 class Span {
  public:
   explicit Span(const char* name);
+  /// Adopting constructor: links under `remote_parent` (a context received
+  /// off the wire) instead of this thread's innermost span. A context whose
+  /// trace_id matches local_trace_node() is recognized as local and linked
+  /// directly; a zero context degrades to a top-level span.
+  Span(const char* name, const TraceContext& remote_parent);
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
   ~Span();
@@ -71,8 +101,44 @@ class Span {
   std::uint64_t begin_us_ = 0;
   std::uint64_t id_ = 0;
   std::uint64_t parent_ = 0;
+  std::uint64_t remote_trace_ = 0;
+  std::uint64_t remote_parent_ = 0;
   void* ring_ = nullptr;  ///< ThreadRing*; non-null iff the span records
 };
+
+/// The context an outgoing request should carry: this process's trace node
+/// and the innermost live span of the calling thread. Zero/zero when
+/// tracing is off (or no span is live), so callers can propagate
+/// unconditionally.
+TraceContext current_trace_context();
+
+/// Records one already-measured span directly (for request-scoped spans
+/// whose begin/end straddle scheduler queues rather than one C++ scope).
+/// Timestamps are trace_now_us() values; no-op while tracing is off.
+void emit_span(const char* name, std::uint64_t begin_us, std::uint64_t end_us,
+               const TraceContext& remote_parent = {});
+
+/// Microseconds since this process's tracing epoch (steady clock). Always
+/// available, tracing enabled or not — the clock-alignment probes use it.
+std::uint64_t trace_now_us();
+
+/// This process's random nonzero trace-node id (48-bit, so it survives a
+/// double-typed JSON writer exactly). Lazily drawn; redrawn in forked
+/// children so two processes never share a node id.
+std::uint64_t local_trace_node();
+
+/// Records this process's estimated clock offset to a reference process:
+/// `reference_trace_now_us ≈ trace_now_us() + offset_us`. Stamped into the
+/// trace file so trace_merge.py can shift this file into the reference
+/// timebase. `reference_node` is the reference process's trace node.
+void set_clock_offset(double offset_us, std::uint64_t reference_node);
+
+/// Estimated offset last recorded via set_clock_offset() (0 by default).
+double clock_offset_us();
+
+/// Short process label stamped into the trace file ("serve", "worker",
+/// ...); defaults to "wlsms".
+void set_trace_process_name(const std::string& name);
 
 /// All buffered events from every thread's ring, oldest-first per thread,
 /// merged and sorted by begin timestamp.
@@ -86,7 +152,10 @@ std::uint64_t dropped_trace_events();
 void reset_trace_for_testing();
 
 /// Writes every buffered event as Chrome trace_event JSON ("X" complete
-/// events; span id/parent under "args"). Throws wlsms::Error on I/O error.
+/// events; span id/parent under "args"). Top-level keys `trace_node`,
+/// `clock_offset_us`, `clock_reference`, `wall_epoch_ms`, and `process`
+/// carry the merge metadata (Perfetto ignores unknown keys). Throws
+/// wlsms::Error on I/O error.
 void write_chrome_trace(const std::string& path);
 
 }  // namespace wlsms::obs

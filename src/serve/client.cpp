@@ -10,6 +10,9 @@
 
 #include "common/error.hpp"
 #include "common/serial.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "serve/socket_util.hpp"
 
 namespace wlsms::serve {
@@ -75,6 +78,8 @@ ServeClient::ServeClient(const std::string& address, ClientOptions options)
   hello.tenant = options_.tenant;
   hello.resume_session = options_.resume_session;
   hello.resume_token = options_.resume_token;
+  hello.trace_node = obs::local_trace_node();
+  hello.t0_us = obs::trace_now_us();
   comm::Message hello_frame;
   hello_frame.tag = kTagServeHello;
   hello_frame.payload = encode_serve_hello(hello);
@@ -86,6 +91,7 @@ ServeClient::ServeClient(const std::string& address, ClientOptions options)
   comm::Message reply = read_one_frame_exact(sock.get(), deadline);
   while (reply.tag == comm::kTagHeartbeat)
     reply = read_one_frame_exact(sock.get(), deadline);
+  const std::uint64_t t3_us = obs::trace_now_us();  // welcome receipt time
   if (reply.tag == kTagServeReject)
     throw comm::CommError("serve client: handshake rejected by daemon");
   if (reply.tag != kTagServeWelcome)
@@ -102,6 +108,18 @@ ServeClient::ServeClient(const std::string& address, ClientOptions options)
   resume_token_ = welcome.resume_token;
   n_atoms_ = static_cast<std::size_t>(welcome.n_atoms);
   resumed_ = welcome.resumed;
+  // The welcome closes the four-timestamp clock probe the hello opened:
+  // offset = daemon clock - client clock, so the client's trace file can be
+  // shifted into the daemon's timebase by tools/trace_merge.py.
+  if (welcome.trace_node != 0) {
+    const double offset_us =
+        ((static_cast<double>(welcome.t1_us) -
+          static_cast<double>(hello.t0_us)) +
+         (static_cast<double>(welcome.t2_us) - static_cast<double>(t3_us))) /
+        2.0;
+    obs::set_clock_offset(offset_us, welcome.trace_node);
+    obs::Registry::instance().gauge("comm.clock_offset_us").set(offset_us);
+  }
   // A resumed session already owes us results: the replayed ones and the
   // re-enqueued requests (some of which may come back as rejects).
   outstanding_ =
@@ -131,16 +149,35 @@ void ServeClient::submit(wl::EnergyRequest request) {
     abort_socket();
     throw comm::CommError("serve client: submit write failed");
   }
-  in_flight_[request.ticket] = request.walker;
+  in_flight_[request.ticket] = {request.walker, obs::trace_now_us()};
   ++outstanding_;
 }
 
 wl::EnergyResult ServeClient::pop_completed(const comm::Message& frame) {
   if (frame.tag == kTagServeResult) {
-    const wl::EnergyResult result = decode_serve_result(frame.payload);
-    in_flight_.erase(result.ticket);
+    const ServeResultFrame reply = decode_serve_result_frame(frame.payload);
+    const auto it = in_flight_.find(reply.result.ticket);
+    if (it != in_flight_.end()) {
+      // Wire time = round trip minus the daemon's own stage vector: what
+      // the network (plus daemon scheduling slack) cost this request.
+      const std::uint64_t now_us = obs::trace_now_us();
+      const std::uint64_t round_trip_us =
+          now_us > it->second.submitted_us ? now_us - it->second.submitted_us
+                                           : 0;
+      const std::uint64_t daemon_us = reply.stages.queue_us +
+                                      reply.stages.solve_us +
+                                      reply.stages.serialize_us;
+      obs::Registry::instance()
+          .histogram("serve.client.wire_ms",
+                     obs::exponential_bounds(0.01, 4.0, 12))
+          .observe(static_cast<double>(round_trip_us > daemon_us
+                                           ? round_trip_us - daemon_us
+                                           : 0) /
+                   1000.0);
+      in_flight_.erase(it);
+    }
     --outstanding_;
-    return result;
+    return reply.result;
   }
   // ServeReject: admission control refused the request; surface it through
   // the same failed-result path a dead rank uses.
@@ -148,7 +185,7 @@ wl::EnergyResult ServeClient::pop_completed(const comm::Message& frame) {
   wl::EnergyResult result;
   result.ticket = reject.ticket;
   const auto it = in_flight_.find(reject.ticket);
-  result.walker = it == in_flight_.end() ? 0 : it->second;
+  result.walker = it == in_flight_.end() ? 0 : it->second.walker;
   if (it != in_flight_.end()) in_flight_.erase(it);
   result.failed = true;
   --outstanding_;

@@ -72,10 +72,16 @@ class ServeClient final : public wl::EnergyService {
   std::size_t n_atoms_ = 0;
   bool resumed_ = false;
   std::size_t outstanding_ = 0;
-  /// ticket -> walker, so a ServeReject (which carries only the ticket) can
-  /// be surfaced with the right walker id. Requests replayed by a resumed
-  /// daemon predate this client object and fall back to walker 0.
-  std::map<std::uint64_t, std::size_t> in_flight_;
+  struct InFlight {
+    std::size_t walker = 0;
+    std::uint64_t submitted_us = 0;  ///< obs::trace_now_us() at submit
+  };
+  /// ticket -> walker + submit time, so a ServeReject (which carries only
+  /// the ticket) can be surfaced with the right walker id and a ServeResult
+  /// can price its wire time (round trip minus the daemon's stage vector).
+  /// Requests replayed by a resumed daemon predate this client object and
+  /// fall back to walker 0.
+  std::map<std::uint64_t, InFlight> in_flight_;
 };
 
 }  // namespace wlsms::serve

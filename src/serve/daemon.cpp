@@ -19,6 +19,8 @@
 #include "common/serial.hpp"
 #include "linalg/blas.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "serve/socket_util.hpp"
 
 namespace wlsms::serve {
@@ -28,6 +30,26 @@ namespace {
 obs::Gauge& sessions_gauge() {
   static obs::Gauge& gauge = obs::Registry::instance().gauge("serve.sessions");
   return gauge;
+}
+
+/// Shared bucket edges of every serve.stage_ms.* series (aggregate and
+/// per-tenant): the registry rejects re-registration with different bounds,
+/// so a single source of truth keeps all sites agreeing.
+const std::vector<double>& stage_bounds() {
+  static const std::vector<double> bounds =
+      obs::exponential_bounds(0.01, 4.0, 12);
+  return bounds;
+}
+
+void observe_stage(const std::string& stage, const std::string& tenant_label,
+                   std::uint64_t micros) {
+  const double ms = static_cast<double>(micros) / 1000.0;
+  obs::Registry& registry = obs::Registry::instance();
+  registry.histogram("serve.stage_ms." + stage, stage_bounds()).observe(ms);
+  registry
+      .histogram("serve.tenant." + tenant_label + ".stage_ms." + stage,
+                 stage_bounds())
+      .observe(ms);
 }
 
 void set_nonblocking(int fd) {
@@ -263,6 +285,14 @@ void Daemon::read_connection(int fd) {
 
 bool Daemon::handle_frame(int fd, const comm::Message& frame) {
   if (frame.tag == comm::kTagHeartbeat) return true;
+  if (frame.tag == kTagServeStatus) {
+    // Introspection probe: answer with the live metrics registry rendered
+    // as Prometheus text. Accepted before any handshake — a status probe is
+    // not a session and holds no daemon state.
+    decode_status_request(frame.payload);  // throws on garbage
+    return send_frame(fd, kTagServeStatusReply,
+                      encode_status_text(obs::expose_prometheus()));
+  }
   const Connection& conn = connections_[fd];
   if (!conn.handshaken) {
     if (frame.tag != kTagServeHello) return false;
@@ -273,6 +303,7 @@ bool Daemon::handle_frame(int fd, const comm::Message& frame) {
 }
 
 bool Daemon::handle_hello(int fd, const std::vector<std::byte>& payload) {
+  const std::uint64_t t1_us = obs::trace_now_us();  // hello receipt time
   const ServeHello hello = decode_serve_hello(payload);  // throws on garbage
   Connection& conn = connections_[fd];
 
@@ -352,6 +383,9 @@ bool Daemon::handle_hello(int fd, const std::vector<std::byte>& payload) {
   welcome.resumed = resumed;
   welcome.n_replayed = resumed ? restored.undelivered.size() : 0;
   welcome.n_pending = resumed ? restored.pending.size() : 0;
+  welcome.trace_node = obs::local_trace_node();
+  welcome.t1_us = t1_us;
+  welcome.t2_us = obs::trace_now_us();  // welcome send time
   if (!send_frame(fd, kTagServeWelcome, encode_serve_welcome(welcome)))
     return false;
 
@@ -418,8 +452,7 @@ void Daemon::dispatch_ready_batches(bool force) {
     }
     completed_.clear();
     scheduler_.run_next_batch(completed_);
-    for (const BatchScheduler::Completed& done : completed_)
-      deliver(done.session, done.result);
+    for (const BatchScheduler::Completed& done : completed_) deliver(done);
     // A client that died mid-batch was unhooked inside deliver(); finish
     // the teardown now that every completion of this batch is routed.
     std::vector<std::uint64_t> orphaned;
@@ -429,18 +462,30 @@ void Daemon::dispatch_ready_batches(bool force) {
   }
 }
 
-void Daemon::deliver(std::uint64_t session, const wl::EnergyResult& result) {
-  const auto it = sessions_.find(session);
+void Daemon::deliver(const BatchScheduler::Completed& done) {
+  const auto it = sessions_.find(done.session);
   if (it == sessions_.end()) return;  // session closed while solving
   Session& state = it->second;
   if (state.fd < 0) {
-    state.undelivered.push_back(result);
+    // Disconnected mid-solve: the result survives for resume; its stage
+    // vector does not (a replayed result reports zero stages).
+    state.undelivered.push_back(done.result);
     return;
   }
-  if (!send_frame(state.fd, kTagServeResult, encode_serve_result(result))) {
+  // serialize_us closes the daemon-side critical path: solved (admitted +
+  // queue + solve) -> this result frame encoded.
+  StageBreakdown stages = done.stages;
+  const std::uint64_t solved_us =
+      done.admitted_us + stages.queue_us + stages.solve_us;
+  const std::uint64_t encoding_us = obs::trace_now_us();
+  stages.serialize_us = encoding_us > solved_us ? encoding_us - solved_us : 0;
+  const bool sent = send_frame(state.fd, kTagServeResult,
+                               encode_serve_result(done.result, stages));
+  const std::uint64_t sent_us = obs::trace_now_us();
+  if (!sent) {
     // The socket is gone; keep the result for a future resume and unhook
     // the connection. close_session runs after the batch finishes routing.
-    state.undelivered.push_back(result);
+    state.undelivered.push_back(done.result);
     ::close(state.fd);
     connections_.erase(state.fd);
     state.fd = -1;
@@ -449,6 +494,15 @@ void Daemon::deliver(std::uint64_t session, const wl::EnergyResult& result) {
   obs::Registry::instance()
       .counter("serve.tenant." + state.metric_label + ".results")
       .inc();
+  // Critical-path attribution: per-stage histograms (aggregate + tenant)
+  // and one serve.request span adopted under the client's submitting span,
+  // covering admission through the delivered write.
+  observe_stage("queue_wait", state.metric_label, stages.queue_us);
+  observe_stage("solve", state.metric_label, stages.solve_us);
+  observe_stage("deliver", state.metric_label,
+                sent_us > encoding_us ? sent_us - encoding_us : 0);
+  if (done.admitted_us != 0)
+    obs::emit_span("serve.request", done.admitted_us, sent_us, done.trace);
 }
 
 bool Daemon::send_frame(int fd, std::uint32_t tag,

@@ -119,7 +119,11 @@ class Daemon {
   bool handle_hello(int fd, const std::vector<std::byte>& payload);
   bool handle_submit(int fd, const std::vector<std::byte>& payload);
   void dispatch_ready_batches(bool force = false);
-  void deliver(std::uint64_t session, const wl::EnergyResult& result);
+  /// Routes one completion to its session: encodes the result with its
+  /// completed stage vector, feeds the serve.stage_ms.* histograms, and
+  /// emits the per-request serve.request span (adopted under the client's
+  /// submitting span when the request carried a trace context).
+  void deliver(const BatchScheduler::Completed& done);
   bool send_frame(int fd, std::uint32_t tag, std::vector<std::byte> payload);
   void drop_connection(int fd);
   void close_session(std::uint64_t session);

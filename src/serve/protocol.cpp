@@ -39,6 +39,8 @@ std::vector<std::byte> encode_serve_hello(const ServeHello& hello) {
   put_tenant(e, hello.tenant);
   e.put_u64(hello.resume_session);
   e.put_u64(hello.resume_token);
+  e.put_u64(hello.trace_node);
+  e.put_u64(hello.t0_us);
   return e.take();
 }
 
@@ -49,6 +51,8 @@ ServeHello decode_serve_hello(const std::vector<std::byte>& buffer) {
   hello.tenant = get_tenant(d);
   hello.resume_session = d.get_u64();
   hello.resume_token = d.get_u64();
+  hello.trace_node = d.get_u64();
+  hello.t0_us = d.get_u64();
   d.expect_end();
   return hello;
 }
@@ -62,6 +66,9 @@ std::vector<std::byte> encode_serve_welcome(const ServeWelcome& welcome) {
   e.put_u8(welcome.resumed ? 1 : 0);
   e.put_u64(welcome.n_replayed);
   e.put_u64(welcome.n_pending);
+  e.put_u64(welcome.trace_node);
+  e.put_u64(welcome.t1_us);
+  e.put_u64(welcome.t2_us);
   return e.take();
 }
 
@@ -77,6 +84,9 @@ ServeWelcome decode_serve_welcome(const std::vector<std::byte>& buffer) {
   welcome.resumed = resumed != 0;
   welcome.n_replayed = d.get_u64();
   welcome.n_pending = d.get_u64();
+  welcome.trace_node = d.get_u64();
+  welcome.t1_us = d.get_u64();
+  welcome.t2_us = d.get_u64();
   if (welcome.session == 0)
     throw SerializationError("serve-welcome with null session id");
   d.expect_end();
@@ -88,6 +98,8 @@ std::vector<std::byte> encode_serve_submit(const wl::EnergyRequest& request) {
   serial::write_header(e, PayloadKind::kServeSubmit);
   e.put_u64(request.walker);
   e.put_u64(request.ticket);
+  e.put_u64(request.trace.trace_id);
+  e.put_u64(request.trace.span_id);
   spin::encode_moments(e, request.config);
   return e.take();
 }
@@ -98,6 +110,8 @@ wl::EnergyRequest decode_serve_submit(const std::vector<std::byte>& buffer) {
   wl::EnergyRequest request;
   request.walker = static_cast<std::size_t>(d.get_u64());
   request.ticket = d.get_u64();
+  request.trace.trace_id = d.get_u64();
+  request.trace.span_id = d.get_u64();
   request.config = spin::decode_moments(d);
   if (request.config.size() == 0)
     throw SerializationError("serve-submit with empty configuration");
@@ -105,28 +119,71 @@ wl::EnergyRequest decode_serve_submit(const std::vector<std::byte>& buffer) {
   return request;
 }
 
-std::vector<std::byte> encode_serve_result(const wl::EnergyResult& result) {
+std::vector<std::byte> encode_serve_result(const wl::EnergyResult& result,
+                                           const StageBreakdown& stages) {
   Encoder e;
   serial::write_header(e, PayloadKind::kServeResult);
   e.put_u64(result.walker);
   e.put_u64(result.ticket);
   e.put_double(result.energy);
   e.put_u8(result.failed ? 1 : 0);
+  e.put_u64(stages.queue_us);
+  e.put_u64(stages.solve_us);
+  e.put_u64(stages.serialize_us);
   return e.take();
 }
 
-wl::EnergyResult decode_serve_result(const std::vector<std::byte>& buffer) {
+ServeResultFrame decode_serve_result_frame(
+    const std::vector<std::byte>& buffer) {
   Decoder d(buffer);
   serial::read_header(d, PayloadKind::kServeResult);
-  wl::EnergyResult result;
-  result.walker = static_cast<std::size_t>(d.get_u64());
-  result.ticket = d.get_u64();
-  result.energy = d.get_double();
+  ServeResultFrame frame;
+  frame.result.walker = static_cast<std::size_t>(d.get_u64());
+  frame.result.ticket = d.get_u64();
+  frame.result.energy = d.get_double();
   const std::uint8_t failed = d.get_u8();
   if (failed > 1) throw SerializationError("corrupt serve-result flag");
-  result.failed = failed != 0;
+  frame.result.failed = failed != 0;
+  frame.stages.queue_us = d.get_u64();
+  frame.stages.solve_us = d.get_u64();
+  frame.stages.serialize_us = d.get_u64();
   d.expect_end();
-  return result;
+  return frame;
+}
+
+wl::EnergyResult decode_serve_result(const std::vector<std::byte>& buffer) {
+  return decode_serve_result_frame(buffer).result;
+}
+
+std::vector<std::byte> encode_status_request() {
+  Encoder e;
+  serial::write_header(e, PayloadKind::kServeStatus);
+  return e.take();
+}
+
+void decode_status_request(const std::vector<std::byte>& buffer) {
+  Decoder d(buffer);
+  serial::read_header(d, PayloadKind::kServeStatus);
+  d.expect_end();
+}
+
+std::vector<std::byte> encode_status_text(const std::string& text) {
+  Encoder e;
+  serial::write_header(e, PayloadKind::kServeStatusText);
+  e.put_u64(text.size());
+  e.put_bytes(text.data(), text.size());
+  return e.take();
+}
+
+std::string decode_status_text(const std::vector<std::byte>& buffer) {
+  Decoder d(buffer);
+  serial::read_header(d, PayloadKind::kServeStatusText);
+  const std::uint64_t size = d.get_u64();
+  d.expect_sequence(size, 1);
+  std::string text(static_cast<std::size_t>(size), '\0');
+  d.get_bytes(text.data(), text.size());
+  d.expect_end();
+  return text;
 }
 
 std::vector<std::byte> encode_serve_reject(const ServeReject& reject) {

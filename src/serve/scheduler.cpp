@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 
 namespace wlsms::serve {
@@ -35,7 +36,7 @@ SchedulerMetrics& scheduler_metrics() {
           {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0}),
       obs::Registry::instance().histogram(
           "serve.request_latency_ms",
-          {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0}),
+          obs::exponential_bounds(0.1, 2.0, 16)),
   };
   return metrics;
 }
@@ -66,7 +67,8 @@ BatchScheduler::Admission BatchScheduler::submit(std::uint64_t session,
     return Admission::kQuotaExceeded;
   }
   request.session = session;
-  queue.push_back({std::move(request), std::chrono::steady_clock::now()});
+  queue.push_back({std::move(request), std::chrono::steady_clock::now(),
+                   obs::trace_now_us()});
   ++n_pending_;
   metrics.accepted.inc();
   metrics.pending.set(static_cast<double>(n_pending_));
@@ -127,6 +129,7 @@ void BatchScheduler::run_next_batch(std::vector<Completed>& out) {
   ++stats_.batches;
   metrics.batches.inc();
   metrics.batch_occupancy.observe(static_cast<double>(batch.size()));
+  const std::uint64_t batch_formed_us = obs::trace_now_us();
 
   const auto complete = [&](const Queued& queued, double energy,
                             bool failed) {
@@ -136,6 +139,16 @@ void BatchScheduler::run_next_batch(std::vector<Completed>& out) {
     done.result.ticket = queued.request.ticket;
     done.result.energy = energy;
     done.result.failed = failed;
+    done.trace = queued.request.trace;
+    done.admitted_us = queued.admitted_us;
+    // Stage vector: admitted -> batch formed is queue wait, batch formed ->
+    // now is the solve (per-request stamps; the daemon adds serialize_us).
+    const std::uint64_t solved_us = obs::trace_now_us();
+    done.stages.queue_us = batch_formed_us > queued.admitted_us
+                               ? batch_formed_us - queued.admitted_us
+                               : 0;
+    done.stages.solve_us =
+        solved_us > batch_formed_us ? solved_us - batch_formed_us : 0;
     out.push_back(std::move(done));
     metrics.request_latency_ms.observe(
         std::chrono::duration<double, std::milli>(

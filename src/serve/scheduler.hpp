@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "lsms/solver.hpp"
+#include "serve/protocol.hpp"
 #include "wl/energy_function.hpp"
 #include "wl/energy_service.hpp"
 
@@ -50,10 +51,17 @@ class BatchScheduler {
  public:
   enum class Admission { kAccepted, kQueueFull, kQuotaExceeded };
 
-  /// One completed request, routed back by session.
+  /// One completed request, routed back by session. Carries the critical-
+  /// path stage vector (queue_us/solve_us stamped here; serialize_us filled
+  /// by the daemon at encode time) and the originating trace context plus
+  /// admission timestamp, so the daemon can emit one serve.request span per
+  /// request adopted under the client's driver span.
   struct Completed {
     std::uint64_t session = 0;
     wl::EnergyResult result;
+    StageBreakdown stages;
+    obs::TraceContext trace;
+    std::uint64_t admitted_us = 0;  ///< obs::trace_now_us() at admission
   };
 
   /// Dispatch accounting, exposed for the bench and tests.
@@ -98,6 +106,7 @@ class BatchScheduler {
   struct Queued {
     wl::EnergyRequest request;
     std::chrono::steady_clock::time_point enqueued;
+    std::uint64_t admitted_us = 0;  ///< obs::trace_now_us() at admission
   };
 
   wl::EnergyResult solve_singleton(wl::EnergyRequest request);

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file status.hpp
+/// Live introspection endpoint shared by the daemon and the distributed
+/// controller, plus the client side of the Status conversation.
+///
+/// The daemon answers kTagServeStatus frames inside its own poll loop (it
+/// already owns a listener); a long-running controller has no listener of
+/// its own, so StatusServer gives it one: a background thread that accepts
+/// connections, answers exactly one Status request per connection with the
+/// process's metrics registry rendered as Prometheus text, and closes. The
+/// conversation rides the same [u32 length][u32 tag][WLSM payload] framing
+/// as everything else, so `wlsms status host:port` works identically
+/// against a daemon and a controller.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace wlsms::serve {
+
+/// Background one-request-per-connection Prometheus exposition server.
+/// Construct (binds + listens + spawns the thread), read address(), destroy
+/// to stop. The reply is rendered at request time, so it always reflects
+/// the live registry.
+class StatusServer {
+ public:
+  /// Binds `listen` ("host:port"; port 0 picks an ephemeral port).
+  explicit StatusServer(const std::string& listen);
+  ~StatusServer();
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  /// Resolved listen address (ephemeral port filled in).
+  const std::string& address() const { return address_; }
+
+ private:
+  void serve_loop();
+
+  std::string address_;
+  int listener_ = -1;
+  int stop_read_ = -1;
+  int stop_write_ = -1;
+  std::thread thread_;
+};
+
+/// Client side: connects to `address`, sends one Status request, and
+/// returns the Prometheus text reply. Throws comm::CommError on connect
+/// failure, timeout, or a malformed reply.
+std::string fetch_status(const std::string& address,
+                         std::chrono::milliseconds timeout =
+                             std::chrono::milliseconds{5000});
+
+}  // namespace wlsms::serve

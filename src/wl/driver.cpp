@@ -38,7 +38,9 @@ void WlDriver::submit_initial(std::size_t w) {
   Walker& walker = walkers_[w];
   walker.trial = walker.current;
   walker.ticket = next_ticket_++;
-  service_.submit({w, walker.ticket, walker.trial});
+  EnergyRequest request{w, walker.ticket, walker.trial};
+  request.trace = obs::current_trace_context();
+  service_.submit(std::move(request));
 }
 
 void WlDriver::submit_trial(std::size_t w) {
@@ -53,6 +55,7 @@ void WlDriver::submit_trial(std::size_t w) {
 EnergyRequest WlDriver::trial_request(std::size_t w) const {
   const Walker& walker = walkers_[w];
   EnergyRequest request{w, walker.ticket, walker.trial};
+  request.trace = obs::current_trace_context();
   request.hint.valid = true;
   request.hint.current_energy = walker.energy;
   request.hint.site = walker.pending_move.site;
@@ -130,10 +133,12 @@ void WlDriver::process(const EnergyResult& result) {
     // screening decorator recognizes it as a retry, not a fresh proposal.
     ++stats_.resubmissions;
     walker.ticket = next_ticket_++;
-    service_.submit(walker.seeded
-                        ? trial_request(result.walker)
-                        : EnergyRequest{result.walker, walker.ticket,
-                                        walker.trial});
+    EnergyRequest repost = walker.seeded
+                               ? trial_request(result.walker)
+                               : EnergyRequest{result.walker, walker.ticket,
+                                               walker.trial};
+    repost.trace = obs::current_trace_context();
+    service_.submit(std::move(repost));
     return;
   }
 

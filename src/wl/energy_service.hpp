@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "spin/moments.hpp"
 #include "wl/energy_function.hpp"
 
@@ -46,6 +47,10 @@ struct EnergyRequest {
   /// per-walker state — the distributed delta-scatter caches — must key on
   /// (session, walker) so two tenants with equal walker ids cannot alias.
   std::uint64_t session = 0;
+  /// Originating span (obs::current_trace_context() at submit time), carried
+  /// across process boundaries so worker-rank and daemon spans link under
+  /// the driver span in a merged trace. Zero/zero when tracing is off.
+  obs::TraceContext trace = {};
   SpeculationHint hint = {};  ///< move provenance for screening decorators
 };
 

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Structural assertions on a tools/trace_merge.py output.
+
+Given a merged Chrome trace produced from one controller + >=2 external
+worker runs, asserts the properties the distributed-tracing stack promises:
+
+  1. spans from >= 3 distinct processes survived the merge;
+  2. at least one controller-side span is the (cross-process) parent of
+     worker-side spans in >= 2 other processes — i.e. one request's spans
+     connect across at least three processes;
+  3. those links are causally time-aligned in the merged (reference)
+     timebase: a child span cannot begin measurably before its parent.
+
+Exits 0 on success, 1 with a diagnostic on any violated property.
+"""
+
+import collections
+import json
+import sys
+
+# Clock-offset estimation error budget: loopback NTP-style probes are
+# accurate to well under a millisecond; allow 2 ms before calling a child
+# "before its cause".
+SLACK_US = 2000.0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    spans = [
+        event
+        for event in document.get("traceEvents", [])
+        if isinstance(event, dict) and event.get("ph") == "X"
+    ]
+    if not spans:
+        print("merged trace contains no spans", file=sys.stderr)
+        return 1
+
+    pids = {event["pid"] for event in spans}
+    if len(pids) < 3:
+        print(f"expected spans from >= 3 processes, got pids {sorted(pids)}",
+              file=sys.stderr)
+        return 1
+
+    by_id = {event["args"]["id"]: event
+             for event in spans if event["args"].get("id")}
+
+    # Cross-process parent links: child pids grouped per parent span.
+    children = collections.defaultdict(set)
+    cross_links = 0
+    for event in spans:
+        parent_id = event["args"].get("parent", 0)
+        parent = by_id.get(parent_id)
+        if parent is None or parent["pid"] == event["pid"]:
+            continue
+        cross_links += 1
+        children[parent_id].add(event["pid"])
+        if event["ts"] + SLACK_US < parent["ts"]:
+            print(
+                f"span '{event['name']}' (pid {event['pid']}, "
+                f"ts {event['ts']:.1f}) begins before its parent "
+                f"'{parent['name']}' (pid {parent['pid']}, "
+                f"ts {parent['ts']:.1f}): clocks are not aligned",
+                file=sys.stderr)
+            return 1
+
+    if cross_links == 0:
+        print("no cross-process parent links survived the merge",
+              file=sys.stderr)
+        return 1
+
+    spanning = {
+        parent_id: child_pids
+        for parent_id, child_pids in children.items()
+        if len(child_pids | {by_id[parent_id]["pid"]}) >= 3
+    }
+    if not spanning:
+        print(
+            "no single span's request fans out across >= 3 processes; "
+            f"cross-process links: {cross_links}, fan-outs: "
+            f"{[sorted(p) for p in children.values()]}",
+            file=sys.stderr)
+        return 1
+
+    parent_id = next(iter(spanning))
+    parent = by_id[parent_id]
+    print(
+        f"ok: {len(spans)} spans over {len(pids)} processes, "
+        f"{cross_links} cross-process links; e.g. '{parent['name']}' "
+        f"(pid {parent['pid']}) parents spans in pids "
+        f"{sorted(spanning[parent_id])}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

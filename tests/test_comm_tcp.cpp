@@ -155,14 +155,15 @@ TEST(TcpCommunicator, CorruptFrameAfterHandshakeIsRankDeathNotCrash) {
       ASSERT_GE(fd, 0);
       serial::Encoder hello;
       serial::write_header(hello, serial::PayloadKind::kTcpHello);
-      hello.put_u64(0);
+      hello.put_u64(0);  // trace node
+      hello.put_u64(0);  // clock-probe t0
       const std::vector<std::byte> frame =
           frame_bytes(Message{kTagHello, hello.take()});
       ASSERT_TRUE(write_all(fd, frame.data(), frame.size(),
                             StreamClock::now() + 2s));
-      // Swallow the welcome header + payload (8 + 28 bytes), then betray
+      // Swallow the welcome header + payload (8 + 52 bytes), then betray
       // the protocol: a length field far beyond kMaxFrameBytes.
-      char welcome[36];
+      char welcome[60];
       ASSERT_TRUE(read_all(fd, welcome, sizeof(welcome)));
       const std::uint8_t corrupt[8] = {0xFF, 0xFF, 0xFF, 0xFF, 1, 0, 0, 0};
       (void)::send(fd, corrupt, sizeof(corrupt), MSG_NOSIGNAL);

@@ -39,11 +39,15 @@ TEST(CommWire, ShardRequestFullRoundTripIsBitExact) {
     request.kind = ShardRequest::ConfigKind::kFull;
     request.full = random_config(n, rng);
     request.session = rng.next();
+    request.trace.trace_id = rng.next();
+    request.trace.span_id = rng.next();
 
     const ShardRequest back = decode_shard_request(encode_shard_request(request));
     EXPECT_EQ(back.ticket, request.ticket);
     EXPECT_EQ(back.attempt, request.attempt);
     EXPECT_EQ(back.session, request.session);
+    EXPECT_EQ(back.trace.trace_id, request.trace.trace_id);
+    EXPECT_EQ(back.trace.span_id, request.trace.span_id);
     EXPECT_EQ(back.walker, request.walker);
     EXPECT_EQ(back.first_atom, request.first_atom);
     EXPECT_EQ(back.n_shard_atoms, request.n_shard_atoms);
@@ -130,11 +134,14 @@ TEST(CommWire, EnergyRequestAndResultRoundTrip) {
   request.ticket = 77;
   request.config = random_config(16, rng);
   request.session = 0x00C0FFEE00C0FFEEull;  // tenant-session id rides along
+  request.trace = {0xAAAAull, 0xBBBBull};   // as does the originating span
   const wl::EnergyRequest req_back =
       decode_energy_request(encode_energy_request(request));
   EXPECT_EQ(req_back.walker, request.walker);
   EXPECT_EQ(req_back.ticket, request.ticket);
   EXPECT_EQ(req_back.session, request.session);
+  EXPECT_EQ(req_back.trace.trace_id, request.trace.trace_id);
+  EXPECT_EQ(req_back.trace.span_id, request.trace.span_id);
   ASSERT_EQ(req_back.config.size(), request.config.size());
   for (std::size_t i = 0; i < request.config.size(); ++i)
     EXPECT_TRUE(same_bits(req_back.config[i], request.config[i]));

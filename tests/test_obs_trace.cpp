@@ -171,6 +171,125 @@ TEST_F(TraceTest, LongNamesAreTruncatedNotCorrupted) {
   EXPECT_EQ(std::string(events[0].name), std::string(kTraceNameCapacity, 'x'));
 }
 
+TEST_F(TraceTest, TraceNodeIsNonZeroAndJsonDoubleSafe) {
+  const std::uint64_t node = local_trace_node();
+  EXPECT_NE(node, 0u);
+  EXPECT_EQ(node, local_trace_node());  // stable within the process
+  EXPECT_LT(node, 1ull << 48);  // survives a double-typed JSON writer
+}
+
+TEST_F(TraceTest, CurrentContextIsZeroOffAndCarriesInnermostSpanOn) {
+  EXPECT_EQ(current_trace_context().trace_id, 0u);
+  EXPECT_EQ(current_trace_context().span_id, 0u);
+  enable_tracing();
+  // No live span: the node travels but there is no parent to point at.
+  EXPECT_EQ(current_trace_context().span_id, 0u);
+  TraceContext inside;
+  {
+    const Span outer("ctx.outer");
+    const Span inner("ctx.inner");
+    inside = current_trace_context();
+  }
+  EXPECT_EQ(inside.trace_id, local_trace_node());
+  const std::vector<TraceEvent> events = collect_trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& inner =
+      std::string(events[0].name) == "ctx.inner" ? events[0] : events[1];
+  EXPECT_EQ(inside.span_id, inner.id);
+}
+
+TEST_F(TraceTest, AdoptingSpanRecordsRemoteParent) {
+  enable_tracing();
+  const TraceContext remote{0x1234500000ull, 77};  // a foreign trace node
+  { const Span span("adopted", remote); }
+  { const Span degraded("no_parent", TraceContext{}); }
+  const std::vector<TraceEvent> events = collect_trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  std::map<std::string, TraceEvent> by_name;
+  for (const TraceEvent& event : events) by_name[event.name] = event;
+  EXPECT_EQ(by_name["adopted"].remote_trace, remote.trace_id);
+  EXPECT_EQ(by_name["adopted"].remote_parent, remote.span_id);
+  EXPECT_EQ(by_name["adopted"].parent, 0u);
+  EXPECT_EQ(by_name["no_parent"].remote_trace, 0u);
+  EXPECT_EQ(by_name["no_parent"].parent, 0u);
+}
+
+TEST_F(TraceTest, AdoptingALocalContextLinksDirectly) {
+  enable_tracing();
+  TraceContext ctx;
+  {
+    const Span outer("local.outer");
+    ctx = current_trace_context();
+  }
+  // A context that came "off the wire" but names this very process (e.g. an
+  // in-process transport) is recognized and linked like ordinary nesting.
+  { const Span child("local.child", ctx); }
+  const std::vector<TraceEvent> events = collect_trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  std::map<std::string, TraceEvent> by_name;
+  for (const TraceEvent& event : events) by_name[event.name] = event;
+  EXPECT_EQ(by_name["local.child"].parent, by_name["local.outer"].id);
+  EXPECT_EQ(by_name["local.child"].remote_trace, 0u);
+}
+
+TEST_F(TraceTest, EmitSpanRecordsQueueStraddlingSpans) {
+  enable_tracing();
+  const TraceContext remote{0xBEEF00000ull, 5};
+  const std::uint64_t begin = trace_now_us();
+  emit_span("serve.request", begin, begin + 1500, remote);
+  const std::vector<TraceEvent> events = collect_trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name), "serve.request");
+  EXPECT_EQ(events[0].begin_us, begin);
+  EXPECT_EQ(events[0].dur_us, 1500u);
+  EXPECT_EQ(events[0].remote_trace, remote.trace_id);
+  EXPECT_EQ(events[0].remote_parent, remote.span_id);
+  disable_tracing();
+  emit_span("dark", begin, begin + 10);  // no-op while tracing is off
+  EXPECT_EQ(collect_trace_events().size(), 1u);
+}
+
+TEST_F(TraceTest, ChromeExportCarriesMergeMetadata) {
+  enable_tracing();
+  set_clock_offset(-123.5, 0x0ABCDEF0000ull);
+  const TraceContext remote{0x777000000ull, 9};
+  { const Span span("meta.span", remote); }
+
+  const std::string path = ::testing::TempDir() + "wlsms_trace_meta.json";
+  write_chrome_trace(path);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+    text.append(buffer, got);
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  const JsonValue document = JsonValue::parse(text);
+  EXPECT_EQ(document.at("trace_node").as_number(),
+            static_cast<double>(local_trace_node()));
+  EXPECT_EQ(document.at("clock_offset_us").as_number(), -123.5);
+  EXPECT_EQ(document.at("clock_reference").as_number(),
+            static_cast<double>(0x0ABCDEF0000ull));
+  EXPECT_TRUE(document.contains("wall_epoch_ms"));
+  EXPECT_TRUE(document.contains("process"));
+  const JsonValue::Array& events = document.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("args").at("remote_trace").as_number(),
+            static_cast<double>(remote.trace_id));
+  EXPECT_EQ(events[0].at("args").at("remote_parent").as_number(),
+            static_cast<double>(remote.span_id));
+  set_clock_offset(0.0, 0);  // restore: offsets persist across tests
+}
+
+TEST_F(TraceTest, ClockOffsetAccessorReflectsLastEstimate) {
+  set_clock_offset(42.25, 0x1111100000ull);
+  EXPECT_EQ(clock_offset_us(), 42.25);
+  set_clock_offset(0.0, 0);
+}
+
 TEST_F(TraceTest, ConcurrentSpansAndCollectAreSafe) {
   enable_tracing();
   constexpr std::size_t kThreads = 4;

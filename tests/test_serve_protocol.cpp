@@ -36,10 +36,14 @@ TEST(ServeProtocol, HelloRoundTrip) {
   hello.tenant = "walker-farm_01";
   hello.resume_session = 42;
   hello.resume_token = 0xDEADBEEFCAFEBABEull;
+  hello.trace_node = 0x123456789ABCull;
+  hello.t0_us = 987654321;
   const ServeHello back = decode_serve_hello(encode_serve_hello(hello));
   EXPECT_EQ(back.tenant, hello.tenant);
   EXPECT_EQ(back.resume_session, hello.resume_session);
   EXPECT_EQ(back.resume_token, hello.resume_token);
+  EXPECT_EQ(back.trace_node, hello.trace_node);
+  EXPECT_EQ(back.t0_us, hello.t0_us);
 }
 
 TEST(ServeProtocol, WelcomeRoundTrip) {
@@ -50,6 +54,9 @@ TEST(ServeProtocol, WelcomeRoundTrip) {
   welcome.resumed = true;
   welcome.n_replayed = 3;
   welcome.n_pending = 5;
+  welcome.trace_node = 0xA0B0C0D0E0ull;
+  welcome.t1_us = 111;
+  welcome.t2_us = 222;
   const ServeWelcome back =
       decode_serve_welcome(encode_serve_welcome(welcome));
   EXPECT_EQ(back.session, welcome.session);
@@ -58,6 +65,9 @@ TEST(ServeProtocol, WelcomeRoundTrip) {
   EXPECT_EQ(back.resumed, welcome.resumed);
   EXPECT_EQ(back.n_replayed, welcome.n_replayed);
   EXPECT_EQ(back.n_pending, welcome.n_pending);
+  EXPECT_EQ(back.trace_node, welcome.trace_node);
+  EXPECT_EQ(back.t1_us, welcome.t1_us);
+  EXPECT_EQ(back.t2_us, welcome.t2_us);
 }
 
 TEST(ServeProtocol, SubmitRoundTripIsBitExact) {
@@ -66,13 +76,57 @@ TEST(ServeProtocol, SubmitRoundTripIsBitExact) {
     wl::EnergyRequest request;
     request.walker = rng.uniform_index(64);
     request.ticket = rng.next();
+    request.trace.trace_id = rng.next();
+    request.trace.span_id = rng.next();
     request.config = random_config(1 + rng.uniform_index(32), rng);
     const wl::EnergyRequest back =
         decode_serve_submit(encode_serve_submit(request));
     EXPECT_EQ(back.walker, request.walker);
     EXPECT_EQ(back.ticket, request.ticket);
+    EXPECT_EQ(back.trace.trace_id, request.trace.trace_id);
+    EXPECT_EQ(back.trace.span_id, request.trace.span_id);
     EXPECT_TRUE(same_config(back.config, request.config));
   }
+}
+
+TEST(ServeProtocol, ResultCarriesStageBreakdown) {
+  wl::EnergyResult result;
+  result.walker = 5;
+  result.ticket = 77;
+  result.energy = -3.25;
+  StageBreakdown stages;
+  stages.queue_us = 1200;
+  stages.solve_us = 45000;
+  stages.serialize_us = 80;
+  const ServeResultFrame back =
+      decode_serve_result_frame(encode_serve_result(result, stages));
+  EXPECT_EQ(back.result.ticket, result.ticket);
+  EXPECT_EQ(back.result.energy, result.energy);
+  EXPECT_EQ(back.stages.queue_us, stages.queue_us);
+  EXPECT_EQ(back.stages.solve_us, stages.solve_us);
+  EXPECT_EQ(back.stages.serialize_us, stages.serialize_us);
+  // Default breakdown (legacy callers): all-zero stage vector, not garbage.
+  const ServeResultFrame bare =
+      decode_serve_result_frame(encode_serve_result(result));
+  EXPECT_EQ(bare.stages.queue_us, 0u);
+  EXPECT_EQ(bare.stages.solve_us, 0u);
+  EXPECT_EQ(bare.stages.serialize_us, 0u);
+}
+
+TEST(ServeProtocol, StatusConversationRoundTrip) {
+  // Request payload is header-only; the reply carries arbitrary text
+  // (Prometheus exposition) including newlines and UTF-8.
+  decode_status_request(encode_status_request());
+  const std::string text =
+      "# TYPE serve_stage_ms_solve histogram\n"
+      "serve_stage_ms_solve_bucket{le=\"0.01\"} 0\nµs tail";
+  EXPECT_EQ(decode_status_text(encode_status_text(text)), text);
+  EXPECT_EQ(decode_status_text(encode_status_text("")), "");
+  // Kind confusion between the two status payloads throws, like every codec.
+  EXPECT_THROW(decode_status_request(encode_status_text("x")),
+               SerializationError);
+  EXPECT_THROW((void)decode_status_text(encode_status_request()),
+               SerializationError);
 }
 
 TEST(ServeProtocol, ResultAndRejectRoundTrip) {
@@ -222,8 +276,10 @@ TEST(ServeProtocol, EveryTruncationOfEveryPayloadThrows) {
       encode_serve_hello(hello),
       encode_serve_welcome(welcome),
       encode_serve_submit(request),
-      encode_serve_result({1, 2, -3.5, false}),
+      encode_serve_result({1, 2, -3.5, false}, {10, 20, 30}),
       encode_session_checkpoint(checkpoint),
+      encode_status_request(),
+      encode_status_text("# TYPE x counter\nx 1\n"),
   };
   const auto decoders = {
       +[](const std::vector<std::byte>& b) { (void)decode_serve_hello(b); },
@@ -233,6 +289,8 @@ TEST(ServeProtocol, EveryTruncationOfEveryPayloadThrows) {
       +[](const std::vector<std::byte>& b) {
         (void)decode_session_checkpoint(b);
       },
+      +[](const std::vector<std::byte>& b) { decode_status_request(b); },
+      +[](const std::vector<std::byte>& b) { (void)decode_status_text(b); },
   };
   std::size_t which = 0;
   for (const auto& decode : decoders) {
@@ -262,6 +320,8 @@ TEST(ServeProtocol, RandomByteFlipsNeverCrashAnyDecoder) {
   const std::vector<std::vector<std::byte>> payloads = {
       encode_serve_submit(request),
       encode_session_checkpoint(checkpoint),
+      encode_serve_result({0, 45, 1.5, false}, {7, 8, 9}),
+      encode_status_text("# TYPE serve_results counter\nserve_results 3\n"),
   };
   for (const std::vector<std::byte>& bytes : payloads) {
     for (int round = 0; round < 600; ++round) {
@@ -274,6 +334,14 @@ TEST(ServeProtocol, RandomByteFlipsNeverCrashAnyDecoder) {
       }
       try {
         (void)decode_session_checkpoint(corrupt);
+      } catch (const SerializationError&) {
+      }
+      try {
+        (void)decode_serve_result_frame(corrupt);
+      } catch (const SerializationError&) {
+      }
+      try {
+        (void)decode_status_text(corrupt);
       } catch (const SerializationError&) {
       }
     }

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Merge per-process wlsms traces into one time-aligned Perfetto timeline.
+
+Each wlsms process writes its own Chrome trace_event file (`--trace-out`)
+stamped with merge metadata: its random `trace_node` identity, its estimated
+`clock_offset_us` to a reference process's clock, and `clock_reference` (the
+trace_node of that reference). Workers learn their offset from the NTP-style
+four-timestamp probe in the TCP handshake; serve clients from the
+hello/welcome probe; the controller/daemon is its own reference (offset 0).
+
+This script:
+  1. loads every input trace and identifies the reference process (the one
+     whose clock nobody else is — offset chains are followed transitively,
+     so client -> daemon -> controller topologies align too);
+  2. shifts every event's timestamps into the reference timebase;
+  3. gives each process its own pid with a process_name metadata record;
+  4. renumbers span ids so they cannot collide across processes, and
+     resolves cross-process parent links (args.remote_trace /
+     args.remote_parent) into ordinary args.parent references plus Perfetto
+     flow events ("s"/"f"), so a request's spans connect visually across
+     processes.
+
+Usage:
+    python3 tools/trace_merge.py -o merged.json a.trace.json b.trace.json ...
+
+Exits non-zero on missing/malformed inputs or if no file can serve as the
+reference timebase.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_trace(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError(f"{path}: not a Chrome trace (missing traceEvents)")
+    return document
+
+
+def cumulative_offset(node, traces, seen=None):
+    """Total shift (us) from `node`'s clock into the root reference clock,
+    following clock_reference links transitively."""
+    if seen is None:
+        seen = set()
+    if node in seen:  # defensive: a reference cycle has no root
+        return 0.0
+    seen.add(node)
+    trace = traces.get(node)
+    if trace is None:
+        return 0.0
+    reference = int(trace.get("clock_reference", 0))
+    offset = float(trace.get("clock_offset_us", 0.0))
+    if reference == 0 or reference == node:
+        return 0.0
+    return offset + cumulative_offset(reference, traces, seen)
+
+
+def merge(documents):
+    # Index by trace_node; a file without one (older exporter) gets a
+    # synthetic negative node so it still merges, just without links.
+    traces = {}
+    for index, (path, document) in enumerate(documents):
+        node = int(document.get("trace_node", 0)) or -(index + 1)
+        if node in traces:
+            raise ValueError(f"{path}: duplicate trace_node {node}")
+        document["_path"] = path
+        traces[node] = document
+
+    merged = []
+    id_maps = {}  # node -> {local span id -> global span id}
+    next_id = 1
+    for pid, (node, document) in enumerate(sorted(traces.items())):
+        process = document.get("process", "wlsms")
+        merged.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"{process} [{document['_path']}]"},
+        })
+        shift = cumulative_offset(node, traces)
+        id_map = {}
+        for event in document["traceEvents"]:
+            if not isinstance(event, dict) or event.get("ph") != "X":
+                continue
+            event = dict(event)
+            args = dict(event.get("args", {}))
+            local_id = int(args.get("id", 0))
+            if local_id and local_id not in id_map:
+                id_map[local_id] = next_id
+                next_id += 1
+            event["ts"] = float(event["ts"]) + shift
+            event["pid"] = pid
+            args["id"] = id_map.get(local_id, 0)
+            args["node"] = node
+            event["args"] = args
+            merged.append(event)
+        id_maps[node] = id_map
+
+    # Second pass: remap local parents, resolve remote ones, emit flows.
+    flows = []
+    flow_id = 1
+    unresolved = 0
+    for event in merged:
+        if event.get("ph") != "X":
+            continue
+        args = event["args"]
+        node = args["node"]
+        parent = int(args.get("parent", 0))
+        args["parent"] = id_maps[node].get(parent, 0)
+        remote_trace = int(args.pop("remote_trace", 0))
+        remote_parent = int(args.pop("remote_parent", 0))
+        if remote_trace == 0:
+            continue
+        resolved = id_maps.get(remote_trace, {}).get(remote_parent, 0)
+        if resolved == 0:
+            unresolved += 1
+            continue
+        args["parent"] = resolved
+        # Perfetto flow: an arrow from the originating span to this one.
+        origin = next(
+            e for e in merged
+            if e.get("ph") == "X" and e["args"]["id"] == resolved
+        )
+        for phase, source in (("s", origin), ("f", event)):
+            flows.append({
+                "name": "request",
+                "cat": "wlsms",
+                "ph": phase,
+                "id": flow_id,
+                "ts": source["ts"],
+                "pid": source["pid"],
+                "tid": source["tid"],
+                **({"bp": "e"} if phase == "f" else {}),
+            })
+        flow_id += 1
+
+    return {
+        "traceEvents": merged + flows,
+        "displayTimeUnit": "ms",
+        "merged": {
+            "processes": len(documents),
+            "unresolved_remote_parents": unresolved,
+        },
+    }
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="merge per-process wlsms traces into one timeline")
+    parser.add_argument("-o", "--output", required=True)
+    parser.add_argument("inputs", nargs="+")
+    options = parser.parse_args(argv[1:])
+    if len(options.inputs) < 2:
+        print("trace_merge: need at least two traces to merge",
+              file=sys.stderr)
+        return 2
+    try:
+        documents = [(path, load_trace(path)) for path in options.inputs]
+        result = merge(documents)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"trace_merge: {error}", file=sys.stderr)
+        return 1
+    with open(options.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle)
+    spans = sum(1 for e in result["traceEvents"] if e.get("ph") == "X")
+    print(
+        f"merged {len(documents)} traces -> {options.output} "
+        f"({spans} spans, {result['merged']['unresolved_remote_parents']} "
+        "unresolved remote parents)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

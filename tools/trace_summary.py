@@ -7,6 +7,10 @@ prints one row per name: event count, total wall time, and *self* time —
 total minus the time covered by the span's direct children, computed from
 the args.id / args.parent links the exporter embeds.
 
+Merged traces from tools/trace_merge.py work too: span ids are scoped per
+process, and when the trace covers more than one process each row is
+prefixed with the process name from its process_name metadata record.
+
 Usage:
     python3 tools/trace_summary.py run.trace.json
 
@@ -24,35 +28,50 @@ signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
 
 def load_events(path):
+    """Returns ("X" events, {pid: process name}) from one trace file."""
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     if not isinstance(document, dict) or "traceEvents" not in document:
         raise ValueError("not a Chrome trace: missing traceEvents")
-    events = [
-        event
-        for event in document["traceEvents"]
-        if isinstance(event, dict) and event.get("ph") == "X"
-    ]
-    for event in events:
+    events = []
+    processes = {}
+    for event in document["traceEvents"]:
+        if not isinstance(event, dict):
+            continue
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            processes[event.get("pid", 0)] = event.get("args", {}).get(
+                "name", "?")
+        if event.get("ph") != "X":
+            continue  # skips metadata and the merge tool's flow arrows
         for key in ("name", "ts", "dur"):
             if key not in event:
                 raise ValueError(f"malformed event: missing {key!r}")
-    return events
+        events.append(event)
+    return events, processes
 
 
-def summarize(events):
-    """Returns {name: (count, total_us, self_us)} sorted by total desc."""
-    child_time = defaultdict(float)  # parent span id -> sum of child durs
+def summarize(events, processes):
+    """Returns [(name, (count, total_us, self_us))] sorted by total desc."""
+    # Span ids are unique within a process; scope by pid so concatenated or
+    # merged traces can never alias a parent across process boundaries.
+    child_time = defaultdict(float)  # (pid, parent id) -> sum of child durs
     for event in events:
         parent = event.get("args", {}).get("parent", 0)
         if parent:
-            child_time[parent] += float(event["dur"])
+            child_time[(event.get("pid", 0), parent)] += float(event["dur"])
 
+    multi = len({event.get("pid", 0) for event in events}) > 1
     rows = defaultdict(lambda: [0, 0.0, 0.0])
     for event in events:
+        pid = event.get("pid", 0)
         duration = float(event["dur"])
-        own = duration - child_time.get(event.get("args", {}).get("id"), 0.0)
-        row = rows[event["name"]]
+        own = duration - child_time.get(
+            (pid, event.get("args", {}).get("id")), 0.0)
+        name = event["name"]
+        if multi:
+            label = processes.get(pid, f"pid {pid}").split(" [")[0]
+            name = f"{label}: {name}"
+        row = rows[name]
         row[0] += 1
         row[1] += duration
         row[2] += max(own, 0.0)
@@ -64,7 +83,7 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     try:
-        events = load_events(argv[1])
+        events, processes = load_events(argv[1])
     except (OSError, ValueError, json.JSONDecodeError) as error:
         print(f"trace_summary: {error}", file=sys.stderr)
         return 1
@@ -76,7 +95,7 @@ def main(argv):
     wall_us = max(e["ts"] + e["dur"] for e in events) - min(
         e["ts"] for e in events
     )
-    rows = summarize(events)
+    rows = summarize(events, processes)
 
     name_width = max(len(name) for name, _ in rows)
     name_width = max(name_width, len("span"))
